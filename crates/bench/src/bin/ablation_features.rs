@@ -1,0 +1,79 @@
+//! Ablation study: each EfficientIMM optimization toggled off individually,
+//! on the web-Google and com-LJ analogues.
+//!
+//! Not a table in the paper, but DESIGN.md calls out each optimization as a
+//! separately justified design choice; this binary quantifies what each one
+//! contributes on the reproduction's workloads.
+
+use efficient_imm::{run_imm, Algorithm, EfficientFeatures, ExecutionConfig, ImmParams};
+use imm_bench::output::{fmt_seconds, results_dir, TextTable};
+use imm_bench::runner::weights_for;
+use imm_bench::{config, datasets};
+use imm_diffusion::DiffusionModel;
+use std::time::Instant;
+
+fn main() {
+    let scale = config::bench_scale();
+    let k = config::bench_k();
+    let eps = config::bench_epsilon();
+    let threads = *config::bench_threads().iter().max().unwrap_or(&8);
+
+    type FeatureTweak = Box<dyn Fn(&mut EfficientFeatures)>;
+    let variants: Vec<(&str, FeatureTweak)> = vec![
+        ("all optimizations", Box::new(|_f: &mut EfficientFeatures| {})),
+        ("no kernel fusion", Box::new(|f: &mut EfficientFeatures| f.kernel_fusion = false)),
+        (
+            "no adaptive representation",
+            Box::new(|f: &mut EfficientFeatures| f.adaptive_representation = false),
+        ),
+        (
+            "no adaptive counter update",
+            Box::new(|f: &mut EfficientFeatures| f.adaptive_counter_update = false),
+        ),
+        ("no dynamic balancing", Box::new(|f: &mut EfficientFeatures| f.dynamic_balancing = false)),
+        (
+            "none (naive set partitioning)",
+            Box::new(|f: &mut EfficientFeatures| *f = EfficientFeatures::none()),
+        ),
+    ];
+
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "Model",
+        "Variant",
+        "Wall time (s)",
+        "Selection span (ops)",
+        "RRR memory (MiB)",
+    ]);
+
+    for name in ["web-Google", "com-LJ"] {
+        let Some(spec) = datasets::find(scale, name) else { continue };
+        let dataset = spec.build();
+        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+            for (label, tweak) in &variants {
+                let mut exec = ExecutionConfig::new(Algorithm::Efficient, threads);
+                tweak(&mut exec.features);
+                let params = ImmParams::new(k, eps, model).with_seed(0xAB1A ^ spec.seed);
+                let start = Instant::now();
+                let result = run_imm(&dataset.graph, weights_for(&dataset, model), &params, &exec)
+                    .expect("valid parameters");
+                let wall = start.elapsed().as_secs_f64();
+                table.add_row(vec![
+                    spec.name.to_string(),
+                    model.short_name().to_uppercase(),
+                    label.to_string(),
+                    fmt_seconds(wall),
+                    result.breakdown.selection_work.max_thread_ops().to_string(),
+                    format!("{:.2}", result.breakdown.rrr_memory_bytes as f64 / (1024.0 * 1024.0)),
+                ]);
+            }
+            eprintln!("[ablation] {} {} done", spec.name, model.short_name());
+        }
+    }
+
+    println!("Ablation: EfficientIMM feature contributions ({threads} threads, k = {k}, eps = {eps})");
+    println!("{}", table.render());
+    let csv = results_dir().join("ablation_features.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

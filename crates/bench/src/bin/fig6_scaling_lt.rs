@@ -1,0 +1,9 @@
+//! Figure 6 — strong scaling of EfficientIMM normalized to 1-thread and
+//! 8-thread Ripples, Linear Threshold model, k = 50 (configurable), ε = 0.5.
+
+use imm_bench::scaling::scaling_figure;
+use imm_diffusion::DiffusionModel;
+
+fn main() {
+    scaling_figure(DiffusionModel::LinearThreshold, "fig6_scaling_lt");
+}

@@ -1,0 +1,10 @@
+//! Figure 7 — strong scaling of EfficientIMM normalized to 1-thread and
+//! 8-thread Ripples, Independent Cascade model, k = 50 (configurable),
+//! ε = 0.5.
+
+use imm_bench::scaling::scaling_figure;
+use imm_diffusion::DiffusionModel;
+
+fn main() {
+    scaling_figure(DiffusionModel::IndependentCascade, "fig7_scaling_ic");
+}

@@ -1,0 +1,65 @@
+//! Runtime configuration of the experiment binaries via environment
+//! variables, so the same binaries serve both quick smoke runs and the
+//! longer paper-style sweeps.
+//!
+//! | Variable             | Default       | Meaning                                   |
+//! |----------------------|---------------|-------------------------------------------|
+//! | `IMM_BENCH_K`        | `10`          | seeds per run (paper: 50)                 |
+//! | `IMM_BENCH_EPSILON`  | `0.5`         | IMM ε (paper: 0.5)                        |
+//! | `IMM_BENCH_SCALE`    | `small`       | dataset scale: `small` or `full`          |
+//! | `IMM_BENCH_THREADS`  | `1,2,4,8`     | thread counts for scaling sweeps          |
+//! | `IMM_RESULTS_DIR`    | `results`     | where CSV/JSON outputs are written        |
+
+use crate::datasets::Scale;
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Number of seeds `k` each benchmark run selects.
+pub fn bench_k() -> usize {
+    env_parse("IMM_BENCH_K", 10).max(1)
+}
+
+/// The ε used by every benchmark run.
+pub fn bench_epsilon() -> f64 {
+    let eps: f64 = env_parse("IMM_BENCH_EPSILON", 0.5);
+    if eps > 0.0 && eps < 1.0 {
+        eps
+    } else {
+        0.5
+    }
+}
+
+/// Dataset scale selector.
+pub fn bench_scale() -> Scale {
+    match std::env::var("IMM_BENCH_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+        "full" => Scale::Full,
+        _ => Scale::Small,
+    }
+}
+
+/// Thread counts used by the strong-scaling sweeps.
+pub fn bench_threads() -> Vec<usize> {
+    let raw = std::env::var("IMM_BENCH_THREADS").unwrap_or_else(|_| "1,2,4,8".to_string());
+    let mut out: Vec<usize> =
+        raw.split(',').filter_map(|p| p.trim().parse().ok()).filter(|&t| t > 0).collect();
+    if out.is_empty() {
+        out = vec![1, 2, 4, 8];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_without_env() {
+        assert!(bench_k() >= 1);
+        let eps = bench_epsilon();
+        assert!(eps > 0.0 && eps < 1.0);
+        assert!(!bench_threads().is_empty());
+        let _ = bench_scale();
+    }
+}

@@ -1,0 +1,272 @@
+//! Hand-rolled argument parsing (the workspace deliberately avoids pulling in
+//! a CLI framework; the flag surface is small).
+
+use efficient_imm::Algorithm;
+use imm_diffusion::DiffusionModel;
+
+/// Usage text printed on parse errors and by `help`.
+pub const USAGE: &str = "\
+efficient-imm — influence maximization (EfficientIMM / Ripples engines)
+
+USAGE:
+  efficient-imm generate --output <FILE> [--kind social|community|rmat|road]
+                         [--nodes <N>] [--avg-degree <D>] [--seed <S>]
+  efficient-imm run      (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
+                         [--algorithm efficientimm|ripples] [--k <K>]
+                         [--epsilon <E>] [--threads <T>] [--seed <S>]
+                         [--output <JSON>]
+  efficient-imm compare  (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
+                         [--k <K>] [--epsilon <E>] [--threads <T>]
+  efficient-imm stats    (--graph <FILE> | --dataset <NAME>) [--rrr-sets <N>]
+  efficient-imm help
+
+The --dataset name refers to the built-in SNAP analogues (com-Amazon,
+com-DBLP, com-YouTube, as-Skitter, web-Google, soc-Pokec, com-LJ, twitter7).";
+
+/// Which graph source a command reads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// SNAP-format edge-list file.
+    File(String),
+    /// Built-in registry dataset by name.
+    Dataset(String),
+}
+
+/// Parsed `generate` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateArgs {
+    /// Output path for the SNAP edge list.
+    pub output: String,
+    /// Generator family.
+    pub kind: String,
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Average degree.
+    pub avg_degree: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Parsed `run` / `compare` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Where the graph comes from.
+    pub source: GraphSource,
+    /// Diffusion model.
+    pub model: DiffusionModel,
+    /// Engine (ignored by `compare`, which runs both).
+    pub algorithm: Algorithm,
+    /// Number of seeds.
+    pub k: usize,
+    /// Approximation parameter.
+    pub epsilon: f64,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional JSON output path (stdout when absent).
+    pub output: Option<String>,
+}
+
+/// Parsed `stats` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsArgs {
+    /// Where the graph comes from.
+    pub source: GraphSource,
+    /// How many RRR sets to sample for the coverage columns.
+    pub rrr_sets: usize,
+}
+
+/// A fully parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `generate`
+    Generate(GenerateArgs),
+    /// `run`
+    Run(RunArgs),
+    /// `compare`
+    Compare(RunArgs),
+    /// `stats`
+    Stats(StatsArgs),
+    /// `help`
+    Help,
+}
+
+/// A flat `--flag value` map over the raw arguments.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(format!("unexpected argument '{flag}'"));
+            }
+            let value = args.get(i + 1).ok_or_else(|| format!("flag '{flag}' needs a value"))?;
+            pairs.push((flag, value.as_str()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(f, _)| *f == name).map(|(_, v)| *v)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value '{raw}' for {name}")),
+        }
+    }
+
+    fn source(&self) -> Result<GraphSource, String> {
+        match (self.get("--graph"), self.get("--dataset")) {
+            (Some(path), None) => Ok(GraphSource::File(path.to_string())),
+            (None, Some(name)) => Ok(GraphSource::Dataset(name.to_string())),
+            (Some(_), Some(_)) => Err("pass either --graph or --dataset, not both".into()),
+            (None, None) => Err("one of --graph or --dataset is required".into()),
+        }
+    }
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    let flags = Flags::parse(args)?;
+    let model = match flags.get("--model") {
+        None => DiffusionModel::IndependentCascade,
+        Some(raw) => DiffusionModel::parse(raw).ok_or(format!("unknown model '{raw}'"))?,
+    };
+    let algorithm = match flags.get("--algorithm").unwrap_or("efficientimm") {
+        "efficientimm" | "efficient" | "eimm" => Algorithm::Efficient,
+        "ripples" | "baseline" => Algorithm::Ripples,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    Ok(RunArgs {
+        source: flags.source()?,
+        model,
+        algorithm,
+        k: flags.get_parsed("--k", 50usize)?,
+        epsilon: flags.get_parsed("--epsilon", 0.5f64)?,
+        threads: flags.get_parsed("--threads", 4usize)?,
+        seed: flags.get_parsed("--seed", 0x5EEDu64)?,
+        output: flags.get("--output").map(|s| s.to_string()),
+    })
+}
+
+/// Parse the raw CLI arguments into a [`Command`].
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let flags = Flags::parse(rest)?;
+            Ok(Command::Generate(GenerateArgs {
+                output: flags
+                    .get("--output")
+                    .ok_or("generate requires --output")?
+                    .to_string(),
+                kind: flags.get("--kind").unwrap_or("social").to_string(),
+                nodes: flags.get_parsed("--nodes", 1_000usize)?,
+                avg_degree: flags.get_parsed("--avg-degree", 8usize)?,
+                seed: flags.get_parsed("--seed", 1u64)?,
+            }))
+        }
+        "run" => Ok(Command::Run(parse_run(rest)?)),
+        "compare" => Ok(Command::Compare(parse_run(rest)?)),
+        "stats" => {
+            let flags = Flags::parse(rest)?;
+            Ok(Command::Stats(StatsArgs {
+                source: flags.source()?,
+                rrr_sets: flags.get_parsed("--rrr-sets", 256usize)?,
+            }))
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_rejects_missing_subcommand() {
+        assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
+        assert!(parse(&[]).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_generate_with_defaults() {
+        let cmd = parse(&sv(&["generate", "--output", "g.txt"])).unwrap();
+        match cmd {
+            Command::Generate(g) => {
+                assert_eq!(g.output, "g.txt");
+                assert_eq!(g.kind, "social");
+                assert_eq!(g.nodes, 1_000);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&sv(&["generate"])).is_err(), "--output is required");
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = parse(&sv(&[
+            "run", "--dataset", "web-Google", "--model", "lt", "--algorithm", "ripples", "--k",
+            "5", "--epsilon", "0.3", "--threads", "2", "--seed", "9",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.source, GraphSource::Dataset("web-Google".into()));
+                assert_eq!(r.model, DiffusionModel::LinearThreshold);
+                assert_eq!(r.algorithm, Algorithm::Ripples);
+                assert_eq!(r.k, 5);
+                assert!((r.epsilon - 0.3).abs() < 1e-12);
+                assert_eq!(r.threads, 2);
+                assert_eq!(r.seed, 9);
+                assert!(r.output.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_exactly_one_source() {
+        assert!(parse(&sv(&["run", "--model", "ic"])).is_err());
+        assert!(parse(&sv(&[
+            "run", "--graph", "a.txt", "--dataset", "web-Google"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&sv(&["run", "--dataset", "x", "--k", "not-a-number"])).is_err());
+        assert!(parse(&sv(&["run", "--dataset", "x", "--model", "sir"])).is_err());
+        assert!(parse(&sv(&["run", "--dataset", "x", "--algorithm", "magic"])).is_err());
+        assert!(parse(&sv(&["run", "--dataset"])).is_err(), "dangling flag");
+    }
+
+    #[test]
+    fn parses_stats_and_compare() {
+        let cmd = parse(&sv(&["stats", "--graph", "g.txt", "--rrr-sets", "64"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats(StatsArgs { source: GraphSource::File("g.txt".into()), rrr_sets: 64 })
+        );
+        let cmd = parse(&sv(&["compare", "--dataset", "com-Amazon"])).unwrap();
+        assert!(matches!(cmd, Command::Compare(_)));
+    }
+}

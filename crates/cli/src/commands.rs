@@ -1,0 +1,299 @@
+//! Command implementations for the `efficient-imm` CLI.
+
+use crate::args::{Command, GenerateArgs, GraphSource, RunArgs, StatsArgs, USAGE};
+use efficient_imm::balance::Schedule;
+use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
+use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams, ImmResult};
+use imm_bench::datasets::{find, Scale};
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, WeightModel};
+use imm_rrr::AdaptivePolicy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Top-level error type: every failure is reported as a message string.
+pub type CliError = String;
+
+/// Execute a parsed command.
+pub fn execute(command: Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate(args) => generate(&args),
+        Command::Run(args) => run(&args),
+        Command::Compare(args) => compare(&args),
+        Command::Stats(args) => stats(&args),
+    }
+}
+
+fn generate(args: &GenerateArgs) -> Result<(), CliError> {
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let el = match args.kind.as_str() {
+        "social" => generators::social_network(args.nodes, args.avg_degree, 0.3, &mut rng),
+        "community" => {
+            let blocks = (args.nodes / 50).max(2);
+            generators::stochastic_block_model(&vec![args.nodes / blocks; blocks], 0.1, 0.001, &mut rng)
+        }
+        "rmat" => {
+            let scale = (args.nodes.max(2) as f64).log2().ceil() as u32;
+            generators::rmat(scale, args.avg_degree.max(1), generators::RmatParams::default(), &mut rng)
+        }
+        "road" => {
+            let side = (args.nodes as f64).sqrt().ceil() as usize;
+            generators::road_network(side, side, 0.03, &mut rng)
+        }
+        other => return Err(format!("unknown generator kind '{other}'")),
+    };
+    let file = std::fs::File::create(&args.output)
+        .map_err(|e| format!("cannot create {}: {e}", args.output))?;
+    io::write_snap_edge_list(file, &el, None).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges, kind = {})",
+        args.output,
+        el.num_nodes(),
+        el.num_edges(),
+        args.kind
+    );
+    Ok(())
+}
+
+/// Load a graph and build model weights for it from either source.
+fn load(source: &GraphSource, model: DiffusionModel, seed: u64) -> Result<(CsrGraph, EdgeWeights, String), CliError> {
+    match source {
+        GraphSource::File(path) => {
+            let (el, file_weights) = io::read_snap_file(path).map_err(|e| e.to_string())?;
+            let graph = CsrGraph::from_edge_list(&el);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let weights = match file_weights {
+                Some(w) => EdgeWeights::from_vec(&graph, w, WeightModel::Constant)
+                    .map_err(|e| e.to_string())?,
+                None => match model {
+                    DiffusionModel::IndependentCascade => {
+                        EdgeWeights::generate(&graph, WeightModel::IcUniform, 0.0, &mut rng)
+                    }
+                    DiffusionModel::LinearThreshold => {
+                        EdgeWeights::generate(&graph, WeightModel::LtNormalized, 0.0, &mut rng)
+                    }
+                },
+            };
+            Ok((graph, weights, path.clone()))
+        }
+        GraphSource::Dataset(name) => {
+            let spec = find(Scale::Small, name)
+                .ok_or_else(|| format!("unknown dataset '{name}' (see `efficient-imm help`)"))?;
+            let dataset = spec.build();
+            let weights = match model {
+                DiffusionModel::IndependentCascade => dataset.ic_weights,
+                DiffusionModel::LinearThreshold => dataset.lt_weights,
+            };
+            Ok((dataset.graph, weights, spec.name.to_string()))
+        }
+    }
+}
+
+fn result_json(name: &str, args: &RunArgs, algorithm: Algorithm, wall: f64, result: &ImmResult) -> serde_json::Value {
+    serde_json::json!({
+        "input": name,
+        "diffusion_model": args.model.short_name(),
+        "algorithm": algorithm.short_name(),
+        "k": args.k,
+        "epsilon": args.epsilon,
+        "threads": args.threads,
+        "wall_seconds": wall,
+        "generate_rrrsets_seconds": result.breakdown.timings.generate_rrrsets.as_secs_f64(),
+        "find_most_influential_seconds": result.breakdown.timings.find_most_influential.as_secs_f64(),
+        "theta": result.theta,
+        "rrr_memory_bytes": result.breakdown.rrr_memory_bytes,
+        "estimated_influence": result.estimated_influence,
+        "coverage_fraction": result.coverage_fraction,
+        "seeds": result.seeds,
+    })
+}
+
+fn run_one(args: &RunArgs, algorithm: Algorithm) -> Result<(serde_json::Value, f64), CliError> {
+    let (graph, weights, name) = load(&args.source, args.model, args.seed)?;
+    let params = ImmParams::new(args.k, args.epsilon, args.model).with_seed(args.seed);
+    let exec = ExecutionConfig::new(algorithm, args.threads);
+    let start = Instant::now();
+    let result = run_imm(&graph, &weights, &params, &exec).map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
+    Ok((result_json(&name, args, algorithm, wall, &result), wall))
+}
+
+fn run(args: &RunArgs) -> Result<(), CliError> {
+    let (json, _) = run_one(args, args.algorithm)?;
+    let rendered = serde_json::to_string_pretty(&json).expect("valid json");
+    match &args.output {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("run log written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn compare(args: &RunArgs) -> Result<(), CliError> {
+    let (ripples_json, ripples_wall) = run_one(args, Algorithm::Ripples)?;
+    let (efficient_json, efficient_wall) = run_one(args, Algorithm::Efficient)?;
+    let speedup = ripples_wall / efficient_wall.max(1e-9);
+    let combined = serde_json::json!({
+        "ripples": ripples_json,
+        "efficientimm": efficient_json,
+        "speedup": speedup,
+    });
+    println!("{}", serde_json::to_string_pretty(&combined).expect("valid json"));
+    eprintln!("EfficientIMM speedup over Ripples: {speedup:.2}x");
+    Ok(())
+}
+
+fn stats(args: &StatsArgs) -> Result<(), CliError> {
+    let (graph, weights, name) =
+        load(&args.source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
+    let scc = properties::strongly_connected_components(&graph);
+    let out_stats = properties::out_degree_stats(&graph);
+
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+    let cfg = SamplingConfig {
+        model: DiffusionModel::IndependentCascade,
+        rng_seed: 0xC0FFEE,
+        policy: AdaptivePolicy::default(),
+        schedule: Schedule::Dynamic { chunk: 16 },
+        threads: 4,
+        fused_counter: None,
+    };
+    let out = generate_rrr_sets(&graph, &weights, args.rrr_sets, 0, &cfg, &pool);
+    let coverage = out.sets.coverage_stats();
+
+    let json = serde_json::json!({
+        "input": name,
+        "nodes": graph.num_nodes(),
+        "edges": graph.num_edges(),
+        "out_degree": {
+            "max": out_stats.max,
+            "mean": out_stats.mean,
+            "p99": out_stats.p99,
+        },
+        "largest_scc_fraction": scc.largest_fraction(),
+        "num_sccs": scc.num_components(),
+        "rrr_sets_sampled": coverage.count,
+        "avg_rrr_coverage": coverage.avg_coverage,
+        "max_rrr_coverage": coverage.max_coverage,
+        "rrr_memory_bytes": coverage.memory_bytes,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("efficient_imm_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_then_run_round_trips_through_a_file() {
+        let graph_path = temp_path("cli_social.txt");
+        let out_path = temp_path("cli_run.json");
+        execute(Command::Generate(GenerateArgs {
+            output: graph_path.to_string_lossy().into_owned(),
+            kind: "social".into(),
+            nodes: 300,
+            avg_degree: 6,
+            seed: 3,
+        }))
+        .unwrap();
+        assert!(graph_path.exists());
+
+        execute(Command::Run(RunArgs {
+            source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
+            model: DiffusionModel::IndependentCascade,
+            algorithm: Algorithm::Efficient,
+            k: 3,
+            epsilon: 0.5,
+            threads: 2,
+            seed: 7,
+            output: Some(out_path.to_string_lossy().into_owned()),
+        }))
+        .unwrap();
+        let log: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(log["k"], 3);
+        assert_eq!(log["seeds"].as_array().unwrap().len(), 3);
+        assert!(log["theta"].as_u64().unwrap() > 0);
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&out_path).ok();
+    }
+
+    #[test]
+    fn run_on_registry_dataset_works() {
+        execute(Command::Run(RunArgs {
+            source: GraphSource::Dataset("as-Skitter".into()),
+            model: DiffusionModel::LinearThreshold,
+            algorithm: Algorithm::Ripples,
+            k: 2,
+            epsilon: 0.5,
+            threads: 1,
+            seed: 7,
+            output: None,
+        }))
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_generator_are_reported() {
+        let err = execute(Command::Run(RunArgs {
+            source: GraphSource::Dataset("no-such-graph".into()),
+            model: DiffusionModel::IndependentCascade,
+            algorithm: Algorithm::Efficient,
+            k: 2,
+            epsilon: 0.5,
+            threads: 1,
+            seed: 7,
+            output: None,
+        }))
+        .unwrap_err();
+        assert!(err.contains("unknown dataset"));
+
+        let err = execute(Command::Generate(GenerateArgs {
+            output: temp_path("never.txt").to_string_lossy().into_owned(),
+            kind: "quantum".into(),
+            nodes: 10,
+            avg_degree: 2,
+            seed: 1,
+        }))
+        .unwrap_err();
+        assert!(err.contains("unknown generator"));
+    }
+
+    #[test]
+    fn stats_command_runs_on_generated_file() {
+        let graph_path = temp_path("cli_stats.txt");
+        execute(Command::Generate(GenerateArgs {
+            output: graph_path.to_string_lossy().into_owned(),
+            kind: "road".into(),
+            nodes: 100,
+            avg_degree: 4,
+            seed: 5,
+        }))
+        .unwrap();
+        execute(Command::Stats(StatsArgs {
+            source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
+            rrr_sets: 32,
+        }))
+        .unwrap();
+        std::fs::remove_file(&graph_path).ok();
+    }
+
+    #[test]
+    fn help_prints_without_error() {
+        execute(Command::Help).unwrap();
+    }
+}

@@ -1,0 +1,37 @@
+//! `efficient-imm` — command-line interface for the EfficientIMM
+//! reproduction, mirroring the paper artifact's run scripts.
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic SNAP-analogue graph as a SNAP-format
+//!   edge-list file.
+//! * `run` — run IMM (either engine) on a graph file or a registry dataset
+//!   and print a JSON run log (seeds, runtime breakdown, θ).
+//! * `compare` — run both engines on the same input and print the speedup.
+//! * `stats` — print graph statistics and RRR-set coverage (the Table I
+//!   columns) for an input.
+//!
+//! Run `efficient-imm help` for the full flag list.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(command) => match commands::execute(command) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The shared global occurrence counter and its parallel max reduction.
+//!
+//! This is the heart of EfficientIMM's new parallelization strategy
+//! (Algorithm 2 of the paper): instead of per-thread counters over vertex
+//! partitions, all threads scatter atomic increments into a single
+//! `counter[v]` array, and the most influential vertex is found by a
+//! two-level parallel reduction (per-range regional maxima, then a global
+//! maximum over the regional results).
+//!
+//! The atomic used is a 64-bit fetch-add with relaxed ordering, which on
+//! x86-64 compiles to the same `lock`-prefixed read-modify-write on a single
+//! quadword that the paper highlights (`lock incq`/`lock xaddq`): only the
+//! touched counter's cache line is locked, so unrelated counters never
+//! contend.
+
+use crate::NodeId;
+use imm_graph::block_ranges;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-vertex occurrence counter with concurrent updates.
+#[derive(Debug)]
+pub struct GlobalCounter {
+    counts: Vec<AtomicU64>,
+}
+
+impl GlobalCounter {
+    /// Zero-initialized counter for `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        let mut counts = Vec::with_capacity(num_nodes);
+        counts.resize_with(num_nodes, || AtomicU64::new(0));
+        GlobalCounter { counts }
+    }
+
+    /// Build from plain values (used to snapshot/restore around selections).
+    pub fn from_values(values: &[u64]) -> Self {
+        GlobalCounter { counts: values.iter().map(|&v| AtomicU64::new(v)).collect() }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the counter is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Atomically increment the counter of `v` (relaxed ordering — counts are
+    /// only read after the parallel section joins, so no ordering beyond the
+    /// RMW atomicity is needed).
+    #[inline]
+    pub fn increment(&self, v: NodeId) {
+        self.counts[v as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Atomically decrement the counter of `v` (saturating at zero to guard
+    /// against double-decrements from overlapping covered sets).
+    #[inline]
+    pub fn decrement(&self, v: NodeId) {
+        let cell = &self.counts[v as usize];
+        let mut current = cell.load(Ordering::Relaxed);
+        while current > 0 {
+            match cell.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Read one counter.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> u64 {
+        self.counts[v as usize].load(Ordering::Relaxed)
+    }
+
+    /// Overwrite one counter.
+    #[inline]
+    pub fn set(&self, v: NodeId, value: u64) {
+        self.counts[v as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Reset every counter to zero (parallel).
+    pub fn reset(&self) {
+        self.counts.par_iter().for_each(|c| c.store(0, Ordering::Relaxed));
+    }
+
+    /// Snapshot the counters into a plain vector.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Copy the values of another counter of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_from(&self, other: &GlobalCounter) {
+        assert_eq!(self.len(), other.len(), "counter length mismatch");
+        self.counts
+            .par_iter()
+            .zip(other.counts.par_iter())
+            .for_each(|(dst, src)| dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed));
+    }
+
+    /// Two-level parallel argmax (the paper's `PARALLEL_REDUCTION`):
+    /// the vertex range is split into `parts` contiguous regions, each region
+    /// produces its regional maximum in parallel, and the global maximum is
+    /// reduced over the regional results. Ties break toward the smaller
+    /// vertex id so results are deterministic.
+    ///
+    /// Returns `None` only for an empty counter.
+    pub fn parallel_argmax(&self, parts: usize) -> Option<(NodeId, u64)> {
+        if self.counts.is_empty() {
+            return None;
+        }
+        let ranges = block_ranges(self.counts.len(), parts.max(1));
+        ranges
+            .into_par_iter()
+            .filter(|r| !r.is_empty())
+            .map(|r| {
+                let mut best_v = r.start;
+                let mut best_c = self.counts[r.start].load(Ordering::Relaxed);
+                for idx in r.iter().skip(1) {
+                    let c = self.counts[idx].load(Ordering::Relaxed);
+                    if c > best_c {
+                        best_c = c;
+                        best_v = idx;
+                    }
+                }
+                (best_v as NodeId, best_c)
+            })
+            .reduce_with(|a, b| {
+                // Higher count wins; ties go to the smaller vertex id.
+                if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) {
+                    b
+                } else {
+                    a
+                }
+            })
+    }
+
+    /// Sequential argmax (reference implementation used in tests and by the
+    /// single-threaded paths).
+    pub fn sequential_argmax(&self) -> Option<(NodeId, u64)> {
+        let mut best: Option<(NodeId, u64)> = None;
+        for (idx, cell) in self.counts.iter().enumerate() {
+            let c = cell.load(Ordering::Relaxed);
+            if best.map(|(_, bc)| c > bc).unwrap_or(true) {
+                best = Some((idx as NodeId, c));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn increment_decrement_get() {
+        let c = GlobalCounter::new(5);
+        c.increment(3);
+        c.increment(3);
+        c.increment(1);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(0), 0);
+        c.decrement(3);
+        assert_eq!(c.get(3), 1);
+        // Saturating at zero.
+        c.decrement(0);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn reset_and_snapshot() {
+        let c = GlobalCounter::new(4);
+        c.increment(0);
+        c.increment(2);
+        assert_eq!(c.snapshot(), vec![1, 0, 1, 0]);
+        c.reset();
+        assert_eq!(c.snapshot(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn from_values_and_copy_from() {
+        let a = GlobalCounter::from_values(&[5, 3, 9]);
+        assert_eq!(a.get(2), 9);
+        let b = GlobalCounter::new(3);
+        b.copy_from(&a);
+        assert_eq!(b.snapshot(), vec![5, 3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_rejects_length_mismatch() {
+        GlobalCounter::new(2).copy_from(&GlobalCounter::new(3));
+    }
+
+    #[test]
+    fn argmax_finds_unique_maximum() {
+        let c = GlobalCounter::from_values(&[3, 7, 2, 7, 9, 1]);
+        assert_eq!(c.parallel_argmax(4), Some((4, 9)));
+        assert_eq!(c.sequential_argmax(), Some((4, 9)));
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_smaller_id() {
+        let c = GlobalCounter::from_values(&[1, 5, 5, 5]);
+        assert_eq!(c.parallel_argmax(3), Some((1, 5)));
+        assert_eq!(c.sequential_argmax(), Some((1, 5)));
+        // Also when parts > len.
+        assert_eq!(c.parallel_argmax(16), Some((1, 5)));
+    }
+
+    #[test]
+    fn argmax_of_empty_counter_is_none() {
+        let c = GlobalCounter::new(0);
+        assert_eq!(c.parallel_argmax(4), None);
+        assert_eq!(c.sequential_argmax(), None);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = GlobalCounter::new(8);
+        let increments_per_thread = 10_000u64;
+        rayon::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for i in 0..increments_per_thread {
+                        c.increment((i % 8) as NodeId);
+                    }
+                });
+            }
+        });
+        let total: u64 = c.snapshot().iter().sum();
+        assert_eq!(total, 4 * increments_per_thread);
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_argmax_matches_sequential(values in proptest::collection::vec(0u64..1000, 1..200), parts in 1usize..16) {
+            let c = GlobalCounter::from_values(&values);
+            prop_assert_eq!(c.parallel_argmax(parts), c.sequential_argmax());
+        }
+
+        #[test]
+        fn argmax_value_is_the_true_maximum(values in proptest::collection::vec(0u64..1000, 1..100)) {
+            let c = GlobalCounter::from_values(&values);
+            let (v, count) = c.parallel_argmax(4).unwrap();
+            prop_assert_eq!(count, *values.iter().max().unwrap());
+            prop_assert_eq!(values[v as usize], count);
+        }
+    }
+}

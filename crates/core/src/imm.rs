@@ -1,0 +1,314 @@
+//! The full IMM workflow (Algorithm 1 of the paper): the martingale sampling
+//! phase that determines θ, followed by the final seed selection.
+
+use crate::balance::Schedule;
+use crate::counter::GlobalCounter;
+use crate::math;
+use crate::params::{Algorithm, ExecutionConfig, ImmParams};
+use crate::sampling::{generate_rrr_sets, SamplingConfig};
+use crate::selection::select_seeds;
+use crate::stats::RuntimeBreakdown;
+use crate::NodeId;
+use imm_graph::{CsrGraph, EdgeWeights};
+use imm_rrr::{CoverageStats, RrrCollection};
+use std::time::Instant;
+
+/// Errors returned by [`run_imm`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImmError {
+    /// The parameters do not fit the graph (k too large, ε out of range, …).
+    InvalidParameters(String),
+}
+
+impl std::fmt::Display for ImmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImmError::InvalidParameters(msg) => write!(f, "invalid IMM parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ImmError {}
+
+/// The outcome of one IMM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImmResult {
+    /// The `k` selected seeds, most influential first.
+    pub seeds: Vec<NodeId>,
+    /// Estimated influence spread `n · F(S)` of the seed set.
+    pub estimated_influence: f64,
+    /// Fraction of RRR sets covered by the seed set.
+    pub coverage_fraction: f64,
+    /// Final number of RRR sets (θ) the guarantee was established with.
+    pub theta: usize,
+    /// Per-kernel timings, work profiles and memory accounting.
+    pub breakdown: RuntimeBreakdown,
+    /// RRR-set statistics (the paper's Table I columns).
+    pub rrr_stats: CoverageStats,
+    /// Which engine produced the result.
+    pub algorithm: Algorithm,
+    /// Number of worker threads used.
+    pub threads: usize,
+}
+
+/// Run the complete IMM workflow on `graph` with the given parameters and
+/// execution configuration.
+///
+/// Both engines execute the same statistical procedure (Tang et al.'s
+/// sampling/selection phases with identical θ schedules and RNG streams);
+/// they differ only in how the two kernels are parallelized, so their seed
+/// sets for the same input coincide up to ties.
+pub fn run_imm(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    params: &ImmParams,
+    exec: &ExecutionConfig,
+) -> Result<ImmResult, ImmError> {
+    params
+        .validate(graph.num_nodes())
+        .map_err(ImmError::InvalidParameters)?;
+
+    let pool = exec.build_pool();
+    let n = graph.num_nodes();
+    let k = params.k;
+    let ell = math::adjusted_ell(params.ell, n);
+    let epsilon = params.epsilon;
+
+    let mut breakdown = RuntimeBreakdown::default();
+    let schedule = if exec.features.dynamic_balancing {
+        Schedule::Dynamic { chunk: exec.job_chunk.max(1) }
+    } else {
+        Schedule::Static
+    };
+    let policy = exec.features.representation_policy();
+
+    // The fused counter accumulates occurrence counts as sets are generated
+    // (EfficientIMM's kernel fusion); the Ripples engine never uses it.
+    let use_fusion = exec.algorithm == Algorithm::Efficient && exec.features.kernel_fusion;
+    let fused_counter = if use_fusion { Some(GlobalCounter::new(n)) } else { None };
+
+    let mut sets = RrrCollection::new(n);
+    let mut lower_bound = 1.0f64;
+    let mut converged = false;
+
+    // Sampling phase: geometrically growing θ until the greedy solution on
+    // the current sample certifies a lower bound on OPT.
+    let iterations = math::sampling_iterations(n);
+    for i in 1..=iterations {
+        let target = math::theta_for_iteration(n, k, epsilon, ell, i);
+        if target > sets.len() {
+            let missing = target - sets.len();
+            let t0 = Instant::now();
+            let out = generate_rrr_sets(
+                graph,
+                weights,
+                missing,
+                sets.len(),
+                &SamplingConfig {
+                    model: params.model,
+                    rng_seed: params.rng_seed,
+                    policy,
+                    schedule,
+                    threads: exec.threads,
+                    fused_counter: fused_counter.as_ref(),
+                },
+                &pool,
+            );
+            breakdown.timings.generate_rrrsets += t0.elapsed();
+            breakdown.sampling_work.merge(&out.work);
+            sets.extend_from(out.sets);
+        }
+        breakdown.sampling_iterations = i;
+
+        let t0 = Instant::now();
+        let selection = select_seeds(&sets, k, exec, &pool, fused_counter.as_ref());
+        breakdown.timings.find_most_influential += t0.elapsed();
+        breakdown.selection_work.merge(&selection.work);
+        breakdown.counter_rebuilds += selection.counter_rebuilds;
+        breakdown.counter_decrements += selection.counter_decrements;
+
+        if math::sampling_converged(n, selection.coverage_fraction, epsilon, i) {
+            lower_bound = math::opt_lower_bound(n, selection.coverage_fraction, epsilon);
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // Fall back to the weakest admissible bound (OPT >= k for any graph
+        // with at least k vertices reached by their own RRR sets).
+        lower_bound = k as f64;
+    }
+
+    // Final phase: top up to θ = λ* / LB sets and select the final seeds.
+    let t_other = Instant::now();
+    let theta = math::final_theta(n, k, epsilon, ell, lower_bound);
+    breakdown.timings.other += t_other.elapsed();
+
+    if theta > sets.len() {
+        let missing = theta - sets.len();
+        let t0 = Instant::now();
+        let out = generate_rrr_sets(
+            graph,
+            weights,
+            missing,
+            sets.len(),
+            &SamplingConfig {
+                model: params.model,
+                rng_seed: params.rng_seed,
+                policy,
+                schedule,
+                threads: exec.threads,
+                fused_counter: fused_counter.as_ref(),
+            },
+            &pool,
+        );
+        breakdown.timings.generate_rrrsets += t0.elapsed();
+        breakdown.sampling_work.merge(&out.work);
+        sets.extend_from(out.sets);
+    }
+
+    let t0 = Instant::now();
+    let selection = select_seeds(&sets, k, exec, &pool, fused_counter.as_ref());
+    breakdown.timings.find_most_influential += t0.elapsed();
+    breakdown.selection_work.merge(&selection.work);
+    breakdown.counter_rebuilds += selection.counter_rebuilds;
+    breakdown.counter_decrements += selection.counter_decrements;
+
+    breakdown.rrr_sets_generated = sets.len();
+    breakdown.rrr_memory_bytes = sets.memory_bytes();
+    let rrr_stats = sets.coverage_stats();
+
+    Ok(ImmResult {
+        estimated_influence: n as f64 * selection.coverage_fraction,
+        coverage_fraction: selection.coverage_fraction,
+        seeds: selection.seeds,
+        theta: sets.len(),
+        breakdown,
+        rrr_stats,
+        algorithm: exec.algorithm,
+        threads: exec.threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imm_diffusion::DiffusionModel;
+    use imm_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_social_graph(n: usize, seed: u64) -> (CsrGraph, EdgeWeights) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = CsrGraph::from_edge_list(&generators::social_network(n, 6, 0.3, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        (g, w)
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let (g, w) = small_social_graph(100, 1);
+        let params = ImmParams::new(1_000, 0.5, DiffusionModel::IndependentCascade);
+        let exec = ExecutionConfig::new(Algorithm::Efficient, 1);
+        assert!(matches!(run_imm(&g, &w, &params, &exec), Err(ImmError::InvalidParameters(_))));
+    }
+
+    #[test]
+    fn returns_k_distinct_high_value_seeds() {
+        let (g, w) = small_social_graph(400, 2);
+        let params = ImmParams::new(8, 0.5, DiffusionModel::IndependentCascade).with_seed(3);
+        let exec = ExecutionConfig::new(Algorithm::Efficient, 2);
+        let result = run_imm(&g, &w, &params, &exec).unwrap();
+        assert_eq!(result.seeds.len(), 8);
+        let unique: std::collections::HashSet<_> = result.seeds.iter().collect();
+        assert_eq!(unique.len(), 8, "seeds must be distinct on a graph this large");
+        assert!(result.estimated_influence > 8.0, "seeds must reach beyond themselves");
+        assert!(result.theta > 0);
+        assert!(result.breakdown.rrr_sets_generated >= result.theta);
+        assert!(result.coverage_fraction > 0.0 && result.coverage_fraction <= 1.0);
+    }
+
+    #[test]
+    fn both_engines_find_seed_sets_of_equivalent_quality() {
+        let (g, w) = small_social_graph(300, 4);
+        let params = ImmParams::new(5, 0.5, DiffusionModel::IndependentCascade).with_seed(11);
+        let ripples =
+            run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Ripples, 2)).unwrap();
+        let efficient =
+            run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Efficient, 2)).unwrap();
+        // Identical sampling streams and greedy tie-breaking => identical
+        // seed sets.
+        assert_eq!(ripples.seeds, efficient.seeds);
+        assert!((ripples.coverage_fraction - efficient.coverage_fraction).abs() < 1e-9);
+        assert_eq!(ripples.theta, efficient.theta);
+    }
+
+    #[test]
+    fn results_are_reproducible_across_thread_counts() {
+        let (g, w) = small_social_graph(250, 5);
+        let params = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade).with_seed(21);
+        let a = run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Efficient, 1)).unwrap();
+        let b = run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Efficient, 4)).unwrap();
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.theta, b.theta);
+    }
+
+    #[test]
+    fn linear_threshold_model_works_end_to_end() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = CsrGraph::from_edge_list(&generators::social_network(300, 6, 0.3, &mut rng));
+        let w = EdgeWeights::lt_normalized(&g, &mut rng);
+        let params = ImmParams::new(5, 0.5, DiffusionModel::LinearThreshold).with_seed(9);
+        let exec = ExecutionConfig::new(Algorithm::Efficient, 2);
+        let result = run_imm(&g, &w, &params, &exec).unwrap();
+        assert_eq!(result.seeds.len(), 5);
+        assert!(result.estimated_influence >= 5.0);
+    }
+
+    #[test]
+    fn star_graph_selects_the_hub_first() {
+        // Directed star (hub -> leaves) with certain activation: the hub's
+        // RRR presence dominates, so it must be the first seed.
+        let n = 60usize;
+        let el = imm_graph::EdgeList::from_pairs(n, (1..n as u32).map(|i| (0u32, i)));
+        let g = CsrGraph::from_edge_list(&el);
+        let w = EdgeWeights::constant(&g, 1.0);
+        let params = ImmParams::new(1, 0.5, DiffusionModel::IndependentCascade).with_seed(13);
+        for algorithm in [Algorithm::Ripples, Algorithm::Efficient] {
+            let result =
+                run_imm(&g, &w, &params, &ExecutionConfig::new(algorithm, 2)).unwrap();
+            assert_eq!(result.seeds, vec![0], "{algorithm:?} must select the hub");
+            assert!((result.coverage_fraction - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn kernel_fusion_does_not_change_results() {
+        let (g, w) = small_social_graph(200, 7);
+        let params = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade).with_seed(31);
+        let mut fused_cfg = ExecutionConfig::new(Algorithm::Efficient, 2);
+        fused_cfg.features.kernel_fusion = true;
+        let mut unfused_cfg = fused_cfg;
+        unfused_cfg.features.kernel_fusion = false;
+        let fused = run_imm(&g, &w, &params, &fused_cfg).unwrap();
+        let unfused = run_imm(&g, &w, &params, &unfused_cfg).unwrap();
+        assert_eq!(fused.seeds, unfused.seeds);
+        assert_eq!(fused.theta, unfused.theta);
+    }
+
+    #[test]
+    fn breakdown_records_nonzero_activity() {
+        let (g, w) = small_social_graph(200, 8);
+        let params = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade).with_seed(17);
+        let result =
+            run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Efficient, 2)).unwrap();
+        let b = &result.breakdown;
+        assert!(b.sampling_iterations >= 1);
+        assert!(b.sampling_work.total_ops() > 0);
+        assert!(b.selection_work.total_ops() > 0);
+        assert!(b.rrr_memory_bytes > 0);
+        assert!(b.total_time().as_nanos() > 0);
+        assert!(result.rrr_stats.count == result.theta);
+        assert!(result.rrr_stats.avg_coverage > 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Algorithm parameters and execution configuration.
+
+use imm_diffusion::DiffusionModel;
+use imm_numa::{PlacementPolicy, Topology};
+use imm_rrr::AdaptivePolicy;
+
+/// The IMM problem parameters (what to solve).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ImmParams {
+    /// Number of seeds to select (the paper uses `k = 50` throughout).
+    pub k: usize,
+    /// Approximation parameter ε of the `(1 - 1/e - ε)` guarantee
+    /// (the paper uses `ε = 0.5`).
+    pub epsilon: f64,
+    /// Confidence exponent ℓ: the guarantee holds with probability at least
+    /// `1 - 1/n^ℓ` (IMM's default is 1).
+    pub ell: f64,
+    /// Diffusion model the RRR sets are sampled under.
+    pub model: DiffusionModel,
+    /// Base RNG seed; every RRR set derives its own stream from this, so runs
+    /// are reproducible for any thread count.
+    pub rng_seed: u64,
+}
+
+impl ImmParams {
+    /// Parameters with the paper's defaults for `ell` (1.0) and a fixed seed.
+    pub fn new(k: usize, epsilon: f64, model: DiffusionModel) -> Self {
+        ImmParams { k, epsilon, ell: 1.0, model, rng_seed: 0x5EED }
+    }
+
+    /// The configuration used in the paper's evaluation: `k = 50, ε = 0.5`.
+    pub fn paper_defaults(model: DiffusionModel) -> Self {
+        ImmParams::new(50, 0.5, model)
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Replace ℓ.
+    pub fn with_ell(mut self, ell: f64) -> Self {
+        self.ell = ell;
+        self
+    }
+
+    /// Validate the parameters against a graph of `num_nodes` vertices.
+    pub fn validate(&self, num_nodes: usize) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if num_nodes == 0 {
+            return Err("graph has no vertices".into());
+        }
+        if self.k > num_nodes {
+            return Err(format!("k = {} exceeds the number of vertices ({num_nodes})", self.k));
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(format!("epsilon must be in (0, 1), got {}", self.epsilon));
+        }
+        if self.ell <= 0.0 {
+            return Err(format!("ell must be positive, got {}", self.ell));
+        }
+        Ok(())
+    }
+}
+
+/// Which parallel engine executes the workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Algorithm {
+    /// The Ripples baseline: vertex-partitioned counting, sorted RRR sets,
+    /// separate kernels.
+    Ripples,
+    /// EfficientIMM: RRR-set partitioning, shared atomic counter, kernel
+    /// fusion and the adaptive optimizations.
+    Efficient,
+}
+
+impl Algorithm {
+    /// Short name used in benchmark output (`"ripples"` / `"efficientimm"`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Algorithm::Ripples => "ripples",
+            Algorithm::Efficient => "efficientimm",
+        }
+    }
+}
+
+/// Feature toggles for the EfficientIMM engine; each corresponds to one of
+/// the paper's optimizations and can be disabled for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EfficientFeatures {
+    /// Fuse RRR-set generation with the initial counter update (§IV-B,
+    /// Algorithm 3).
+    pub kernel_fusion: bool,
+    /// Adaptive sorted-list / bitmap RRR-set representation (§IV-C).
+    pub adaptive_representation: bool,
+    /// Adaptive decrement-vs-rebuild counter update after each selected seed
+    /// (§IV-C, Figure 5).
+    pub adaptive_counter_update: bool,
+    /// Dynamic producer-consumer job balancing instead of static chunking
+    /// (§IV-C).
+    pub dynamic_balancing: bool,
+    /// Fraction of alive RRR sets covered by the newly selected seed above
+    /// which the counter is rebuilt instead of decremented (only meaningful
+    /// when `adaptive_counter_update` is on).
+    pub rebuild_threshold: f64,
+}
+
+impl Default for EfficientFeatures {
+    fn default() -> Self {
+        EfficientFeatures {
+            kernel_fusion: true,
+            adaptive_representation: true,
+            adaptive_counter_update: true,
+            dynamic_balancing: true,
+            rebuild_threshold: 0.5,
+        }
+    }
+}
+
+impl EfficientFeatures {
+    /// Every optimization disabled (the "naive RRR-set-partitioned" engine
+    /// used as the ablation floor).
+    pub fn none() -> Self {
+        EfficientFeatures {
+            kernel_fusion: false,
+            adaptive_representation: false,
+            adaptive_counter_update: false,
+            dynamic_balancing: false,
+            rebuild_threshold: 0.5,
+        }
+    }
+
+    /// The RRR-set representation policy implied by the flags.
+    pub fn representation_policy(&self) -> AdaptivePolicy {
+        if self.adaptive_representation {
+            AdaptivePolicy::default()
+        } else {
+            AdaptivePolicy::always_sorted()
+        }
+    }
+}
+
+/// How the workflow is executed: engine, parallelism, features and the
+/// modelled NUMA placement used by the instrumented kernels.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionConfig {
+    /// Which engine runs the two kernels.
+    pub algorithm: Algorithm,
+    /// Number of worker threads (a dedicated rayon pool of this size is used,
+    /// so different configs can coexist in one process).
+    pub threads: usize,
+    /// EfficientIMM feature toggles (ignored by the Ripples engine).
+    pub features: EfficientFeatures,
+    /// Modelled machine topology for the NUMA-instrumented runs.
+    pub topology: Topology,
+    /// Modelled placement of the shared structures (graph, RRR sets, global
+    /// counter) for the NUMA-instrumented runs.
+    pub placement: PlacementPolicy,
+    /// Chunk size (in RRR sets or vertices) of a dynamically balanced job.
+    pub job_chunk: usize,
+}
+
+impl ExecutionConfig {
+    /// Configuration with default features, an interleaved 8-node topology
+    /// model and the given engine/thread count.
+    pub fn new(algorithm: Algorithm, threads: usize) -> Self {
+        ExecutionConfig {
+            algorithm,
+            threads: threads.max(1),
+            features: match algorithm {
+                Algorithm::Ripples => EfficientFeatures::none(),
+                Algorithm::Efficient => EfficientFeatures::default(),
+            },
+            topology: Topology::perlmutter_node(),
+            placement: PlacementPolicy::Interleaved,
+            job_chunk: 64,
+        }
+    }
+
+    /// Replace the feature flags.
+    pub fn with_features(mut self, features: EfficientFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Replace the modelled topology/placement.
+    pub fn with_numa(mut self, topology: Topology, placement: PlacementPolicy) -> Self {
+        self.topology = topology;
+        self.placement = placement;
+        self
+    }
+
+    /// Build the rayon thread pool this configuration asks for.
+    pub fn build_pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.threads)
+            .thread_name(|i| format!("imm-worker-{i}"))
+            .build()
+            .expect("failed to build rayon thread pool")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_the_evaluation_setup() {
+        let p = ImmParams::paper_defaults(DiffusionModel::IndependentCascade);
+        assert_eq!(p.k, 50);
+        assert!((p.epsilon - 0.5).abs() < 1e-12);
+        assert!((p.ell - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let model = DiffusionModel::IndependentCascade;
+        assert!(ImmParams::new(0, 0.5, model).validate(100).is_err());
+        assert!(ImmParams::new(5, 0.5, model).validate(0).is_err());
+        assert!(ImmParams::new(500, 0.5, model).validate(100).is_err());
+        assert!(ImmParams::new(5, 0.0, model).validate(100).is_err());
+        assert!(ImmParams::new(5, 1.5, model).validate(100).is_err());
+        assert!(ImmParams::new(5, 0.5, model).with_ell(0.0).validate(100).is_err());
+        assert!(ImmParams::new(5, 0.5, model).validate(100).is_ok());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let p = ImmParams::new(3, 0.3, DiffusionModel::LinearThreshold)
+            .with_seed(99)
+            .with_ell(2.0);
+        assert_eq!(p.rng_seed, 99);
+        assert!((p.ell - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_config_defaults_follow_algorithm() {
+        let ripples = ExecutionConfig::new(Algorithm::Ripples, 4);
+        assert!(!ripples.features.kernel_fusion);
+        let eff = ExecutionConfig::new(Algorithm::Efficient, 4);
+        assert!(eff.features.kernel_fusion);
+        assert!(eff.features.adaptive_counter_update);
+        assert_eq!(eff.threads, 4);
+        // Zero threads is clamped to one.
+        assert_eq!(ExecutionConfig::new(Algorithm::Efficient, 0).threads, 1);
+    }
+
+    #[test]
+    fn representation_policy_follows_flag() {
+        let adaptive = EfficientFeatures::default().representation_policy();
+        assert!(adaptive.density_threshold < 1.0);
+        let sorted = EfficientFeatures::none().representation_policy();
+        assert!(sorted.density_threshold > 1.0);
+    }
+
+    #[test]
+    fn build_pool_has_requested_parallelism() {
+        let cfg = ExecutionConfig::new(Algorithm::Efficient, 3);
+        let pool = cfg.build_pool();
+        assert_eq!(pool.current_num_threads(), 3);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Algorithm::Ripples.short_name(), "ripples");
+        assert_eq!(Algorithm::Efficient.short_name(), "efficientimm");
+    }
+}

@@ -1,0 +1,441 @@
+//! `Generate_RRRsets`: reverse influence sampling for the IC and LT models.
+//!
+//! Every RRR set is rooted at a uniformly chosen vertex and collects the
+//! vertices that would have *influenced* the root under one random
+//! realization of the diffusion model:
+//!
+//! * **IC** — a reverse probabilistic BFS: each in-edge `(u, v)` of a reached
+//!   vertex `v` is crossed with probability `p_uv`.
+//! * **LT** — a reverse random walk: at each reached vertex, at most one
+//!   in-neighbor is picked with probability proportional to its edge weight
+//!   (stopping with the leftover probability), matching the live-edge
+//!   characterization of the LT model.
+//!
+//! The parallel driver generates `count` sets with per-set RNG streams
+//! derived from the base seed and the set's global index, so results are
+//! identical for any thread count or schedule. When the EfficientIMM kernel
+//! fusion is enabled the freshly generated set immediately increments the
+//! shared [`GlobalCounter`] (Algorithm 3 of the paper) while it is still hot
+//! in cache.
+
+use crate::balance::{run_jobs, Schedule};
+use crate::counter::GlobalCounter;
+use crate::stats::WorkProfile;
+use crate::NodeId;
+use imm_diffusion::DiffusionModel;
+use imm_graph::{CsrGraph, EdgeWeights};
+use imm_rrr::{AdaptivePolicy, RrrCollection, RrrSet};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Epoch-stamped visited marker reused across RRR-set generations by one
+/// worker, so each set costs O(set size) rather than O(|V|) to reset.
+#[derive(Debug, Clone)]
+pub struct VisitMarker {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitMarker {
+    /// Marker for a graph of `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        VisitMarker { stamps: vec![0; num_nodes], epoch: 0 }
+    }
+
+    /// Start a fresh visitation (cheap: bumps the epoch; only wraps rarely).
+    pub fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap-around: clear and restart from epoch 1.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Whether `v` was visited in the current epoch.
+    #[inline]
+    pub fn visited(&self, v: NodeId) -> bool {
+        self.stamps[v as usize] == self.epoch
+    }
+
+    /// Mark `v` visited; returns `true` if it was not yet visited.
+    #[inline]
+    pub fn visit(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.stamps[v as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Generate one RRR set rooted at `root`. Returns the reached vertices in
+/// visitation order (the root first). `marker` must cover the graph and is
+/// reset internally.
+pub fn generate_rrr_set<R: Rng + ?Sized>(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    model: DiffusionModel,
+    root: NodeId,
+    rng: &mut R,
+    marker: &mut VisitMarker,
+) -> Vec<NodeId> {
+    marker.next_epoch();
+    match model {
+        DiffusionModel::IndependentCascade => ic_reverse_bfs(graph, weights, root, rng, marker),
+        DiffusionModel::LinearThreshold => lt_reverse_walk(graph, weights, root, rng, marker),
+    }
+}
+
+fn ic_reverse_bfs<R: Rng + ?Sized>(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    root: NodeId,
+    rng: &mut R,
+    marker: &mut VisitMarker,
+) -> Vec<NodeId> {
+    let mut set = Vec::with_capacity(16);
+    let mut queue = std::collections::VecDeque::with_capacity(16);
+    marker.visit(root);
+    set.push(root);
+    queue.push_back(root);
+
+    while let Some(v) = queue.pop_front() {
+        for (u, eid) in graph.in_neighbors_with_edge_ids(v) {
+            if !marker.visited(u) && rng.gen::<f32>() < weights.weight(eid) {
+                marker.visit(u);
+                set.push(u);
+                queue.push_back(u);
+            }
+        }
+    }
+    set
+}
+
+fn lt_reverse_walk<R: Rng + ?Sized>(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    root: NodeId,
+    rng: &mut R,
+    marker: &mut VisitMarker,
+) -> Vec<NodeId> {
+    let mut set = Vec::with_capacity(8);
+    marker.visit(root);
+    set.push(root);
+    let mut current = root;
+
+    loop {
+        // Pick at most one in-neighbor with probability equal to its edge
+        // weight; the remaining mass (1 - Σ w) stops the walk.
+        let mut draw = rng.gen::<f32>();
+        let mut picked: Option<NodeId> = None;
+        for (u, eid) in graph.in_neighbors_with_edge_ids(current) {
+            let w = weights.weight(eid);
+            if draw < w {
+                picked = Some(u);
+                break;
+            }
+            draw -= w;
+        }
+        match picked {
+            Some(u) => {
+                if !marker.visit(u) {
+                    // Already in the set: the live-edge path closed a cycle.
+                    break;
+                }
+                set.push(u);
+                current = u;
+            }
+            None => break,
+        }
+    }
+    set
+}
+
+/// Result of a bulk sampling call.
+#[derive(Debug)]
+pub struct SamplingOutput {
+    /// The generated sets (appended to whatever collection was passed in).
+    pub sets: RrrCollection,
+    /// Per-thread operation counts of the generation (edge probes + counter
+    /// updates when fused).
+    pub work: WorkProfile,
+}
+
+/// Options controlling a bulk sampling call.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingConfig<'a> {
+    /// Diffusion model to sample under.
+    pub model: DiffusionModel,
+    /// Base RNG seed (per-set streams are derived from it).
+    pub rng_seed: u64,
+    /// RRR-set representation policy.
+    pub policy: AdaptivePolicy,
+    /// Job schedule for distributing sets across workers.
+    pub schedule: Schedule,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// When set, every generated set immediately increments this counter —
+    /// the paper's kernel fusion.
+    pub fused_counter: Option<&'a GlobalCounter>,
+}
+
+/// Generate `count` RRR sets (with global indices starting at `start_index`
+/// for RNG-stream purposes) on `pool`.
+pub fn generate_rrr_sets(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    count: usize,
+    start_index: usize,
+    config: &SamplingConfig<'_>,
+    pool: &rayon::ThreadPool,
+) -> SamplingOutput {
+    let threads = config.threads.max(1);
+    let num_nodes = graph.num_nodes();
+    let per_worker_sets: Vec<Mutex<RrrCollection>> =
+        (0..threads).map(|_| Mutex::new(RrrCollection::new(num_nodes))).collect();
+    let per_worker_ops: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let atomic_ops = AtomicU64::new(0);
+
+    run_jobs(pool, threads, count, config.schedule, |worker, range| {
+        let mut marker = VisitMarker::new(num_nodes);
+        let mut local_ops = 0u64;
+        let mut local = Vec::with_capacity(range.len());
+        for job in range.iter() {
+            let set_index = start_index + job;
+            let mut rng = rng_for_set(config.rng_seed, set_index);
+            let root = rng.gen_range(0..num_nodes as u32);
+            let vertices = generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
+            local_ops += vertices.len() as u64;
+            if let Some(counter) = config.fused_counter {
+                for &v in &vertices {
+                    counter.increment(v);
+                }
+                atomic_ops.fetch_add(vertices.len() as u64, Ordering::Relaxed);
+            }
+            local.push(RrrSet::from_vertices(vertices, num_nodes, &config.policy));
+        }
+        per_worker_ops[worker].fetch_add(local_ops, Ordering::Relaxed);
+        let mut guard = per_worker_sets[worker].lock();
+        for set in local {
+            guard.push(set);
+        }
+    });
+
+    let mut sets = RrrCollection::with_capacity(num_nodes, count);
+    for slot in per_worker_sets {
+        sets.extend_from(slot.into_inner());
+    }
+    let work = WorkProfile {
+        per_thread_ops: per_worker_ops.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+        atomic_ops: atomic_ops.load(Ordering::Relaxed),
+        search_probes: 0,
+    };
+    SamplingOutput { sets, work }
+}
+
+/// Derive the RNG stream of one RRR set from the base seed and the set's
+/// global index (SplitMix64-style mixing).
+pub fn rng_for_set(base_seed: u64, set_index: usize) -> SmallRng {
+    let mut z = base_seed
+        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(set_index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imm_graph::generators;
+    use imm_graph::WeightModel;
+
+    fn pool(threads: usize) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap()
+    }
+
+    fn config(model: DiffusionModel, threads: usize) -> SamplingConfig<'static> {
+        SamplingConfig {
+            model,
+            rng_seed: 42,
+            policy: AdaptivePolicy::default(),
+            schedule: Schedule::Dynamic { chunk: 8 },
+            threads,
+            fused_counter: None,
+        }
+    }
+
+    #[test]
+    fn visit_marker_epochs() {
+        let mut m = VisitMarker::new(10);
+        m.next_epoch();
+        assert!(m.visit(3));
+        assert!(!m.visit(3));
+        assert!(m.visited(3));
+        m.next_epoch();
+        assert!(!m.visited(3));
+        assert!(m.visit(3));
+    }
+
+    #[test]
+    fn ic_rrr_set_contains_root_and_only_reverse_reachable_vertices() {
+        // Path 0 -> 1 -> 2 -> 3 with probability 1: the RRR set of root v is
+        // exactly {0, ..., v}.
+        let g = CsrGraph::from_edge_list(&generators::path(4));
+        let w = EdgeWeights::constant(&g, 1.0);
+        let mut marker = VisitMarker::new(4);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for root in 0..4u32 {
+            let mut set = generate_rrr_set(
+                &g,
+                &w,
+                DiffusionModel::IndependentCascade,
+                root,
+                &mut rng,
+                &mut marker,
+            );
+            set.sort_unstable();
+            let expected: Vec<u32> = (0..=root).collect();
+            assert_eq!(set, expected, "root {root}");
+        }
+    }
+
+    #[test]
+    fn ic_zero_probability_gives_singleton_sets() {
+        let g = CsrGraph::from_edge_list(&generators::complete(10));
+        let w = EdgeWeights::constant(&g, 0.0);
+        let mut marker = VisitMarker::new(10);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let set =
+            generate_rrr_set(&g, &w, DiffusionModel::IndependentCascade, 4, &mut rng, &mut marker);
+        assert_eq!(set, vec![4]);
+    }
+
+    #[test]
+    fn lt_walk_follows_weights() {
+        // 0 -> 2 with weight 1.0 and 1 -> 2 with weight 0.0: from root 2 the
+        // walk must always step to 0 and never to 1.
+        let g = CsrGraph::from_edges(3, vec![(0, 2), (1, 2)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![1.0, 0.0], WeightModel::LtNormalized).unwrap();
+        let mut marker = VisitMarker::new(3);
+        for seed in 0..20 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let set =
+                generate_rrr_set(&g, &w, DiffusionModel::LinearThreshold, 2, &mut rng, &mut marker);
+            assert!(set.contains(&0));
+            assert!(!set.contains(&1));
+        }
+    }
+
+    #[test]
+    fn lt_walk_terminates_on_cycles() {
+        // A directed cycle with full weights would loop forever without the
+        // visited check.
+        let g = CsrGraph::from_edge_list(&generators::cycle(5));
+        let w = EdgeWeights::constant(&g, 1.0);
+        let mut marker = VisitMarker::new(5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let set =
+            generate_rrr_set(&g, &w, DiffusionModel::LinearThreshold, 0, &mut rng, &mut marker);
+        assert_eq!(set.len(), 5, "walk must visit each cycle vertex exactly once");
+    }
+
+    #[test]
+    fn bulk_generation_produces_requested_count() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = CsrGraph::from_edge_list(&generators::social_network(300, 6, 0.2, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        let p = pool(2);
+        let out = generate_rrr_sets(&g, &w, 200, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        assert_eq!(out.sets.len(), 200);
+        assert!(out.work.total_ops() >= 200, "at least the roots are touched");
+        assert_eq!(out.work.per_thread_ops.len(), 2);
+    }
+
+    #[test]
+    fn bulk_generation_is_deterministic_across_thread_counts_and_schedules() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = CsrGraph::from_edge_list(&generators::social_network(200, 6, 0.2, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+
+        let collect_sorted = |threads: usize, schedule: Schedule| -> Vec<Vec<NodeId>> {
+            let p = pool(threads);
+            let mut cfg = config(DiffusionModel::IndependentCascade, threads);
+            cfg.schedule = schedule;
+            let out = generate_rrr_sets(&g, &w, 100, 0, &cfg, &p);
+            let mut sets: Vec<Vec<NodeId>> = out.sets.iter().map(|s| s.to_vec()).collect();
+            sets.sort();
+            sets
+        };
+
+        let a = collect_sorted(1, Schedule::Static);
+        let b = collect_sorted(4, Schedule::Dynamic { chunk: 3 });
+        let c = collect_sorted(2, Schedule::Static);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn fused_counter_matches_set_contents() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = CsrGraph::from_edge_list(&generators::social_network(150, 6, 0.2, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        let counter = GlobalCounter::new(g.num_nodes());
+        let p = pool(2);
+        let mut cfg = config(DiffusionModel::IndependentCascade, 2);
+        cfg.fused_counter = Some(&counter);
+        let out = generate_rrr_sets(&g, &w, 80, 0, &cfg, &p);
+
+        // Recompute occurrence counts from the materialized sets.
+        let mut expected = vec![0u64; g.num_nodes()];
+        for set in out.sets.iter() {
+            for v in set.iter() {
+                expected[v as usize] += 1;
+            }
+        }
+        assert_eq!(counter.snapshot(), expected);
+        assert!(out.work.atomic_ops > 0);
+    }
+
+    #[test]
+    fn start_index_changes_the_sampled_sets() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = CsrGraph::from_edge_list(&generators::social_network(150, 6, 0.2, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        let p = pool(1);
+        let cfg = config(DiffusionModel::IndependentCascade, 1);
+        let a = generate_rrr_sets(&g, &w, 50, 0, &cfg, &p);
+        let b = generate_rrr_sets(&g, &w, 50, 50, &cfg, &p);
+        let a_sets: Vec<Vec<NodeId>> = a.sets.iter().map(|s| s.to_vec()).collect();
+        let b_sets: Vec<Vec<NodeId>> = b.sets.iter().map(|s| s.to_vec()).collect();
+        assert_ne!(a_sets, b_sets, "different global indices must give different streams");
+    }
+
+    #[test]
+    fn zero_count_is_a_no_op() {
+        let g = CsrGraph::from_edge_list(&generators::star(10));
+        let w = EdgeWeights::constant(&g, 0.5);
+        let p = pool(2);
+        let out = generate_rrr_sets(&g, &w, 0, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        assert_eq!(out.sets.len(), 0);
+        assert_eq!(out.work.total_ops(), 0);
+    }
+
+    #[test]
+    fn dense_graph_under_ic_produces_giant_rrr_sets() {
+        // The paper's SCC argument: on a strongly connected social graph with
+        // reasonably high probabilities, RRR sets cover a large fraction.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = CsrGraph::from_edge_list(&generators::social_network(400, 10, 0.3, &mut rng));
+        let w = EdgeWeights::constant(&g, 0.3);
+        let p = pool(2);
+        let out = generate_rrr_sets(&g, &w, 50, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        let stats = out.sets.coverage_stats();
+        assert!(stats.max_coverage > 0.5, "max coverage {}", stats.max_coverage);
+    }
+}

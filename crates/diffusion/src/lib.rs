@@ -1,0 +1,19 @@
+//! # imm-diffusion
+//!
+//! Diffusion-model substrate: forward simulation of the Independent Cascade
+//! (IC) and Linear Threshold (LT) processes and Monte-Carlo estimation of the
+//! influence spread `σ(S)`.
+//!
+//! The IMM algorithm itself never runs a forward cascade — it works entirely
+//! on reverse-reachable sets — but forward simulation is the ground truth the
+//! whole construction approximates, so the reproduction uses it to
+//! (a) validate that the seeds chosen by both selection kernels have the
+//! influence the RRR estimator claims they do, and (b) sanity-check that
+//! EfficientIMM's optimizations do not change solution quality, which the
+//! paper asserts ("without sacrificing the accuracy").
+
+pub mod model;
+pub mod simulate;
+
+pub use model::DiffusionModel;
+pub use simulate::{monte_carlo_spread, simulate_ic, simulate_lt, simulate_spread, SpreadEstimate};

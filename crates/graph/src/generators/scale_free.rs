@@ -1,0 +1,257 @@
+//! Scale-free generators: Barabási–Albert preferential attachment, R-MAT and
+//! a composite "social network" generator that combines community structure
+//! with a preferential-attachment backbone and tunable edge reciprocity.
+//!
+//! These produce the heavy-tailed degree distributions and giant strongly
+//! connected components that the paper's motivation section identifies as the
+//! source of dense RRR sets.
+
+use crate::edge_list::EdgeList;
+use crate::NodeId;
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// existing vertices chosen proportionally to their current degree. Emitted
+/// as a symmetric directed graph.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> EdgeList {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    let mut el = EdgeList::with_nodes(n);
+    if n == 0 {
+        return el;
+    }
+    let seed = (m + 1).min(n);
+    // Seed clique so early vertices have non-zero degree.
+    for i in 0..seed {
+        for j in (i + 1)..seed {
+            el.push(i as NodeId, j as NodeId);
+            el.push(j as NodeId, i as NodeId);
+        }
+    }
+    // Repeated-endpoint list: choosing a uniform element is degree-
+    // proportional selection.
+    let mut endpoints: Vec<NodeId> = el.iter().map(|(s, _)| s).collect();
+
+    for v in seed..n {
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..v) as NodeId
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target as usize != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for t in chosen {
+            el.push(v as NodeId, t);
+            el.push(t, v as NodeId);
+            endpoints.push(v as NodeId);
+            endpoints.push(t);
+        }
+    }
+    el.ensure_nodes(n);
+    el.dedup();
+    el
+}
+
+/// R-MAT recursive-matrix generator parameters (the Graph500 partition
+/// probabilities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant (`1 - a - b - c`).
+    pub d: f64,
+    /// Per-level noise applied to the quadrant probabilities, producing less
+    /// regular (more realistic) degree distributions.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // Graph500 defaults.
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, d: 0.05, noise: 0.1 }
+    }
+}
+
+/// R-MAT graph with `2^scale` vertices and `edge_factor * 2^scale` directed
+/// edges. Duplicate edges and self-loops are removed, so the final count is
+/// slightly lower.
+pub fn rmat<R: Rng + ?Sized>(
+    scale: u32,
+    edge_factor: usize,
+    params: RmatParams,
+    rng: &mut R,
+) -> EdgeList {
+    let n = 1usize << scale;
+    let target_edges = edge_factor * n;
+    let mut el = EdgeList::with_capacity(n, target_edges);
+    for _ in 0..target_edges {
+        let (mut x_lo, mut x_hi) = (0usize, n);
+        let (mut y_lo, mut y_hi) = (0usize, n);
+        for _ in 0..scale {
+            // Jitter the quadrant probabilities a little at each level.
+            let mut jitter = |p: f64| {
+                let f = 1.0 + params.noise * (rng.gen::<f64>() - 0.5);
+                (p * f).max(0.0)
+            };
+            let (a, b, c, d) = (jitter(params.a), jitter(params.b), jitter(params.c), jitter(params.d));
+            let total = a + b + c + d;
+            let r = rng.gen::<f64>() * total;
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let x_mid = (x_lo + x_hi) / 2;
+            let y_mid = (y_lo + y_hi) / 2;
+            if right {
+                y_lo = y_mid;
+            } else {
+                y_hi = y_mid;
+            }
+            if down {
+                x_lo = x_mid;
+            } else {
+                x_hi = x_mid;
+            }
+        }
+        el.push(x_lo as NodeId, y_lo as NodeId);
+    }
+    el.ensure_nodes(n);
+    el.remove_self_loops();
+    el.dedup();
+    el
+}
+
+/// Composite social-network generator used for the SNAP-dataset analogues.
+///
+/// The graph is built in three layers:
+///
+/// 1. a Barabási–Albert backbone giving the heavy-tailed degree distribution,
+/// 2. a sprinkling of random "long-range" directed edges (fraction controlled
+///    by `extra_edge_fraction` of the backbone size) so the graph is not
+///    bipartite-ish and mixes quickly,
+/// 3. symmetric backbone edges (the BA layer is already symmetric) which —
+///    together with layer 2 — produce a single giant SCC covering most of the
+///    graph, the property that drives the paper's dense-RRR-set behaviour.
+///
+/// `avg_degree` controls the BA attachment count (`m = avg_degree / 2`).
+pub fn social_network<R: Rng + ?Sized>(
+    n: usize,
+    avg_degree: usize,
+    extra_edge_fraction: f64,
+    rng: &mut R,
+) -> EdgeList {
+    assert!(avg_degree >= 2, "average degree must be at least 2");
+    let m = (avg_degree / 2).max(1);
+    let mut el = barabasi_albert(n, m, rng);
+    let extra = ((el.num_edges() as f64) * extra_edge_fraction) as usize;
+    for _ in 0..extra {
+        let s = rng.gen_range(0..n) as NodeId;
+        let d = rng.gen_range(0..n) as NodeId;
+        if s != d {
+            el.push(s, d);
+        }
+    }
+    el.dedup();
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use crate::properties;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ba_has_expected_edge_count_scale() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 1_000;
+        let m = 4;
+        let el = barabasi_albert(n, m, &mut rng);
+        // Roughly 2*m*n directed edges (symmetric), minus seed-clique slack.
+        let edges = el.num_edges();
+        assert!(edges > m * n, "too few edges: {edges}");
+        assert!(edges < 3 * m * n, "too many edges: {edges}");
+    }
+
+    #[test]
+    fn ba_is_symmetric() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let el = barabasi_albert(300, 3, &mut rng);
+        let edges: std::collections::HashSet<_> = el.iter().collect();
+        for &(s, d) in &edges {
+            assert!(edges.contains(&(d, s)));
+        }
+    }
+
+    #[test]
+    fn ba_is_connected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let el = barabasi_albert(500, 2, &mut rng);
+        let g = CsrGraph::from_edge_list(&el);
+        assert!((properties::largest_wcc_fraction(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ba_single_node() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let el = barabasi_albert(1, 2, &mut rng);
+        assert_eq!(el.num_nodes(), 1);
+        assert_eq!(el.num_edges(), 0);
+    }
+
+    #[test]
+    fn rmat_vertex_count_is_power_of_two() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let el = rmat(8, 4, RmatParams::default(), &mut rng);
+        assert_eq!(el.num_nodes(), 256);
+        assert!(el.num_edges() > 0);
+        assert!(el.num_edges() <= 4 * 256);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let el = rmat(10, 8, RmatParams::default(), &mut rng);
+        let g = CsrGraph::from_edge_list(&el);
+        let stats = properties::out_degree_stats(&g);
+        assert!(stats.max > 20, "R-MAT max degree should be large, got {}", stats.max);
+    }
+
+    #[test]
+    fn rmat_has_no_self_loops_or_duplicates() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let el = rmat(7, 6, RmatParams::default(), &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for (s, d) in el.iter() {
+            assert_ne!(s, d);
+            assert!(seen.insert((s, d)), "duplicate edge ({s},{d})");
+        }
+    }
+
+    #[test]
+    fn social_network_has_giant_scc_and_skew() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let el = social_network(3_000, 8, 0.25, &mut rng);
+        let g = CsrGraph::from_edge_list(&el);
+        let scc = properties::strongly_connected_components(&g);
+        assert!(scc.largest_fraction() > 0.6, "fraction {}", scc.largest_fraction());
+        let stats = properties::out_degree_stats(&g);
+        assert!(stats.max as f64 > 5.0 * stats.mean);
+    }
+}

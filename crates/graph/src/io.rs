@@ -1,0 +1,258 @@
+//! Graph I/O: SNAP-style edge-list text files and a compact binary format.
+//!
+//! The SNAP text format is what the paper's datasets ship as: one `src dst`
+//! (optionally `src dst weight`) pair per line, `#`-prefixed comment lines,
+//! arbitrary whitespace. The binary format is a simple little-endian dump
+//! used by the benchmark harness to cache generated analogues between runs.
+
+use crate::edge_list::EdgeList;
+use crate::{GraphError, NodeId};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Parse a SNAP-style edge list from a reader.
+///
+/// Returns the edge list and, if any line carried a third column, the parsed
+/// per-edge weights (in the same order as the edges).
+pub fn read_snap_edge_list<R: Read>(
+    reader: R,
+) -> Result<(EdgeList, Option<Vec<f32>>), GraphError> {
+    let reader = BufReader::new(reader);
+    let mut el = EdgeList::default();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut any_weight = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let src: u64 = parse_field(parts.next(), lineno + 1, "source")?;
+        let dst: u64 = parse_field(parts.next(), lineno + 1, "destination")?;
+        if src > u32::MAX as u64 || dst > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("vertex id {} exceeds u32 range", src.max(dst)),
+            });
+        }
+        el.push(src as NodeId, dst as NodeId);
+        match parts.next() {
+            Some(w) => {
+                let w: f32 = w.parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid weight '{w}'"),
+                })?;
+                any_weight = true;
+                weights.push(w);
+            }
+            None => weights.push(1.0),
+        }
+    }
+
+    Ok((el, if any_weight { Some(weights) } else { None }))
+}
+
+fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u64, GraphError> {
+    let raw = field.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} vertex"),
+    })?;
+    raw.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("invalid {what} vertex '{raw}'"),
+    })
+}
+
+/// Read a SNAP edge-list file from disk.
+pub fn read_snap_file(path: impl AsRef<Path>) -> Result<(EdgeList, Option<Vec<f32>>), GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_snap_edge_list(file)
+}
+
+/// Write an edge list in SNAP text format. If `weights` is given it must have
+/// one entry per edge.
+pub fn write_snap_edge_list<W: Write>(
+    writer: W,
+    edge_list: &EdgeList,
+    weights: Option<&[f32]>,
+) -> Result<(), GraphError> {
+    if let Some(w) = weights {
+        if w.len() != edge_list.num_edges() {
+            return Err(GraphError::WeightLengthMismatch {
+                expected: edge_list.num_edges(),
+                actual: w.len(),
+            });
+        }
+    }
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# Nodes: {} Edges: {}", edge_list.num_nodes(), edge_list.num_edges())?;
+    for (i, (s, d)) in edge_list.iter().enumerate() {
+        match weights {
+            Some(w) => writeln!(out, "{s}\t{d}\t{}", w[i])?,
+            None => writeln!(out, "{s}\t{d}")?,
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"IMMGRAPH";
+
+/// Write the compact binary format: magic, node count, edge count, then
+/// `(u32 src, u32 dst, f32 weight)` triples.
+pub fn write_binary<W: Write>(
+    writer: W,
+    edge_list: &EdgeList,
+    weights: &[f32],
+) -> Result<(), GraphError> {
+    if weights.len() != edge_list.num_edges() {
+        return Err(GraphError::WeightLengthMismatch {
+            expected: edge_list.num_edges(),
+            actual: weights.len(),
+        });
+    }
+    let mut out = BufWriter::new(writer);
+    out.write_all(BINARY_MAGIC)?;
+    out.write_all(&(edge_list.num_nodes() as u64).to_le_bytes())?;
+    out.write_all(&(edge_list.num_edges() as u64).to_le_bytes())?;
+    for (i, (s, d)) in edge_list.iter().enumerate() {
+        out.write_all(&s.to_le_bytes())?;
+        out.write_all(&d.to_le_bytes())?;
+        out.write_all(&weights[i].to_le_bytes())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Read the compact binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> Result<(EdgeList, Vec<f32>), GraphError> {
+    let mut reader = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Parse { line: 0, message: "bad magic in binary graph".into() });
+    }
+    let mut buf8 = [0u8; 8];
+    reader.read_exact(&mut buf8)?;
+    let num_nodes = u64::from_le_bytes(buf8) as usize;
+    reader.read_exact(&mut buf8)?;
+    let num_edges = u64::from_le_bytes(buf8) as usize;
+
+    let mut el = EdgeList::with_capacity(num_nodes, num_edges);
+    let mut weights = Vec::with_capacity(num_edges);
+    let mut rec = [0u8; 12];
+    for _ in 0..num_edges {
+        reader.read_exact(&mut rec)?;
+        let src = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+        let dst = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+        let w = f32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+        el.push(src, dst);
+        weights.push(w);
+    }
+    el.ensure_nodes(num_nodes);
+    Ok((el, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_snap_text_with_comments_and_blank_lines() {
+        let text = "# Directed graph\n# Nodes: 4 Edges: 3\n\n0\t1\n1 2\n  3   0  \n";
+        let (el, w) = read_snap_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.num_nodes(), 4);
+        assert!(w.is_none());
+        let edges: Vec<_> = el.iter().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn parses_weights_when_present() {
+        let text = "0 1 0.5\n1 2 0.25\n";
+        let (el, w) = read_snap_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_edges(), 2);
+        let w = w.unwrap();
+        assert!((w[0] - 0.5).abs() < 1e-6);
+        assert!((w[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let res = read_snap_edge_list("0 x\n".as_bytes());
+        assert!(matches!(res, Err(GraphError::Parse { line: 1, .. })));
+
+        let res = read_snap_edge_list("0\n".as_bytes());
+        assert!(matches!(res, Err(GraphError::Parse { .. })));
+
+        let res = read_snap_edge_list("0 1 notaweight\n".as_bytes());
+        assert!(matches!(res, Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_ids_beyond_u32() {
+        let res = read_snap_edge_list("0 5000000000\n".as_bytes());
+        assert!(matches!(res, Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn snap_round_trip() {
+        let el = EdgeList::from_pairs(5, vec![(0, 1), (2, 3), (4, 0)]);
+        let mut buf = Vec::new();
+        write_snap_edge_list(&mut buf, &el, None).unwrap();
+        let (parsed, w) = read_snap_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.edges(), el.edges());
+        assert!(w.is_none());
+    }
+
+    #[test]
+    fn snap_round_trip_with_weights() {
+        let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let weights = vec![0.125f32, 0.75];
+        let mut buf = Vec::new();
+        write_snap_edge_list(&mut buf, &el, Some(&weights)).unwrap();
+        let (parsed, w) = read_snap_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.edges(), el.edges());
+        assert_eq!(w.unwrap(), weights);
+    }
+
+    #[test]
+    fn snap_write_rejects_weight_mismatch() {
+        let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let res = write_snap_edge_list(Vec::new(), &el, Some(&[0.5]));
+        assert!(matches!(res, Err(GraphError::WeightLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let el = EdgeList::from_pairs(10, vec![(0, 9), (3, 4), (7, 2)]);
+        let weights = vec![0.1f32, 0.2, 0.3];
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &el, &weights).unwrap();
+        let (parsed, w) = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(parsed.edges(), el.edges());
+        assert_eq!(parsed.num_nodes(), 10);
+        assert_eq!(w, weights);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let res = read_binary(&b"NOTMAGIC\x00\x00"[..]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("imm_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.txt");
+        let el = EdgeList::from_pairs(3, vec![(0, 1), (1, 2)]);
+        write_snap_edge_list(std::fs::File::create(&path).unwrap(), &el, None).unwrap();
+        let (parsed, _) = read_snap_file(&path).unwrap();
+        assert_eq!(parsed.edges(), el.edges());
+        std::fs::remove_file(&path).ok();
+    }
+}

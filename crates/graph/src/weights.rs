@@ -1,0 +1,270 @@
+//! Edge-weight models for the IC and LT diffusion models.
+//!
+//! The paper prepares its datasets as follows (§V-A):
+//!
+//! * **IC**: every edge gets an independent activation probability drawn
+//!   uniformly from `[0, 1]`.
+//! * **LT**: in-edge weights of each vertex are normalized so that the
+//!   probability of activating one in-neighbor or activating none sums to
+//!   one, i.e. `Σ_u w_{uv} ≤ 1` for every `v`.
+//!
+//! We also provide the *weighted cascade* model (`p_{uv} = 1/in_degree(v)`)
+//! commonly used in the IM literature (Kempe et al. 2003), since it is the
+//! default in several IMM implementations and is useful for tests whose
+//! expected behaviour must not depend on RNG draws.
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, NodeId};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// How edge weights/probabilities are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WeightModel {
+    /// Independent Cascade with uniform-random `[0,1]` probabilities
+    /// (the paper's IC preparation).
+    IcUniform,
+    /// Independent Cascade, weighted cascade: `p_{uv} = 1 / in_degree(v)`.
+    IcWeightedCascade,
+    /// Linear Threshold: in-weights of every vertex normalized to sum to at
+    /// most one; the remaining mass is the probability that nothing activates
+    /// the vertex in a step (the paper's LT preparation).
+    LtNormalized,
+    /// Every edge gets the same constant probability.
+    Constant,
+}
+
+/// Per-edge weights stored in forward-edge-id order (the order
+/// [`CsrGraph::edges`] yields and `in_neighbors_with_edge_ids` indexes into).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeWeights {
+    weights: Vec<f32>,
+    model: WeightModel,
+}
+
+impl EdgeWeights {
+    /// Generate weights for `graph` under `model`.
+    ///
+    /// `constant` is only used by [`WeightModel::Constant`]; pass anything
+    /// (e.g. `0.0`) otherwise.
+    pub fn generate<R: Rng + ?Sized>(
+        graph: &CsrGraph,
+        model: WeightModel,
+        constant: f32,
+        rng: &mut R,
+    ) -> Self {
+        match model {
+            WeightModel::IcUniform => Self::ic_uniform(graph, rng),
+            WeightModel::IcWeightedCascade => Self::ic_weighted_cascade(graph),
+            WeightModel::LtNormalized => Self::lt_normalized(graph, rng),
+            WeightModel::Constant => Self::constant(graph, constant),
+        }
+    }
+
+    /// Uniform `[0,1]` probability per edge (paper's IC preparation).
+    pub fn ic_uniform<R: Rng + ?Sized>(graph: &CsrGraph, rng: &mut R) -> Self {
+        let dist = Uniform::new_inclusive(0.0f32, 1.0f32);
+        let weights = (0..graph.num_edges()).map(|_| dist.sample(rng)).collect();
+        EdgeWeights { weights, model: WeightModel::IcUniform }
+    }
+
+    /// Weighted cascade: `p_{uv} = 1 / in_degree(v)`.
+    pub fn ic_weighted_cascade(graph: &CsrGraph) -> Self {
+        let mut weights = vec![0.0f32; graph.num_edges()];
+        for v in 0..graph.num_nodes() as NodeId {
+            let indeg = graph.in_degree(v);
+            if indeg == 0 {
+                continue;
+            }
+            let w = 1.0 / indeg as f32;
+            for (_, eid) in graph.in_neighbors_with_edge_ids(v) {
+                weights[eid] = w;
+            }
+        }
+        EdgeWeights { weights, model: WeightModel::IcWeightedCascade }
+    }
+
+    /// LT preparation: draw a raw positive weight per in-edge, then normalize
+    /// each vertex's in-weights by a factor chosen so the total is a random
+    /// fraction of one — the leftover mass is the per-step probability of no
+    /// activation, matching the paper's "activating a neighbor or activating
+    /// none sum to one".
+    pub fn lt_normalized<R: Rng + ?Sized>(graph: &CsrGraph, rng: &mut R) -> Self {
+        let mut weights = vec![0.0f32; graph.num_edges()];
+        let raw_dist = Uniform::new(0.05f32, 1.0f32);
+        for v in 0..graph.num_nodes() as NodeId {
+            let indeg = graph.in_degree(v);
+            if indeg == 0 {
+                continue;
+            }
+            let raws: Vec<f32> =
+                (0..indeg).map(|_| raw_dist.sample(rng)).collect();
+            let total: f32 = raws.iter().sum();
+            // Total activation mass given to neighbors; the rest is "none".
+            let mass: f32 = rng.gen_range(0.5f32..1.0f32);
+            for ((_, eid), raw) in graph.in_neighbors_with_edge_ids(v).zip(raws) {
+                weights[eid] = raw / total * mass;
+            }
+        }
+        EdgeWeights { weights, model: WeightModel::LtNormalized }
+    }
+
+    /// Same constant probability on every edge.
+    pub fn constant(graph: &CsrGraph, p: f32) -> Self {
+        EdgeWeights { weights: vec![p; graph.num_edges()], model: WeightModel::Constant }
+    }
+
+    /// Wrap an existing weight vector (must be in forward-edge-id order).
+    pub fn from_vec(
+        graph: &CsrGraph,
+        weights: Vec<f32>,
+        model: WeightModel,
+    ) -> Result<Self, GraphError> {
+        if weights.len() != graph.num_edges() {
+            return Err(GraphError::WeightLengthMismatch {
+                expected: graph.num_edges(),
+                actual: weights.len(),
+            });
+        }
+        if let Some((i, &w)) = weights
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| !(0.0..=1.0).contains(&w) || w.is_nan())
+        {
+            return Err(GraphError::InvalidWeight { edge_index: i, value: w });
+        }
+        Ok(EdgeWeights { weights, model })
+    }
+
+    /// Weight of the forward edge `edge_id`.
+    #[inline]
+    pub fn weight(&self, edge_id: usize) -> f32 {
+        self.weights[edge_id]
+    }
+
+    /// All weights in forward-edge-id order.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Number of weighted edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether there are no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Which model generated these weights.
+    #[inline]
+    pub fn model(&self) -> WeightModel {
+        self.model
+    }
+
+    /// Sum of in-edge weights of `v` (must be ≤ 1 for a valid LT instance).
+    pub fn in_weight_sum(&self, graph: &CsrGraph, v: NodeId) -> f32 {
+        graph
+            .in_neighbors_with_edge_ids(v)
+            .map(|(_, eid)| self.weights[eid])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> CsrGraph {
+        let el = generators::erdos_renyi(200, 0.03, true, &mut SmallRng::seed_from_u64(7));
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn ic_uniform_weights_are_probabilities() {
+        let g = sample_graph();
+        let w = EdgeWeights::ic_uniform(&g, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(w.len(), g.num_edges());
+        assert!(w.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(w.model(), WeightModel::IcUniform);
+    }
+
+    #[test]
+    fn weighted_cascade_in_weights_sum_to_one() {
+        let g = sample_graph();
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        for v in 0..g.num_nodes() as NodeId {
+            if g.in_degree(v) > 0 {
+                let s = w.in_weight_sum(&g, v);
+                assert!((s - 1.0).abs() < 1e-4, "vertex {v}: in-weight sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn lt_normalized_in_weights_bounded_by_one() {
+        let g = sample_graph();
+        let w = EdgeWeights::lt_normalized(&g, &mut SmallRng::seed_from_u64(3));
+        for v in 0..g.num_nodes() as NodeId {
+            let s = w.in_weight_sum(&g, v);
+            assert!(s <= 1.0 + 1e-4, "vertex {v}: in-weight sum {s} exceeds 1");
+            if g.in_degree(v) > 0 {
+                assert!(s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_weights() {
+        let g = sample_graph();
+        let w = EdgeWeights::constant(&g, 0.25);
+        assert!(w.as_slice().iter().all(|&p| (p - 0.25).abs() < f32::EPSILON));
+    }
+
+    #[test]
+    fn generate_dispatches_on_model() {
+        let g = sample_graph();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for model in [
+            WeightModel::IcUniform,
+            WeightModel::IcWeightedCascade,
+            WeightModel::LtNormalized,
+            WeightModel::Constant,
+        ] {
+            let w = EdgeWeights::generate(&g, model, 0.1, &mut rng);
+            assert_eq!(w.model(), model);
+            assert_eq!(w.len(), g.num_edges());
+        }
+    }
+
+    #[test]
+    fn from_vec_validates_length_and_range() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        assert!(EdgeWeights::from_vec(&g, vec![0.5], WeightModel::Constant).is_err());
+        assert!(EdgeWeights::from_vec(&g, vec![0.5, 1.5], WeightModel::Constant).is_err());
+        let ok = EdgeWeights::from_vec(&g, vec![0.5, 0.9], WeightModel::Constant).unwrap();
+        assert_eq!(ok.weight(1), 0.9);
+    }
+
+    #[test]
+    fn empty_graph_weights() {
+        let g = CsrGraph::from_edges(5, std::iter::empty()).unwrap();
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = sample_graph();
+        let a = EdgeWeights::ic_uniform(&g, &mut SmallRng::seed_from_u64(42));
+        let b = EdgeWeights::ic_uniform(&g, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,57 @@
+//! # imm-memsim
+//!
+//! A small trace-driven memory-hierarchy simulator.
+//!
+//! The paper's Table IV reports L1+L2 cache misses of the
+//! `Find_Most_Influential_Set` kernel, measured with hardware performance
+//! counters on the EPYC evaluation machine. Hardware counters are not
+//! available here, so — per the reproduction's substitution policy — the two
+//! selection kernels have instrumented variants that emit their memory-access
+//! streams, and this crate replays those streams through a set-associative
+//! L1/L2 model with LRU replacement and reports hit/miss counts.
+//!
+//! The absolute counts depend on the cache geometry (configurable; defaults
+//! follow the Zen 3 cores in the paper's machine: 32 KiB 8-way L1D, 512 KiB
+//! 8-way private L2, 64-byte lines), but the *ratio* between the two kernels
+//! — the number the paper's Table IV is about — is driven by how much memory
+//! each algorithm touches, which the traces capture exactly.
+
+pub mod cache;
+pub mod hierarchy;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{CoreCaches, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+
+/// A byte address in the simulated address space.
+///
+/// Instrumented kernels synthesize addresses from (array base id, element
+/// index, element size); they only need to be *consistent*, not real.
+pub type Address = u64;
+
+/// Build a synthetic address from a region id and a byte offset, keeping
+/// regions far apart so they never alias.
+#[inline]
+pub fn synthetic_address(region: u32, byte_offset: u64) -> Address {
+    ((region as u64) << 40) | (byte_offset & ((1u64 << 40) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_addresses_do_not_collide_across_regions() {
+        let a = synthetic_address(1, 0);
+        let b = synthetic_address(2, 0);
+        assert_ne!(a, b);
+        // Same region, nearby offsets stay nearby.
+        assert_eq!(synthetic_address(1, 64) - synthetic_address(1, 0), 64);
+    }
+
+    #[test]
+    fn synthetic_address_masks_overflowing_offsets() {
+        let a = synthetic_address(3, 1u64 << 41);
+        // Region bits must survive.
+        assert_eq!(a >> 40, 3);
+    }
+}

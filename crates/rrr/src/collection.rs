@@ -1,0 +1,263 @@
+//! A collection of sampled RRR sets plus the statistics the paper reports.
+//!
+//! Table I of the paper characterizes each dataset by the *average* and
+//! *maximum* fraction of graph vertices covered by a single RRR set; those
+//! numbers come straight out of [`RrrCollection::coverage_stats`].
+
+use crate::set::{AdaptivePolicy, Representation, RrrSet};
+use crate::NodeId;
+
+/// Coverage and size statistics over a set of RRR sets (the paper's Table I
+/// columns, plus memory accounting used for the Twitter7 OOM discussion).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoverageStats {
+    /// Number of RRR sets.
+    pub count: usize,
+    /// Average set size in vertices.
+    pub avg_size: f64,
+    /// Largest set size in vertices.
+    pub max_size: usize,
+    /// Average fraction of graph vertices covered by one set.
+    pub avg_coverage: f64,
+    /// Maximum fraction of graph vertices covered by one set.
+    pub max_coverage: f64,
+    /// Total heap bytes used by the stored sets.
+    pub memory_bytes: usize,
+    /// How many sets are stored as bitmaps (vs. sorted lists).
+    pub bitmap_sets: usize,
+}
+
+/// The θ sampled RRR sets.
+#[derive(Debug, Clone, Default)]
+pub struct RrrCollection {
+    sets: Vec<RrrSet>,
+    num_nodes: usize,
+}
+
+impl RrrCollection {
+    /// Empty collection for a graph of `num_nodes` vertices.
+    pub fn new(num_nodes: usize) -> Self {
+        RrrCollection { sets: Vec::new(), num_nodes }
+    }
+
+    /// Empty collection with reserved capacity.
+    pub fn with_capacity(num_nodes: usize, cap: usize) -> Self {
+        RrrCollection { sets: Vec::with_capacity(cap), num_nodes }
+    }
+
+    /// Number of vertices of the underlying graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored RRR sets (θ′ so far).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the collection is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Append one RRR set.
+    #[inline]
+    pub fn push(&mut self, set: RrrSet) {
+        self.sets.push(set);
+    }
+
+    /// Append a raw vertex list, applying the adaptive representation policy.
+    pub fn push_vertices(&mut self, vertices: Vec<NodeId>, policy: &AdaptivePolicy) {
+        self.sets.push(RrrSet::from_vertices(vertices, self.num_nodes, policy));
+    }
+
+    /// Append every set from `other` (used to merge per-thread partitions).
+    pub fn extend_from(&mut self, other: RrrCollection) {
+        debug_assert_eq!(self.num_nodes, other.num_nodes);
+        self.sets.extend(other.sets);
+    }
+
+    /// Access a set by index.
+    #[inline]
+    pub fn get(&self, idx: usize) -> &RrrSet {
+        &self.sets[idx]
+    }
+
+    /// Slice of all sets.
+    #[inline]
+    pub fn sets(&self) -> &[RrrSet] {
+        &self.sets
+    }
+
+    /// Iterate over the sets.
+    pub fn iter(&self) -> std::slice::Iter<'_, RrrSet> {
+        self.sets.iter()
+    }
+
+    /// Drop all sets, keeping the graph size (used when the martingale loop
+    /// has to restart sampling with a larger θ in some IMM variants).
+    pub fn clear(&mut self) {
+        self.sets.clear();
+    }
+
+    /// Total heap bytes of all stored sets.
+    pub fn memory_bytes(&self) -> usize {
+        self.sets.iter().map(|s| s.memory_bytes()).sum()
+    }
+
+    /// Coverage/size statistics (paper Table I).
+    pub fn coverage_stats(&self) -> CoverageStats {
+        let count = self.sets.len();
+        if count == 0 || self.num_nodes == 0 {
+            return CoverageStats {
+                count,
+                avg_size: 0.0,
+                max_size: 0,
+                avg_coverage: 0.0,
+                max_coverage: 0.0,
+                memory_bytes: 0,
+                bitmap_sets: 0,
+            };
+        }
+        let mut total = 0usize;
+        let mut max_size = 0usize;
+        let mut bitmap_sets = 0usize;
+        for s in &self.sets {
+            let len = s.len();
+            total += len;
+            max_size = max_size.max(len);
+            if s.representation() == Representation::Bitmap {
+                bitmap_sets += 1;
+            }
+        }
+        let n = self.num_nodes as f64;
+        CoverageStats {
+            count,
+            avg_size: total as f64 / count as f64,
+            max_size,
+            avg_coverage: total as f64 / count as f64 / n,
+            max_coverage: max_size as f64 / n,
+            memory_bytes: self.memory_bytes(),
+            bitmap_sets,
+        }
+    }
+
+    /// Fraction of sets that contain at least one vertex from `seeds` — the
+    /// unbiased estimator of `σ(seeds) / n` that IMM's theory is built on.
+    pub fn coverage_fraction(&self, seeds: &[NodeId]) -> f64 {
+        if self.sets.is_empty() {
+            return 0.0;
+        }
+        let covered = self
+            .sets
+            .iter()
+            .filter(|s| seeds.iter().any(|&v| s.contains(v)))
+            .count();
+        covered as f64 / self.sets.len() as f64
+    }
+
+    /// Estimated influence spread of `seeds`: `n * coverage_fraction`.
+    pub fn estimate_influence(&self, seeds: &[NodeId]) -> f64 {
+        self.num_nodes as f64 * self.coverage_fraction(seeds)
+    }
+}
+
+impl IntoIterator for RrrCollection {
+    type Item = RrrSet;
+    type IntoIter = std::vec::IntoIter<RrrSet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sets.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collection_with(sets: Vec<Vec<NodeId>>, n: usize) -> RrrCollection {
+        let mut c = RrrCollection::new(n);
+        for s in sets {
+            c.push(RrrSet::sorted(s));
+        }
+        c
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut c = RrrCollection::new(10);
+        assert!(c.is_empty());
+        c.push_vertices(vec![1, 2, 3], &AdaptivePolicy::default());
+        c.push_vertices(vec![4], &AdaptivePolicy::default());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0).len(), 3);
+    }
+
+    #[test]
+    fn coverage_stats_match_hand_computation() {
+        // Graph of 10 nodes; sets of sizes 2, 4, 6.
+        let c = collection_with(vec![vec![0, 1], vec![0, 1, 2, 3], vec![0, 1, 2, 3, 4, 5]], 10);
+        let stats = c.coverage_stats();
+        assert_eq!(stats.count, 3);
+        assert!((stats.avg_size - 4.0).abs() < 1e-12);
+        assert_eq!(stats.max_size, 6);
+        assert!((stats.avg_coverage - 0.4).abs() < 1e-12);
+        assert!((stats.max_coverage - 0.6).abs() < 1e-12);
+        assert_eq!(stats.bitmap_sets, 0);
+    }
+
+    #[test]
+    fn coverage_stats_empty() {
+        let c = RrrCollection::new(100);
+        let stats = c.coverage_stats();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max_coverage, 0.0);
+    }
+
+    #[test]
+    fn coverage_fraction_and_influence_estimate() {
+        // Sets: {0,1}, {1}, {2,4}, {3}. Seeds {1} cover 2 of 4 sets.
+        let c = collection_with(vec![vec![0, 1], vec![1], vec![2, 4], vec![3]], 5);
+        assert!((c.coverage_fraction(&[1]) - 0.5).abs() < 1e-12);
+        assert!((c.estimate_influence(&[1]) - 2.5).abs() < 1e-12);
+        // Seeds {1,3} cover 3 of 4.
+        assert!((c.coverage_fraction(&[1, 3]) - 0.75).abs() < 1e-12);
+        // No seeds cover nothing.
+        assert_eq!(c.coverage_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn extend_from_merges_partitions() {
+        let mut a = collection_with(vec![vec![0]], 5);
+        let b = collection_with(vec![vec![1], vec![2]], 5);
+        a.extend_from(b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn bitmap_sets_are_counted() {
+        let mut c = RrrCollection::new(64);
+        c.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
+        c.push_vertices(vec![1, 2], &AdaptivePolicy::always_sorted());
+        let stats = c.coverage_stats();
+        assert_eq!(stats.bitmap_sets, 1);
+        assert!(stats.memory_bytes > 0);
+    }
+
+    #[test]
+    fn clear_resets_sets_only() {
+        let mut c = collection_with(vec![vec![0, 1]], 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.num_nodes(), 10);
+    }
+
+    #[test]
+    fn into_iterator_yields_all_sets() {
+        let c = collection_with(vec![vec![0], vec![1], vec![2]], 5);
+        assert_eq!(c.into_iter().count(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # imm-rrr
+//!
+//! Random reverse-reachable (RRR) set substrate.
+//!
+//! An RRR set is the set of vertices that can reach a uniformly chosen root
+//! under one random realization of the diffusion model. The IMM algorithm
+//! materializes θ of them and the seed-selection kernel repeatedly asks two
+//! questions about each: *which vertices are in it* (to update occurrence
+//! counters) and *does it contain a given seed* (to discard covered sets).
+//!
+//! The paper's "adaptive RRR-set representation" (§IV-C) stores small sets as
+//! sorted vertex lists (cheap to build, `O(log n)` membership, memory
+//! proportional to the set) and large/dense sets as bitmaps (`O(1)`
+//! membership, memory proportional to the graph). This crate provides:
+//!
+//! * [`BitSet`] — a plain fixed-size bitmap (built here rather than pulled in
+//!   as a dependency so the memory accounting and word layout are explicit).
+//! * [`RrrSet`] — the adaptive set: sorted `Vec<NodeId>` or `BitSet`,
+//!   selected per set by [`AdaptivePolicy`].
+//! * [`RrrCollection`] — the θ sampled sets plus the coverage/size/memory
+//!   statistics reported in the paper's Table I.
+
+pub mod bitset;
+pub mod collection;
+pub mod compressed;
+pub mod set;
+
+pub use bitset::BitSet;
+pub use collection::{CoverageStats, RrrCollection};
+pub use compressed::CompressedRrrSet;
+pub use set::{AdaptivePolicy, Representation, RrrSet};
+
+/// Vertex identifier (re-exported from `imm-graph` for convenience).
+pub type NodeId = imm_graph::NodeId;

@@ -1,0 +1,236 @@
+//! The adaptive RRR set: sorted vertex list or bitmap, chosen per set.
+
+use crate::bitset::BitSet;
+use crate::NodeId;
+
+/// Which physical representation an [`RrrSet`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Representation {
+    /// Sorted `Vec<NodeId>`; membership by binary search.
+    SortedList,
+    /// Bitmap over all graph vertices; membership by a single bit test.
+    Bitmap,
+}
+
+/// Policy deciding when a freshly generated RRR set is converted to a bitmap.
+///
+/// The paper switches on the set's size relative to the graph: below the
+/// threshold the sorted list is both smaller and cheap to sort; above it the
+/// bitmap wins on membership cost and (for very dense sets) on memory too.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AdaptivePolicy {
+    /// Sets covering at least this fraction of the graph become bitmaps.
+    pub density_threshold: f64,
+    /// Sets smaller than this absolute size always stay sorted lists,
+    /// regardless of the fraction (protects tiny graphs from flipping
+    /// everything to bitmaps).
+    pub min_bitmap_size: usize,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        // A set denser than 1/32 of the graph costs more as a u32 list than
+        // as a bitmap (32 bits per element vs. 1 bit per vertex), which is
+        // where the memory cross-over sits; the paper tunes empirically and
+        // this is the same order of magnitude.
+        AdaptivePolicy { density_threshold: 1.0 / 32.0, min_bitmap_size: 64 }
+    }
+}
+
+impl AdaptivePolicy {
+    /// Policy that never converts to bitmaps (the Ripples baseline layout).
+    pub fn always_sorted() -> Self {
+        AdaptivePolicy { density_threshold: 2.0, min_bitmap_size: usize::MAX }
+    }
+
+    /// Policy that always uses bitmaps (memory-hungry; used in ablations).
+    pub fn always_bitmap() -> Self {
+        AdaptivePolicy { density_threshold: 0.0, min_bitmap_size: 0 }
+    }
+
+    /// Decide the representation for a set of `set_size` vertices in a graph
+    /// of `num_nodes` vertices.
+    pub fn choose(&self, set_size: usize, num_nodes: usize) -> Representation {
+        if num_nodes == 0 || set_size < self.min_bitmap_size {
+            return Representation::SortedList;
+        }
+        let density = set_size as f64 / num_nodes as f64;
+        if density >= self.density_threshold {
+            Representation::Bitmap
+        } else {
+            Representation::SortedList
+        }
+    }
+}
+
+/// One random reverse-reachable set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrrSet {
+    /// Sorted, deduplicated vertex list.
+    Sorted(Vec<NodeId>),
+    /// Bitmap over all graph vertices.
+    Bitmap(BitSet),
+}
+
+impl RrrSet {
+    /// Build from the raw (unsorted, duplicate-free) vertex list produced by
+    /// the reverse BFS, choosing the representation with `policy`.
+    pub fn from_vertices(mut vertices: Vec<NodeId>, num_nodes: usize, policy: &AdaptivePolicy) -> Self {
+        match policy.choose(vertices.len(), num_nodes) {
+            Representation::SortedList => {
+                vertices.sort_unstable();
+                RrrSet::Sorted(vertices)
+            }
+            Representation::Bitmap => {
+                let bs = BitSet::from_iter_with_capacity(
+                    num_nodes,
+                    vertices.iter().map(|&v| v as usize),
+                );
+                RrrSet::Bitmap(bs)
+            }
+        }
+    }
+
+    /// Always-sorted constructor (Ripples baseline).
+    pub fn sorted(mut vertices: Vec<NodeId>) -> Self {
+        vertices.sort_unstable();
+        RrrSet::Sorted(vertices)
+    }
+
+    /// Number of vertices in the set.
+    pub fn len(&self) -> usize {
+        match self {
+            RrrSet::Sorted(v) => v.len(),
+            RrrSet::Bitmap(b) => b.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which representation this set uses.
+    pub fn representation(&self) -> Representation {
+        match self {
+            RrrSet::Sorted(_) => Representation::SortedList,
+            RrrSet::Bitmap(_) => Representation::Bitmap,
+        }
+    }
+
+    /// Membership test: binary search for the sorted form, bit test for the
+    /// bitmap form. This asymmetry is exactly the `O(log n)` vs `O(1)`
+    /// trade-off the paper describes.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        match self {
+            RrrSet::Sorted(list) => list.binary_search(&v).is_ok(),
+            RrrSet::Bitmap(b) => b.contains(v as usize),
+        }
+    }
+
+    /// Iterate over the member vertices in increasing order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match self {
+            RrrSet::Sorted(list) => Box::new(list.iter().copied()),
+            RrrSet::Bitmap(b) => Box::new(b.iter().map(|i| i as NodeId)),
+        }
+    }
+
+    /// Collect the members into a vector (increasing order).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// Heap bytes used by the payload.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            RrrSet::Sorted(list) => list.len() * std::mem::size_of::<NodeId>(),
+            RrrSet::Bitmap(b) => b.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn policy_default_switches_on_density() {
+        let p = AdaptivePolicy::default();
+        // 10% of a 10_000-node graph: dense -> bitmap
+        assert_eq!(p.choose(1_000, 10_000), Representation::Bitmap);
+        // 0.1%: sparse -> sorted
+        assert_eq!(p.choose(10, 10_000), Representation::SortedList);
+        // tiny absolute size stays sorted even if "dense"
+        assert_eq!(p.choose(10, 20), Representation::SortedList);
+    }
+
+    #[test]
+    fn policy_extremes() {
+        assert_eq!(AdaptivePolicy::always_sorted().choose(10_000, 10_000), Representation::SortedList);
+        assert_eq!(AdaptivePolicy::always_bitmap().choose(1, 10_000), Representation::Bitmap);
+    }
+
+    #[test]
+    fn policy_empty_graph_is_sorted() {
+        assert_eq!(AdaptivePolicy::default().choose(0, 0), Representation::SortedList);
+    }
+
+    #[test]
+    fn from_vertices_respects_policy() {
+        let vertices = vec![5u32, 1, 9, 3];
+        let sparse = RrrSet::from_vertices(vertices.clone(), 1_000_000, &AdaptivePolicy::default());
+        assert_eq!(sparse.representation(), Representation::SortedList);
+        assert_eq!(sparse.to_vec(), vec![1, 3, 5, 9]);
+
+        let dense = RrrSet::from_vertices(vertices, 10, &AdaptivePolicy::always_bitmap());
+        assert_eq!(dense.representation(), Representation::Bitmap);
+    }
+
+    #[test]
+    fn contains_is_consistent_across_representations() {
+        let vertices = vec![2u32, 4, 8, 16, 32];
+        let sorted = RrrSet::from_vertices(vertices.clone(), 64, &AdaptivePolicy::always_sorted());
+        let bitmap = RrrSet::from_vertices(vertices.clone(), 64, &AdaptivePolicy::always_bitmap());
+        for v in 0..64u32 {
+            assert_eq!(sorted.contains(v), bitmap.contains(v), "vertex {v}");
+            assert_eq!(sorted.contains(v), vertices.contains(&v));
+        }
+        assert_eq!(sorted.to_vec(), bitmap.to_vec());
+        assert_eq!(sorted.len(), bitmap.len());
+    }
+
+    #[test]
+    fn memory_accounting_differs_by_representation() {
+        let vertices: Vec<u32> = (0..100).collect();
+        let sorted = RrrSet::from_vertices(vertices.clone(), 100_000, &AdaptivePolicy::always_sorted());
+        let bitmap = RrrSet::from_vertices(vertices, 100_000, &AdaptivePolicy::always_bitmap());
+        assert_eq!(sorted.memory_bytes(), 400);
+        // Bitmap over 100_000 vertices = 12_500 bytes regardless of contents.
+        assert_eq!(bitmap.memory_bytes(), 100_000usize.div_ceil(64) * 8);
+        assert!(bitmap.memory_bytes() > sorted.memory_bytes());
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = RrrSet::from_vertices(vec![], 100, &AdaptivePolicy::default());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+    }
+
+    proptest! {
+        #[test]
+        fn representations_agree(vertices in proptest::collection::hash_set(0u32..2000, 0..300)) {
+            let raw: Vec<u32> = vertices.iter().copied().collect();
+            let sorted = RrrSet::from_vertices(raw.clone(), 2000, &AdaptivePolicy::always_sorted());
+            let bitmap = RrrSet::from_vertices(raw, 2000, &AdaptivePolicy::always_bitmap());
+            prop_assert_eq!(sorted.to_vec(), bitmap.to_vec());
+            for probe in [0u32, 1, 999, 1999] {
+                prop_assert_eq!(sorted.contains(probe), bitmap.contains(probe));
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Facade crate for the EfficientIMM reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See README.md for the architecture overview.
+
+pub use efficient_imm as imm;
+pub use imm_diffusion as diffusion;
+pub use imm_graph as graph;
+pub use imm_memsim as memsim;
+pub use imm_numa as numa;
+pub use imm_rrr as rrr;
