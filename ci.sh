@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Minimal CI: formatting, lints, then the tier-1 verify from ROADMAP.md.
+# Run from the repository root. Fails fast on the first broken step.
+set -euo pipefail
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# The tier-1 gate is run verbatim (exactly as the driver invokes it), even
+# though the workspace sweep below is a superset of `cargo test -q` — the
+# few seconds of overlap buy a literal check of the contract in ROADMAP.md.
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests (all crates)"
+cargo test --workspace -q
+
+echo "CI OK"

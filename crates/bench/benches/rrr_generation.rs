@@ -31,11 +31,9 @@ fn bench_models(c: &mut Criterion) {
             threads: 4,
             fused_counter: None,
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.short_name()),
-            &model,
-            |b, _| b.iter(|| black_box(generate_rrr_sets(&d.graph, weights, 128, 0, &cfg, &pool))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(model.short_name()), &model, |b, _| {
+            b.iter(|| black_box(generate_rrr_sets(&d.graph, weights, 128, 0, &cfg, &pool)))
+        });
     }
     group.finish();
 }

@@ -71,7 +71,9 @@ fn main() {
         }
     }
 
-    println!("Ablation: EfficientIMM feature contributions ({threads} threads, k = {k}, eps = {eps})");
+    println!(
+        "Ablation: EfficientIMM feature contributions ({threads} threads, k = {k}, eps = {eps})"
+    );
     println!("{}", table.render());
     let csv = results_dir().join("ablation_features.csv");
     table.write_csv(&csv).expect("write csv");

@@ -21,13 +21,8 @@ fn main() {
     let spec = datasets::find(scale, &name).expect("dataset exists in the registry");
     let dataset = spec.build();
 
-    let mut table = TextTable::new(&[
-        "Model",
-        "Threads",
-        "Wall time (s)",
-        "Modeled speedup",
-        "Wall speedup",
-    ]);
+    let mut table =
+        TextTable::new(&["Model", "Threads", "Wall time (s)", "Modeled speedup", "Wall speedup"]);
 
     for model in [DiffusionModel::LinearThreshold, DiffusionModel::IndependentCascade] {
         let curve = scaling_curve(&dataset, model, Algorithm::Ripples, &thread_counts, k, eps);

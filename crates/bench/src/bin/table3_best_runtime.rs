@@ -82,10 +82,7 @@ fn main() {
             );
         }
 
-        println!(
-            "Table III ({} model): best runtime, k = {k}, eps = {eps}",
-            model
-        );
+        println!("Table III ({} model): best runtime, k = {k}, eps = {eps}", model);
         println!("{}", table.render());
         let csv = results_dir().join(format!("speedup_{}.csv", model.short_name()));
         table.write_csv(&csv).expect("write csv");

@@ -46,11 +46,13 @@ fn main() {
         let hierarchy = HierarchyConfig::default();
         let ripples = cache_misses_ripples(&sets, k, threads, hierarchy);
         let efficient = cache_misses_efficient(&sets, k, threads, hierarchy, 0.5);
-        let reduction = ripples.l1_plus_l2_misses as f64 / efficient.l1_plus_l2_misses.max(1) as f64;
-        let paper_reduction = match (spec.reference.ripples_cache_misses, spec.reference.efficientimm_cache_misses) {
-            (Some(r), Some(e)) => Some(r as f64 / e as f64),
-            _ => None,
-        };
+        let reduction =
+            ripples.l1_plus_l2_misses as f64 / efficient.l1_plus_l2_misses.max(1) as f64;
+        let paper_reduction =
+            match (spec.reference.ripples_cache_misses, spec.reference.efficientimm_cache_misses) {
+                (Some(r), Some(e)) => Some(r as f64 / e as f64),
+                _ => None,
+            };
         table.add_row(vec![
             spec.name.to_string(),
             ripples.l1_plus_l2_misses.to_string(),

@@ -125,7 +125,12 @@ impl DatasetSpec {
                 generators::social_network(nodes, avg_degree, extra, &mut rng)
             }
             GeneratorKind::Rmat { scale, edge_factor } => {
-                let mut el = generators::rmat(scale, edge_factor, generators::RmatParams::default(), &mut rng);
+                let mut el = generators::rmat(
+                    scale,
+                    edge_factor,
+                    generators::RmatParams::default(),
+                    &mut rng,
+                );
                 el.symmetrize();
                 el
             }

@@ -93,7 +93,10 @@ pub fn scaling_curve(
 
 /// Normalize a curve against a reference modelled time (the paper's Figures 6
 /// and 7 normalize EfficientIMM against 1-thread and 8-thread Ripples).
-pub fn normalized_speedups(curve: &[ScalingPoint], reference_modeled_time: f64) -> Vec<(usize, f64)> {
+pub fn normalized_speedups(
+    curve: &[ScalingPoint],
+    reference_modeled_time: f64,
+) -> Vec<(usize, f64)> {
     curve
         .iter()
         .map(|p| {
@@ -135,8 +138,7 @@ pub fn scaling_figure(model: DiffusionModel, stem: &str) {
         let efficient_curve =
             scaling_curve(&dataset, model, Algorithm::Efficient, &thread_counts, k, eps);
 
-        let ripples_1t =
-            ripples_curve.first().map(|p| p.measurement.modeled_time).unwrap_or(1.0);
+        let ripples_1t = ripples_curve.first().map(|p| p.measurement.modeled_time).unwrap_or(1.0);
         // "8-thread Ripples" reference: the measured point closest to 8
         // threads (the sweep may not contain exactly 8).
         let ripples_8t = ripples_curve
@@ -183,11 +185,7 @@ mod tests {
     fn modeled_time_rewards_balanced_shrinking_work() {
         // Perfect 1/p scaling: span halves when threads double.
         let t1 = modeled_time(&profile(vec![1_000_000], 0), &profile(vec![1_000_000], 0), 1);
-        let t4 = modeled_time(
-            &profile(vec![250_000; 4], 0),
-            &profile(vec![250_000; 4], 0),
-            4,
-        );
+        let t4 = modeled_time(&profile(vec![250_000; 4], 0), &profile(vec![250_000; 4], 0), 4);
         assert!(t1 / t4 > 3.0, "expected near-4x modelled speedup, got {}", t1 / t4);
     }
 

@@ -168,10 +168,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "generate" => {
             let flags = Flags::parse(rest)?;
             Ok(Command::Generate(GenerateArgs {
-                output: flags
-                    .get("--output")
-                    .ok_or("generate requires --output")?
-                    .to_string(),
+                output: flags.get("--output").ok_or("generate requires --output")?.to_string(),
                 kind: flags.get("--kind").unwrap_or("social").to_string(),
                 nodes: flags.get_parsed("--nodes", 1_000usize)?,
                 avg_degree: flags.get_parsed("--avg-degree", 8usize)?,
@@ -223,8 +220,21 @@ mod tests {
     #[test]
     fn parses_run_with_all_flags() {
         let cmd = parse(&sv(&[
-            "run", "--dataset", "web-Google", "--model", "lt", "--algorithm", "ripples", "--k",
-            "5", "--epsilon", "0.3", "--threads", "2", "--seed", "9",
+            "run",
+            "--dataset",
+            "web-Google",
+            "--model",
+            "lt",
+            "--algorithm",
+            "ripples",
+            "--k",
+            "5",
+            "--epsilon",
+            "0.3",
+            "--threads",
+            "2",
+            "--seed",
+            "9",
         ]))
         .unwrap();
         match cmd {
@@ -245,10 +255,7 @@ mod tests {
     #[test]
     fn run_requires_exactly_one_source() {
         assert!(parse(&sv(&["run", "--model", "ic"])).is_err());
-        assert!(parse(&sv(&[
-            "run", "--graph", "a.txt", "--dataset", "web-Google"
-        ]))
-        .is_err());
+        assert!(parse(&sv(&["run", "--graph", "a.txt", "--dataset", "web-Google"])).is_err());
     }
 
     #[test]

@@ -35,11 +35,21 @@ fn generate(args: &GenerateArgs) -> Result<(), CliError> {
         "social" => generators::social_network(args.nodes, args.avg_degree, 0.3, &mut rng),
         "community" => {
             let blocks = (args.nodes / 50).max(2);
-            generators::stochastic_block_model(&vec![args.nodes / blocks; blocks], 0.1, 0.001, &mut rng)
+            generators::stochastic_block_model(
+                &vec![args.nodes / blocks; blocks],
+                0.1,
+                0.001,
+                &mut rng,
+            )
         }
         "rmat" => {
             let scale = (args.nodes.max(2) as f64).log2().ceil() as u32;
-            generators::rmat(scale, args.avg_degree.max(1), generators::RmatParams::default(), &mut rng)
+            generators::rmat(
+                scale,
+                args.avg_degree.max(1),
+                generators::RmatParams::default(),
+                &mut rng,
+            )
         }
         "road" => {
             let side = (args.nodes as f64).sqrt().ceil() as usize;
@@ -61,7 +71,11 @@ fn generate(args: &GenerateArgs) -> Result<(), CliError> {
 }
 
 /// Load a graph and build model weights for it from either source.
-fn load(source: &GraphSource, model: DiffusionModel, seed: u64) -> Result<(CsrGraph, EdgeWeights, String), CliError> {
+fn load(
+    source: &GraphSource,
+    model: DiffusionModel,
+    seed: u64,
+) -> Result<(CsrGraph, EdgeWeights, String), CliError> {
     match source {
         GraphSource::File(path) => {
             let (el, file_weights) = io::read_snap_file(path).map_err(|e| e.to_string())?;
@@ -94,7 +108,13 @@ fn load(source: &GraphSource, model: DiffusionModel, seed: u64) -> Result<(CsrGr
     }
 }
 
-fn result_json(name: &str, args: &RunArgs, algorithm: Algorithm, wall: f64, result: &ImmResult) -> serde_json::Value {
+fn result_json(
+    name: &str,
+    args: &RunArgs,
+    algorithm: Algorithm,
+    wall: f64,
+    result: &ImmResult,
+) -> serde_json::Value {
     serde_json::json!({
         "input": name,
         "diffusion_model": args.model.short_name(),
@@ -151,8 +171,7 @@ fn compare(args: &RunArgs) -> Result<(), CliError> {
 }
 
 fn stats(args: &StatsArgs) -> Result<(), CliError> {
-    let (graph, weights, name) =
-        load(&args.source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
+    let (graph, weights, name) = load(&args.source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
     let scc = properties::strongly_connected_components(&graph);
     let out_stats = properties::out_degree_stats(&graph);
 

@@ -72,8 +72,13 @@ impl JobQueue {
 /// to drain most of the queue. Shared per-slot state must still be
 /// synchronized (two workers can execute chunks with the same slot
 /// concurrently).
-pub fn run_jobs<F>(pool: &rayon::ThreadPool, threads: usize, total: usize, schedule: Schedule, worker: F)
-where
+pub fn run_jobs<F>(
+    pool: &rayon::ThreadPool,
+    threads: usize,
+    total: usize,
+    schedule: Schedule,
+    worker: F,
+) where
     F: Fn(usize, Range) + Sync,
 {
     let threads = threads.max(1);

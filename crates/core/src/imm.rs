@@ -64,9 +64,7 @@ pub fn run_imm(
     params: &ImmParams,
     exec: &ExecutionConfig,
 ) -> Result<ImmResult, ImmError> {
-    params
-        .validate(graph.num_nodes())
-        .map_err(ImmError::InvalidParameters)?;
+    params.validate(graph.num_nodes()).map_err(ImmError::InvalidParameters)?;
 
     let pool = exec.build_pool();
     let n = graph.num_nodes();
@@ -275,8 +273,7 @@ mod tests {
         let w = EdgeWeights::constant(&g, 1.0);
         let params = ImmParams::new(1, 0.5, DiffusionModel::IndependentCascade).with_seed(13);
         for algorithm in [Algorithm::Ripples, Algorithm::Efficient] {
-            let result =
-                run_imm(&g, &w, &params, &ExecutionConfig::new(algorithm, 2)).unwrap();
+            let result = run_imm(&g, &w, &params, &ExecutionConfig::new(algorithm, 2)).unwrap();
             assert_eq!(result.seeds, vec![0], "{algorithm:?} must select the hub");
             assert!((result.coverage_fraction - 1.0).abs() < 1e-9);
         }

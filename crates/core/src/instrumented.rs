@@ -72,8 +72,7 @@ pub fn cache_misses_ripples(
 
     // Counting pass: every core reads every element of every set and updates
     // its own local counter when the vertex falls in its range.
-    for core in 0..threads {
-        let range = ranges[core];
+    for (core, range) in ranges.iter().enumerate() {
         for (set_idx, set) in sets.iter().enumerate() {
             for v in set.iter() {
                 hierarchy.access(core, rrr_element_address(set_idx, v));
@@ -83,7 +82,8 @@ pub fn cache_misses_ripples(
                         core,
                         synthetic_address(
                             region::LOCAL_COUNTERS,
-                            ((core as u64) << 32) | (vi - range.start) as u64 * COUNTER_ELEM_BYTES,
+                            ((core as u64) << 32)
+                                | ((vi - range.start) as u64 * COUNTER_ELEM_BYTES),
                         ),
                     );
                 }
@@ -95,15 +95,14 @@ pub fn cache_misses_ripples(
     let mut alive = vec![true; sets.len()];
     let seeds = greedy_seeds(sets, k);
     for seed in seeds {
-        for core in 0..threads {
-            let range = ranges[core];
+        for (core, range) in ranges.iter().enumerate() {
             // Regional max scan over the core's local counters.
             for offset in 0..range.len() {
                 hierarchy.access(
                     core,
                     synthetic_address(
                         region::LOCAL_COUNTERS,
-                        ((core as u64) << 32) | offset as u64 * COUNTER_ELEM_BYTES,
+                        ((core as u64) << 32) | (offset as u64 * COUNTER_ELEM_BYTES),
                     ),
                 );
             }
@@ -130,7 +129,7 @@ pub fn cache_misses_ripples(
                                 synthetic_address(
                                     region::LOCAL_COUNTERS,
                                     ((core as u64) << 32)
-                                        | (vi - range.start) as u64 * COUNTER_ELEM_BYTES,
+                                        | ((vi - range.start) as u64 * COUNTER_ELEM_BYTES),
                                 ),
                             );
                         }
@@ -170,8 +169,8 @@ pub fn cache_misses_efficient(
     let counter_ranges = block_ranges(n, threads);
 
     // Counting pass: each set is touched by exactly one core.
-    for core in 0..threads {
-        for set_idx in set_ranges[core].iter() {
+    for (core, set_range) in set_ranges.iter().enumerate() {
+        for set_idx in set_range.iter() {
             let set = sets.get(set_idx);
             for v in set.iter() {
                 hierarchy.access(core, rrr_element_address(set_idx, v));
@@ -186,24 +185,23 @@ pub fn cache_misses_efficient(
     for seed in seeds {
         // Two-level parallel reduction: each core scans its slice of the
         // shared counter once.
-        for core in 0..threads {
-            for v in counter_ranges[core].iter() {
+        for (core, counter_range) in counter_ranges.iter().enumerate() {
+            for v in counter_range.iter() {
                 hierarchy.access(core, counter_address(v as NodeId));
             }
         }
-        let covered: Vec<usize> = (0..sets.len())
-            .filter(|&idx| alive[idx] && sets.get(idx).contains(seed))
-            .collect();
-        let rebuild = alive_count > 0
-            && (covered.len() as f64 / alive_count as f64) > rebuild_threshold;
+        let covered: Vec<usize> =
+            (0..sets.len()).filter(|&idx| alive[idx] && sets.get(idx).contains(seed)).collect();
+        let rebuild =
+            alive_count > 0 && (covered.len() as f64 / alive_count as f64) > rebuild_threshold;
 
         if rebuild {
             for &idx in &covered {
                 alive[idx] = false;
             }
             // Rebuild touches the surviving sets, partitioned across cores.
-            for core in 0..threads {
-                for set_idx in set_ranges[core].iter() {
+            for (core, set_range) in set_ranges.iter().enumerate() {
+                for set_idx in set_range.iter() {
                     if !alive[set_idx] {
                         continue;
                     }
@@ -217,8 +215,8 @@ pub fn cache_misses_efficient(
         } else {
             // Decrement pass: covered sets partitioned across cores.
             let covered_ranges = block_ranges(covered.len(), threads);
-            for core in 0..threads {
-                for pos in covered_ranges[core].iter() {
+            for (core, covered_range) in covered_ranges.iter().enumerate() {
+                for pos in covered_range.iter() {
                     let set_idx = covered[pos];
                     let set = sets.get(set_idx);
                     for v in set.iter() {
@@ -354,7 +352,12 @@ pub fn bitmap_check_cost(
         // neighbor (bitmap reads), and write the vertex into the RRR buffer.
         for (i, &v) in vertices.iter().enumerate() {
             for (u, _eid) in graph.in_neighbors_with_edge_ids(v) {
-                tracker.record(core, &graph_region, v as usize % graph.num_edges().max(1), AccessKind::Read);
+                tracker.record(
+                    core,
+                    &graph_region,
+                    v as usize % graph.num_edges().max(1),
+                    AccessKind::Read,
+                );
                 bitmap_tracker.record(core, &bitmap_region, (u as usize) / 8, AccessKind::Read);
             }
             tracker.record(core, &rrr_region, i, AccessKind::Write);
@@ -453,12 +456,10 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::social_network(800, 8, 0.3, &mut rng));
         let w = EdgeWeights::ic_weighted_cascade(&g);
         let topo = Topology::new(8, 4);
-        let original = bitmap_check_cost(
-            &g, &w, DiffusionModel::IndependentCascade, 48, 7, topo, 32, false,
-        );
-        let aware = bitmap_check_cost(
-            &g, &w, DiffusionModel::IndependentCascade, 48, 7, topo, 32, true,
-        );
+        let original =
+            bitmap_check_cost(&g, &w, DiffusionModel::IndependentCascade, 48, 7, topo, 32, false);
+        let aware =
+            bitmap_check_cost(&g, &w, DiffusionModel::IndependentCascade, 48, 7, topo, 32, true);
         assert!(
             aware.bitmap_fraction < original.bitmap_fraction,
             "NUMA-aware placement must lower the bitmap share: {} vs {}",

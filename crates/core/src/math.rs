@@ -45,9 +45,7 @@ pub fn lambda_prime(n: usize, k: usize, epsilon: f64, ell: f64) -> f64 {
     let eps_p = epsilon_prime(epsilon);
     let log_n = n_f.ln();
     let log_log_n = (n_f.log2()).max(1.0).ln();
-    (2.0 + 2.0 / 3.0 * eps_p)
-        * (log_binomial(n, k) + ell * log_n + log_log_n)
-        * n_f
+    (2.0 + 2.0 / 3.0 * eps_p) * (log_binomial(n, k) + ell * log_n + log_log_n) * n_f
         / (eps_p * eps_p)
 }
 
@@ -82,7 +80,12 @@ pub fn theta_for_iteration(n: usize, k: usize, epsilon: f64, ell: f64, iteration
 
 /// Did the sampling phase's greedy cover enough to stop?  The check
 /// `n · F(S_i) ≥ (1 + ε′) · x_i` from Algorithm 2 of Tang et al.
-pub fn sampling_converged(n: usize, coverage_fraction: f64, epsilon: f64, iteration: usize) -> bool {
+pub fn sampling_converged(
+    n: usize,
+    coverage_fraction: f64,
+    epsilon: f64,
+    iteration: usize,
+) -> bool {
     let x = (n as f64) / 2f64.powi(iteration as i32);
     n as f64 * coverage_fraction >= (1.0 + epsilon_prime(epsilon)) * x
 }
@@ -126,7 +129,7 @@ mod tests {
 
     #[test]
     fn epsilon_prime_is_sqrt2_epsilon() {
-        assert!((epsilon_prime(0.5) - 0.7071067811865476).abs() < 1e-12);
+        assert!((epsilon_prime(0.5) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
     }
 
     #[test]
@@ -191,7 +194,10 @@ mod tests {
         // A larger lower bound needs fewer samples.
         assert!(final_theta(1000, 10, 0.5, 1.0, lb * 2.0) < theta);
         // Degenerate lower bound falls back to λ*.
-        assert_eq!(final_theta(1000, 10, 0.5, 1.0, 0.0), lambda_star(1000, 10, 0.5, 1.0).ceil() as usize);
+        assert_eq!(
+            final_theta(1000, 10, 0.5, 1.0, 0.0),
+            lambda_star(1000, 10, 0.5, 1.0).ceil() as usize
+        );
     }
 
     proptest! {

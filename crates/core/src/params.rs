@@ -229,9 +229,7 @@ mod tests {
 
     #[test]
     fn builders_set_fields() {
-        let p = ImmParams::new(3, 0.3, DiffusionModel::LinearThreshold)
-            .with_seed(99)
-            .with_ell(2.0);
+        let p = ImmParams::new(3, 0.3, DiffusionModel::LinearThreshold).with_seed(99).with_ell(2.0);
         assert_eq!(p.rng_seed, 99);
         assert!((p.ell - 2.0).abs() < 1e-12);
     }

@@ -209,7 +209,8 @@ pub fn generate_rrr_sets(
             let set_index = start_index + job;
             let mut rng = rng_for_set(config.rng_seed, set_index);
             let root = rng.gen_range(0..num_nodes as u32);
-            let vertices = generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
+            let vertices =
+                generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
             local_ops += vertices.len() as u64;
             if let Some(counter) = config.fused_counter {
                 for &v in &vertices {
@@ -241,8 +242,7 @@ pub fn generate_rrr_sets(
 /// Derive the RNG stream of one RRR set from the base seed and the set's
 /// global index (SplitMix64-style mixing).
 pub fn rng_for_set(base_seed: u64, set_index: usize) -> SmallRng {
-    let mut z = base_seed
-        .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(set_index as u64 + 1));
+    let mut z = base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(set_index as u64 + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
     z ^= z >> 31;
@@ -351,7 +351,8 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::social_network(300, 6, 0.2, &mut rng));
         let w = EdgeWeights::ic_weighted_cascade(&g);
         let p = pool(2);
-        let out = generate_rrr_sets(&g, &w, 200, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        let out =
+            generate_rrr_sets(&g, &w, 200, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
         assert_eq!(out.sets.len(), 200);
         assert!(out.work.total_ops() >= 200, "at least the roots are touched");
         assert_eq!(out.work.per_thread_ops.len(), 2);
@@ -421,7 +422,8 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::star(10));
         let w = EdgeWeights::constant(&g, 0.5);
         let p = pool(2);
-        let out = generate_rrr_sets(&g, &w, 0, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        let out =
+            generate_rrr_sets(&g, &w, 0, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
         assert_eq!(out.sets.len(), 0);
         assert_eq!(out.work.total_ops(), 0);
     }
@@ -434,7 +436,8 @@ mod tests {
         let g = CsrGraph::from_edge_list(&generators::social_network(400, 10, 0.3, &mut rng));
         let w = EdgeWeights::constant(&g, 0.3);
         let p = pool(2);
-        let out = generate_rrr_sets(&g, &w, 50, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
+        let out =
+            generate_rrr_sets(&g, &w, 50, 0, &config(DiffusionModel::IndependentCascade, 2), &p);
         let stats = out.sets.coverage_stats();
         assert!(stats.max_coverage > 0.5, "max coverage {}", stats.max_coverage);
     }

@@ -179,10 +179,8 @@ mod tests {
 
     #[test]
     fn picks_the_most_frequent_vertex_first_figure3_example() {
-        let sets = collection(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-        );
+        let sets =
+            collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
         let p = pool(3);
         let result = select_seeds_efficient(&sets, 1, &exec(3), &p, None);
         assert_eq!(result.seeds, vec![1]);
@@ -194,16 +192,7 @@ mod tests {
     fn matches_reference_greedy() {
         let sets = collection(
             8,
-            &[
-                &[0, 1, 2],
-                &[2, 3],
-                &[3, 4, 5],
-                &[5],
-                &[5, 6],
-                &[6, 7],
-                &[0, 7],
-                &[1, 3, 5, 7],
-            ],
+            &[&[0, 1, 2], &[2, 3], &[3, 4, 5], &[5], &[5, 6], &[6, 7], &[0, 7], &[1, 3, 5, 7]],
         );
         let (ref_seeds, ref_cov) = greedy_reference(&sets, 3);
         let p = pool(2);
@@ -214,10 +203,8 @@ mod tests {
 
     #[test]
     fn fused_counter_gives_the_same_answer_and_preserves_the_base_counter() {
-        let sets = collection(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-        );
+        let sets =
+            collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
         // Build the "fused" counter the way sampling would have.
         let base = GlobalCounter::new(6);
         for set in sets.iter() {
@@ -302,8 +289,9 @@ mod tests {
     fn work_does_not_grow_with_thread_count() {
         // The contrast with the Ripples baseline: the initial counting work
         // is independent of the number of threads (each set is touched once).
-        let owned: Vec<Vec<u32>> =
-            (0..60).map(|i| vec![i as u32 % 40, (i + 1) as u32 % 40, (i + 2) as u32 % 40]).collect();
+        let owned: Vec<Vec<u32>> = (0..60)
+            .map(|i| vec![i as u32 % 40, (i + 1) as u32 % 40, (i + 2) as u32 % 40])
+            .collect();
         let slices: Vec<&[u32]> = owned.iter().map(|v| v.as_slice()).collect();
         let sets = collection(40, &slices);
         let w1 = select_seeds_efficient(&sets, 1, &exec(1), &pool(1), None).work.total_ops();

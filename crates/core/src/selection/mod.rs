@@ -114,10 +114,8 @@ pub(crate) mod test_support {
     fn reference_greedy_on_paper_figure_3_example() {
         // The RRR sets from Figure 3 of the paper:
         // {0,1},{1},{2,4},{1,4},{1,4,5},{3},{0,3},{2}
-        let sets = collection(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-        );
+        let sets =
+            collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
         // Occurrence counts are [2,4,2,2,3,1] -> the first seed is vertex 1.
         let (seeds, fraction) = greedy_reference(&sets, 1);
         assert_eq!(seeds, vec![1]);
@@ -137,10 +135,8 @@ mod tests {
 
     #[test]
     fn dispatch_runs_both_engines() {
-        let sets = collection(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-        );
+        let sets =
+            collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
         for algorithm in [Algorithm::Ripples, Algorithm::Efficient] {
             let exec = ExecutionConfig::new(algorithm, 2);
             let p = pool(2);

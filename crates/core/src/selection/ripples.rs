@@ -105,8 +105,7 @@ pub fn select_seeds_ripples(
         // counters for members of covered sets. The alive view is snapshotted
         // before the scan so every thread processes the same covered sets
         // even though the flags are flipped concurrently.
-        let alive_snapshot: Vec<bool> =
-            alive.iter().map(|a| a.load(Ordering::Relaxed)).collect();
+        let alive_snapshot: Vec<bool> = alive.iter().map(|a| a.load(Ordering::Relaxed)).collect();
         let covered_this_round = AtomicU64::new(0);
         pool.scope(|s| {
             for (t, range) in ranges.iter().enumerate() {
@@ -187,10 +186,8 @@ mod tests {
 
     #[test]
     fn picks_the_most_frequent_vertex_first() {
-        let sets = collection(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-        );
+        let sets =
+            collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
         let p = pool(2);
         let result = select_seeds_ripples(&sets, 1, 2, &p);
         assert_eq!(result.seeds, vec![1]);
@@ -202,16 +199,7 @@ mod tests {
     fn matches_reference_greedy_on_small_instances() {
         let sets = collection(
             8,
-            &[
-                &[0, 1, 2],
-                &[2, 3],
-                &[3, 4, 5],
-                &[5],
-                &[5, 6],
-                &[6, 7],
-                &[0, 7],
-                &[1, 3, 5, 7],
-            ],
+            &[&[0, 1, 2], &[2, 3], &[3, 4, 5], &[5], &[5, 6], &[6, 7], &[0, 7], &[1, 3, 5, 7]],
         );
         let (ref_seeds, ref_cov) = greedy_reference(&sets, 3);
         let p = pool(3);
@@ -249,7 +237,8 @@ mod tests {
         // the number of threads because every thread scans every set.
         let sets = collection(
             100,
-            &(0..50).map(|i| vec![i as NodeId, (i + 1) as NodeId, (i + 2) as NodeId])
+            &(0..50)
+                .map(|i| vec![i as NodeId, (i + 1) as NodeId, (i + 2) as NodeId])
                 .collect::<Vec<_>>()
                 .iter()
                 .map(|v| v.as_slice())

@@ -151,10 +151,8 @@ mod tests {
 
     #[test]
     fn timings_merge_adds() {
-        let mut a = KernelTimings {
-            generate_rrrsets: Duration::from_millis(10),
-            ..Default::default()
-        };
+        let mut a =
+            KernelTimings { generate_rrrsets: Duration::from_millis(10), ..Default::default() };
         let b = KernelTimings {
             generate_rrrsets: Duration::from_millis(5),
             find_most_influential: Duration::from_millis(7),

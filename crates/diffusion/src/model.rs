@@ -58,7 +58,10 @@ mod tests {
     #[test]
     fn parse_accepts_long_names_and_mixed_case() {
         assert_eq!(DiffusionModel::parse("IC"), Some(DiffusionModel::IndependentCascade));
-        assert_eq!(DiffusionModel::parse("Linear_Threshold"), Some(DiffusionModel::LinearThreshold));
+        assert_eq!(
+            DiffusionModel::parse("Linear_Threshold"),
+            Some(DiffusionModel::LinearThreshold)
+        );
         assert_eq!(DiffusionModel::parse("bogus"), None);
     }
 

@@ -149,7 +149,9 @@ pub fn monte_carlo_spread(
     let counts: Vec<usize> = (0..trials)
         .into_par_iter()
         .map(|t| {
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut rng = SmallRng::seed_from_u64(
+                seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
             simulate_spread(graph, weights, model, seeds, &mut rng)
         })
         .collect();
@@ -241,14 +243,7 @@ mod tests {
         // Single edge 0 -> 1 with p = 0.3: E[spread from {0}] = 1 + 0.3.
         let g = CsrGraph::from_edges(2, vec![(0, 1)]).unwrap();
         let w = EdgeWeights::from_vec(&g, vec![0.3], WeightModel::Constant).unwrap();
-        let est = monte_carlo_spread(
-            &g,
-            &w,
-            DiffusionModel::IndependentCascade,
-            &[0],
-            20_000,
-            42,
-        );
+        let est = monte_carlo_spread(&g, &w, DiffusionModel::IndependentCascade, &[0], 20_000, 42);
         assert!((est.mean - 1.3).abs() < 0.02, "mean {}", est.mean);
         assert!(est.confidence_95() < 0.01);
     }

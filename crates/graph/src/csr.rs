@@ -69,14 +69,7 @@ impl CsrGraph {
             *di += 1;
         }
 
-        CsrGraph {
-            num_nodes: n,
-            out_offsets,
-            out_targets,
-            in_offsets,
-            in_sources,
-            in_edge_ids,
-        }
+        CsrGraph { num_nodes: n, out_offsets, out_targets, in_offsets, in_sources, in_edge_ids }
     }
 
     /// Build directly from `(src, dst)` pairs with a declared vertex count.
@@ -171,8 +164,7 @@ impl CsrGraph {
     /// Iterate over all `(src, dst)` edges in forward-edge-id order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.num_nodes).flat_map(move |v| {
-            self.out_edge_range(v as NodeId)
-                .map(move |eid| (v as NodeId, self.out_targets[eid]))
+            self.out_edge_range(v as NodeId).map(move |eid| (v as NodeId, self.out_targets[eid]))
         })
     }
 

@@ -19,11 +19,8 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, directed: bool, rng: &mut 
     }
 
     // Iterate over the flattened pair index space with geometric jumps.
-    let total_pairs: u64 = if directed {
-        (n as u64) * (n as u64 - 1)
-    } else {
-        (n as u64) * (n as u64 - 1) / 2
-    };
+    let total_pairs: u64 =
+        if directed { (n as u64) * (n as u64 - 1) } else { (n as u64) * (n as u64 - 1) / 2 };
     let log1mp = (1.0 - p).ln();
     let mut idx: u64 = 0;
     loop {
@@ -116,9 +113,7 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     let mut block_of = vec![0usize; n];
     let mut start = 0usize;
     for (b, &size) in block_sizes.iter().enumerate() {
-        for v in start..start + size {
-            block_of[v] = b;
-        }
+        block_of[start..start + size].fill(b);
         start += size;
     }
 
@@ -140,10 +135,7 @@ pub fn stochastic_block_model<R: Rng + ?Sized>(
     if p_out > 0.0 {
         let cross_pairs: u64 = {
             let total = (n as u64) * (n as u64 - 1) / 2;
-            let within: u64 = block_sizes
-                .iter()
-                .map(|&s| (s as u64) * (s as u64 - 1) / 2)
-                .sum();
+            let within: u64 = block_sizes.iter().map(|&s| (s as u64) * (s as u64 - 1) / 2).sum();
             total - within
         };
         let expected = (cross_pairs as f64 * p_out).round() as u64;

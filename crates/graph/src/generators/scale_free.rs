@@ -102,7 +102,8 @@ pub fn rmat<R: Rng + ?Sized>(
                 let f = 1.0 + params.noise * (rng.gen::<f64>() - 0.5);
                 (p * f).max(0.0)
             };
-            let (a, b, c, d) = (jitter(params.a), jitter(params.b), jitter(params.c), jitter(params.d));
+            let (a, b, c, d) =
+                (jitter(params.a), jitter(params.b), jitter(params.c), jitter(params.d));
             let total = a + b + c + d;
             let r = rng.gen::<f64>() * total;
             let (right, down) = if r < a {

@@ -14,9 +14,7 @@ use std::path::Path;
 ///
 /// Returns the edge list and, if any line carried a third column, the parsed
 /// per-edge weights (in the same order as the edges).
-pub fn read_snap_edge_list<R: Read>(
-    reader: R,
-) -> Result<(EdgeList, Option<Vec<f32>>), GraphError> {
+pub fn read_snap_edge_list<R: Read>(reader: R) -> Result<(EdgeList, Option<Vec<f32>>), GraphError> {
     let reader = BufReader::new(reader);
     let mut el = EdgeList::default();
     let mut weights: Vec<f32> = Vec::new();
@@ -55,14 +53,10 @@ pub fn read_snap_edge_list<R: Read>(
 }
 
 fn parse_field(field: Option<&str>, line: usize, what: &str) -> Result<u64, GraphError> {
-    let raw = field.ok_or_else(|| GraphError::Parse {
-        line,
-        message: format!("missing {what} vertex"),
-    })?;
-    raw.parse().map_err(|_| GraphError::Parse {
-        line,
-        message: format!("invalid {what} vertex '{raw}'"),
-    })
+    let raw = field
+        .ok_or_else(|| GraphError::Parse { line, message: format!("missing {what} vertex") })?;
+    raw.parse()
+        .map_err(|_| GraphError::Parse { line, message: format!("invalid {what} vertex '{raw}'") })
 }
 
 /// Read a SNAP edge-list file from disk.

@@ -97,8 +97,7 @@ impl EdgeWeights {
             if indeg == 0 {
                 continue;
             }
-            let raws: Vec<f32> =
-                (0..indeg).map(|_| raw_dist.sample(rng)).collect();
+            let raws: Vec<f32> = (0..indeg).map(|_| raw_dist.sample(rng)).collect();
             let total: f32 = raws.iter().sum();
             // Total activation mass given to neighbors; the rest is "none".
             let mass: f32 = rng.gen_range(0.5f32..1.0f32);
@@ -126,10 +125,8 @@ impl EdgeWeights {
                 actual: weights.len(),
             });
         }
-        if let Some((i, &w)) = weights
-            .iter()
-            .enumerate()
-            .find(|(_, &w)| !(0.0..=1.0).contains(&w) || w.is_nan())
+        if let Some((i, &w)) =
+            weights.iter().enumerate().find(|(_, &w)| !(0.0..=1.0).contains(&w) || w.is_nan())
         {
             return Err(GraphError::InvalidWeight { edge_index: i, value: w });
         }
@@ -168,10 +165,7 @@ impl EdgeWeights {
 
     /// Sum of in-edge weights of `v` (must be ≤ 1 for a valid LT instance).
     pub fn in_weight_sum(&self, graph: &CsrGraph, v: NodeId) -> f32 {
-        graph
-            .in_neighbors_with_edge_ids(v)
-            .map(|(_, eid)| self.weights[eid])
-            .sum()
+        graph.in_neighbors_with_edge_ids(v).map(|(_, eid)| self.weights[eid]).sum()
     }
 }
 

@@ -33,7 +33,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.ways > 0, "associativity must be positive");
         assert!(
-            self.size_bytes % (self.line_bytes * self.ways) == 0,
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
             "cache size must be a multiple of line_bytes * ways"
         );
         assert!(self.num_sets() > 0, "cache must have at least one set");

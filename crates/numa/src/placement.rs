@@ -54,9 +54,7 @@ impl NumaRegion {
                 assert!(node < topology.num_nodes(), "placement node {node} out of range");
                 vec![node; pages]
             }
-            PlacementPolicy::Interleaved => {
-                (0..pages).map(|p| p % topology.num_nodes()).collect()
-            }
+            PlacementPolicy::Interleaved => (0..pages).map(|p| p % topology.num_nodes()).collect(),
         };
         NumaRegion { page_owner, element_bytes, bytes }
     }

@@ -95,7 +95,11 @@ impl BitSet {
 
     /// Iterate over set bits in increasing order.
     pub fn iter(&self) -> BitSetIter<'_> {
-        BitSetIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Heap bytes used by the word array.
@@ -106,11 +110,7 @@ impl BitSet {
 
     /// Number of set bits shared with `other`.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// In-place union with `other` (capacities must match).

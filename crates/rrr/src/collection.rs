@@ -151,11 +151,7 @@ impl RrrCollection {
         if self.sets.is_empty() {
             return 0.0;
         }
-        let covered = self
-            .sets
-            .iter()
-            .filter(|s| seeds.iter().any(|&v| s.contains(v)))
-            .count();
+        let covered = self.sets.iter().filter(|s| seeds.iter().any(|&v| s.contains(v))).count();
         covered as f64 / self.sets.len() as f64
     }
 

@@ -75,7 +75,11 @@ pub enum RrrSet {
 impl RrrSet {
     /// Build from the raw (unsorted, duplicate-free) vertex list produced by
     /// the reverse BFS, choosing the representation with `policy`.
-    pub fn from_vertices(mut vertices: Vec<NodeId>, num_nodes: usize, policy: &AdaptivePolicy) -> Self {
+    pub fn from_vertices(
+        mut vertices: Vec<NodeId>,
+        num_nodes: usize,
+        policy: &AdaptivePolicy,
+    ) -> Self {
         match policy.choose(vertices.len(), num_nodes) {
             Representation::SortedList => {
                 vertices.sort_unstable();
@@ -169,7 +173,10 @@ mod tests {
 
     #[test]
     fn policy_extremes() {
-        assert_eq!(AdaptivePolicy::always_sorted().choose(10_000, 10_000), Representation::SortedList);
+        assert_eq!(
+            AdaptivePolicy::always_sorted().choose(10_000, 10_000),
+            Representation::SortedList
+        );
         assert_eq!(AdaptivePolicy::always_bitmap().choose(1, 10_000), Representation::Bitmap);
     }
 
@@ -205,7 +212,8 @@ mod tests {
     #[test]
     fn memory_accounting_differs_by_representation() {
         let vertices: Vec<u32> = (0..100).collect();
-        let sorted = RrrSet::from_vertices(vertices.clone(), 100_000, &AdaptivePolicy::always_sorted());
+        let sorted =
+            RrrSet::from_vertices(vertices.clone(), 100_000, &AdaptivePolicy::always_sorted());
         let bitmap = RrrSet::from_vertices(vertices, 100_000, &AdaptivePolicy::always_bitmap());
         assert_eq!(sorted.memory_bytes(), 400);
         // Bitmap over 100_000 vertices = 12_500 bytes regardless of contents.

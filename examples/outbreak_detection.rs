@@ -62,7 +62,10 @@ fn main() {
 
     println!("\noutbreak detection rate over {trials} simulated outbreaks:");
     println!("  IMM sensor placement:    {:.1}%", 100.0 * detected_by_imm as f64 / trials as f64);
-    println!("  random sensor placement: {:.1}%", 100.0 * detected_by_random as f64 / trials as f64);
+    println!(
+        "  random sensor placement: {:.1}%",
+        100.0 * detected_by_random as f64 / trials as f64
+    );
 }
 
 /// The set of vertices infected by one simulated outbreak (as a boolean set

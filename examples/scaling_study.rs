@@ -38,7 +38,10 @@ fn main() {
 
     for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
         println!("\n== {model} ==");
-        println!("{:<14} {:>8} {:>14} {:>18} {:>16}", "engine", "threads", "wall (s)", "modeled speedup", "wall speedup");
+        println!(
+            "{:<14} {:>8} {:>14} {:>18} {:>16}",
+            "engine", "threads", "wall (s)", "modeled speedup", "wall speedup"
+        );
         for algorithm in [Algorithm::Ripples, Algorithm::Efficient] {
             let curve = scaling_curve(&dataset, model, algorithm, &threads, k, eps);
             for p in &curve {
@@ -53,5 +56,7 @@ fn main() {
             }
         }
     }
-    println!("\n(Modelled speedups come from the measured per-thread work profiles; see DESIGN.md §4.)");
+    println!(
+        "\n(Modelled speedups come from the measured per-thread work profiles; see DESIGN.md §4.)"
+    );
 }

@@ -2,7 +2,9 @@
 //! reproduction's own substrates — the checks EXPERIMENTS.md summarizes.
 
 use efficient_imm::balance::Schedule;
-use efficient_imm::instrumented::{bitmap_check_cost, cache_misses_efficient, cache_misses_ripples};
+use efficient_imm::instrumented::{
+    bitmap_check_cost, cache_misses_efficient, cache_misses_ripples,
+};
 use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
 use efficient_imm::selection::efficient::select_seeds_efficient;
 use efficient_imm::selection::ripples::select_seeds_ripples;

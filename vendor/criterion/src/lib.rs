@@ -1,0 +1,208 @@
+//! Offline subset of `criterion`.
+//!
+//! Keeps the bench-target surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`) source-compatible, but replaces the
+//! statistical runner with a plain timed loop: each benchmark runs
+//! `sample_size` iterations after one warm-up and prints the mean iteration
+//! time. Good enough to keep `cargo bench` informative offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Timing driver passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up iteration outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Names accepted by `bench_function`.
+pub trait IntoBenchmarkId {
+    /// Render to the printed id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into_id(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations per measurement.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into_id(), self.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(group: &str, id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters: sample_size as u64, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let full = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    if bencher.iters > 0 && bencher.elapsed > Duration::ZERO {
+        let per_iter = bencher.elapsed / bencher.iters as u32;
+        println!("bench: {full:<50} {per_iter:>12.2?}/iter ({} iters)", bencher.iters);
+    } else {
+        println!("bench: {full:<50} (no measurement)");
+    }
+}
+
+/// Prevent the optimizer from deleting a computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &x| {
+                b.iter(|| {
+                    calls += 1;
+                    x * 2
+                })
+            });
+            g.finish();
+        }
+        // One warm-up + 3 timed iterations.
+        assert_eq!(calls, 4);
+    }
+}

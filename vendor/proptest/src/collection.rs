@@ -1,0 +1,62 @@
+//! Collection strategies (`vec`, `hash_set`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len =
+            if self.size.is_empty() { self.size.start } else { rng.0.gen_range(self.size.clone()) };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy for `HashSet<S::Value>`; duplicates generated while filling
+/// simply collapse, so the final size may be below the drawn target (the
+/// real crate behaves the same way for narrow element domains).
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target =
+            if self.size.is_empty() { self.size.start } else { rng.0.gen_range(self.size.clone()) };
+        let mut out = HashSet::with_capacity(target);
+        for _ in 0..target {
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+/// `proptest::collection::hash_set(element, size_range)`.
+pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size }
+}

@@ -1,0 +1,143 @@
+//! Offline subset of `proptest`.
+//!
+//! Runs each property for `ProptestConfig::cases` deterministic
+//! pseudo-random cases. Unlike the real crate there is no shrinking — a
+//! failing case panics with the generated inputs' `Debug` representation
+//! (via the `prop_assert*` macros), which is enough for the workspace's
+//! invariant tests.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Strategy};
+
+/// Configuration accepted via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default (256) is overkill for the CPU-heavy invariant
+        // properties here; 64 keeps `cargo test` fast while still sweeping
+        // a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(pub(crate) SmallRng);
+
+impl TestRng {
+    /// Fixed-seed generator: every `cargo test` run sees the same cases.
+    pub fn deterministic() -> Self {
+        TestRng(SmallRng::seed_from_u64(0x5EED_CA5E_D00D_F00D))
+    }
+}
+
+/// The prelude mirrored from the real crate: strategy traits/constructors,
+/// the macros, and the crate itself under the `prop` alias (for paths like
+/// `prop::sample::Index`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...)` block is
+/// expanded into a `#[test]` that evaluates the body for many generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` with proptest's name (no shrinking, so it simply panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// `assert_eq!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// `assert_ne!` with proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*); };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in prop::collection::vec(0u64..100, 2..10)) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            (n, v) in (1usize..20).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0usize..n, 1..5))
+            }),
+        ) {
+            prop_assert!(v.iter().all(|&e| e < n));
+        }
+
+        #[test]
+        fn index_is_always_valid(ix in any::<prop::sample::Index>(), n in 1usize..50) {
+            prop_assert!(ix.index(n) < n);
+        }
+    }
+}

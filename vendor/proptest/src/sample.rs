@@ -1,0 +1,27 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::strategy::Arbitrary;
+use crate::TestRng;
+use rand::Rng;
+
+/// An index into a collection whose length is only known inside the test
+/// body; `index(len)` maps the stored entropy uniformly into `0..len`.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(usize);
+
+impl Index {
+    /// Map into `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`, like the real crate.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.0.gen::<usize>())
+    }
+}

@@ -1,0 +1,195 @@
+//! Distributions: `Standard`, `Uniform`, and the `gen_range` plumbing.
+
+use crate::Rng;
+
+/// Types that can produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: `[0, 1)` for floats, uniform over the whole
+/// domain for integers and `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+
+    use super::Distribution;
+    use crate::Rng;
+
+    /// Types `gen_range` / `Uniform` can sample uniformly.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[low, high)` (or `[low, high]` if `inclusive`).
+        fn sample_uniform<R: Rng + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                    let span = (high as u128)
+                        .wrapping_sub(low as u128)
+                        .wrapping_add(inclusive as u128);
+                    debug_assert!(span > 0, "empty range in gen_range");
+                    // Modulo bias is ≤ span/2^64, negligible for the ranges
+                    // this workspace draws from (all far below 2^64).
+                    low.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                    let span = (high as i128 - low as i128 + inclusive as i128) as u128;
+                    debug_assert!(span > 0, "empty range in gen_range");
+                    (low as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+                    let unit: $t = super::Standard.sample(rng);
+                    low + (high - low) * unit
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Range arguments accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "empty range in gen_range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "empty range in gen_range");
+            T::sample_uniform(rng, low, high, true)
+        }
+    }
+
+    pub use super::Uniform;
+}
+
+/// Pre-built uniform distribution over `[low, high)` or `[low, high]`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.low, self.high, self.inclusive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let v = r.gen_range(0usize..=3);
+            assert!(v <= 3);
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_bounds() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let d = Uniform::new(0.05f32, 1.0f32);
+        for _ in 0..10_000 {
+            let v = d.sample(&mut r);
+            assert!((0.05..1.0).contains(&v));
+        }
+    }
+}

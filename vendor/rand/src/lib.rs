@@ -1,0 +1,72 @@
+//! Offline, dependency-free subset of the `rand` 0.8 API.
+//!
+//! Provides exactly the surface the workspace uses: [`rngs::SmallRng`]
+//! (a xoshiro256++ generator with splitmix64 seeding), the [`Rng`] /
+//! [`SeedableRng`] traits with `gen`, `gen_range`, `gen_bool`, the
+//! [`distributions::Uniform`] distribution, and
+//! [`seq::SliceRandom::shuffle`]. Everything is deterministic given a seed,
+//! which is all the reproduction needs — statistical quality matches the
+//! upstream `SmallRng` family (xoshiro) closely enough for Monte-Carlo use.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32;
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, uniform over all values for integers/bool).
+    #[inline]
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from `range` (`low..high` or `low..=high`).
+    #[inline]
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Constructing a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub use rngs::SmallRng;

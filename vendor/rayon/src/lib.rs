@@ -1,0 +1,158 @@
+//! Offline subset of the `rayon` API.
+//!
+//! * [`scope`] / [`Scope::spawn`] run closures on real scoped OS threads, so
+//!   code exercising concurrency (atomic counters, work-stealing queues)
+//!   behaves concurrently.
+//! * [`ThreadPool`] is a thin token recording the requested parallelism;
+//!   `install` runs the closure on the calling thread and `scope` delegates
+//!   to scoped OS threads. There is no work-stealing runtime.
+//! * The [`prelude`] maps the parallel-iterator surface the workspace uses
+//!   (`par_iter`, `into_par_iter`, `par_chunks`, `reduce_with`) onto
+//!   sequential std iterators — semantics identical, parallelism absent.
+
+pub mod prelude;
+
+use std::fmt;
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default (machine) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Request an explicit worker count (0 = machine parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Worker naming hook (accepted and ignored; no persistent workers).
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Handle mirroring `rayon::ThreadPool`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The parallelism this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` in the pool's context (here: the calling thread).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Scoped fork-join on this pool; see [`scope`].
+    pub fn scope<'env, OP, R>(&self, op: OP) -> R
+    where
+        OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        scope(op)
+    }
+}
+
+/// Fork-join scope handing out [`Scope::spawn`]. Backed by
+/// `std::thread::scope`, so every spawn is a real OS thread that joins when
+/// the scope ends.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that runs concurrently with the rest of the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Fork-join: `op` may spawn tasks on the scope; all tasks complete before
+/// `scope` returns. Mirrors `rayon::scope`.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_spawns() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_reports_requested_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

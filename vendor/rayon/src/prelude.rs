@@ -1,0 +1,82 @@
+//! Parallel-iterator surface mapped onto sequential std iterators.
+//!
+//! `use rayon::prelude::*` brings these traits into scope; `par_iter`,
+//! `into_par_iter` and `par_chunks` simply return the corresponding
+//! sequential iterator, and [`ParallelIterator::reduce_with`] (a rayon-only
+//! combinator) is provided as an extension on every iterator.
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Produced iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type.
+    type Item;
+    /// Convert into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    #[inline]
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter` for borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Produced iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Element type (a reference).
+    type Item: 'data;
+    /// Borrowing (sequential) "parallel" iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    #[inline]
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Rayon-only combinators, provided on every iterator.
+pub trait ParallelIterator: Iterator + Sized {
+    /// Fold all items pairwise; `None` on an empty iterator
+    /// (rayon's `reduce_with`).
+    #[inline]
+    fn reduce_with<OP>(self, op: OP) -> Option<Self::Item>
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item,
+    {
+        self.reduce(op)
+    }
+
+    /// Granularity hint; a no-op here.
+    #[inline]
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T> {
+    /// Sequential chunk iterator standing in for rayon's parallel one.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}

@@ -1,0 +1,142 @@
+//! Offline subset of `serde`.
+//!
+//! Instead of the real crate's visitor-based `Serializer`/`Deserializer`
+//! machinery, [`Serialize`] renders directly into a self-describing
+//! [`Value`] tree (the same data model `serde_json::Value` exposes), which
+//! is all the workspace's JSON logging needs. The derive macros
+//! (`#[derive(serde::Serialize, serde::Deserialize)]`) are re-exported from
+//! the companion `serde_derive` shim and generate impls of these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Number, Value};
+
+/// Render `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produce the value-tree representation.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker for types deserializable from the [`Value`] data model.
+///
+/// Typed deserialization is not exercised by this workspace (only
+/// `serde_json::Value` round-trips), so the trait carries no methods; the
+/// derive emits an empty impl to keep `#[derive(serde::Deserialize)]`
+/// attributes compiling.
+pub trait Deserialize: Sized {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for the std types the workspace stores in serialized
+// structs: integers, floats, bool, strings, Vec/slice, Option, Duration.
+// ---------------------------------------------------------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::from_u64(v as u64))
+                } else {
+                    Value::Number(Number::from_i64(v))
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for f64 {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for bool {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    /// Matches upstream serde's `{secs, nanos}` encoding.
+    fn serialize_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().serialize_value()),
+            ("nanos".to_string(), self.subsec_nanos().serialize_value()),
+        ])
+    }
+}
+
+impl Serialize for Value {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}

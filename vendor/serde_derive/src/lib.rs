@@ -1,0 +1,321 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly the item shapes the workspace derives on:
+//!
+//! * structs with named fields (`struct S { a: T, .. }`) and unit structs;
+//! * enums whose variants are unit (`E::A`) or struct-like
+//!   (`E::B { x: T }`), serialized with serde's externally-tagged layout.
+//!
+//! Generics, tuple structs and tuple variants are rejected with a panic at
+//! macro-expansion time (none occur in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Struct variant with named fields.
+    Named(Vec<String>),
+    /// Tuple variant with this many positional fields.
+    Tuple(usize),
+}
+
+enum Body {
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Skip any `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attributes(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next(); // '#'
+        it.next(); // [...]
+    }
+}
+
+/// Skip `pub` / `pub(...)` at the cursor.
+fn skip_visibility(it: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        let is_restriction = matches!(
+            it.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if is_restriction {
+            it.next();
+        }
+    }
+}
+
+/// Parse `ident : Type` pairs from the token stream of a brace group,
+/// returning the field names. Types are skipped by tracking `<`/`>` depth
+/// so commas inside generics don't split fields.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        skip_visibility(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde shim derive: expected ':' after field, got {other:?}"),
+                }
+                let mut depth = 0i32;
+                loop {
+                    let advance = match it.peek() {
+                        None => false,
+                        Some(TokenTree::Punct(p)) => {
+                            let c = p.as_char();
+                            match c {
+                                '<' => depth += 1,
+                                '>' => {
+                                    depth -= 1;
+                                    // A lone '>' at depth 0 means we hit the
+                                    // '->' of a function type, which this
+                                    // walker cannot delimit — fail loudly
+                                    // instead of silently dropping fields.
+                                    assert!(
+                                        depth >= 0,
+                                        "serde shim derive: function types in fields are not supported"
+                                    );
+                                }
+                                ',' if depth == 0 => {
+                                    it.next(); // consume the separator
+                                    break;
+                                }
+                                _ => {}
+                            }
+                            true
+                        }
+                        Some(_) => true,
+                    };
+                    if !advance {
+                        break;
+                    }
+                    it.next();
+                }
+            }
+            Some(other) => panic!("serde shim derive: unexpected token in fields: {other}"),
+        }
+    }
+    fields
+}
+
+/// Count positional fields of a tuple variant by splitting its paren group
+/// on top-level commas (tracking `<`/`>` depth for generic types).
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut in_field = false;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    // Field separator; tolerates a trailing comma.
+                    if in_field {
+                        count += 1;
+                        in_field = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        in_field = true;
+    }
+    if in_field {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attributes(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let group = match it.peek() {
+                    Some(TokenTree::Group(g)) => Some((g.delimiter(), g.stream())),
+                    _ => None,
+                };
+                let shape = match group {
+                    Some((Delimiter::Brace, stream)) => {
+                        it.next();
+                        VariantShape::Named(parse_named_fields(stream))
+                    }
+                    Some((Delimiter::Parenthesis, stream)) => {
+                        it.next();
+                        VariantShape::Tuple(count_tuple_fields(stream))
+                    }
+                    _ => VariantShape::Unit,
+                };
+                variants.push(Variant { name, shape });
+                // Skip to the next comma (covers explicit discriminants).
+                for tt in it.by_ref() {
+                    if matches!(tt, TokenTree::Punct(ref p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(other) => panic!("serde shim derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // attribute group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "pub" {
+                    let is_restriction = matches!(
+                        it.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    );
+                    if is_restriction {
+                        it.next();
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: no struct/enum keyword found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic items are not supported");
+    }
+    let body = loop {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if keyword == "struct" {
+                    Body::Struct(parse_named_fields(g.stream()))
+                } else {
+                    Body::Enum(parse_variants(g.stream()))
+                };
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                // Unit struct.
+                break Body::Struct(Vec::new());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported");
+            }
+            Some(_) => {}
+            None => panic!("serde shim derive: item has no body"),
+        }
+    };
+    Item { name, body }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push((\"{f}\".to_string(), serde::Serialize::serialize_value(&self.{f})));"
+                ));
+            }
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new(); {pushes} serde::Value::Object(fields)"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serde::Value::String(\"{vname}\".to_string()),"
+                    )),
+                    VariantShape::Named(fields) => {
+                        let pattern = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{f}\".to_string(), serde::Serialize::serialize_value({f})));"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {pattern} }} => {{ \
+                                 let mut inner: Vec<(String, serde::Value)> = Vec::new(); \
+                                 {pushes} \
+                                 serde::Value::Object(vec![(\"{vname}\".to_string(), serde::Value::Object(inner))]) \
+                             }},"
+                        ));
+                    }
+                    // serde's externally-tagged layout: newtype variants
+                    // wrap the single value, longer tuples wrap an array.
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), serde::Serialize::serialize_value(f0))]),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let pattern = bindings.join(", ");
+                        let elems: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        let elems = elems.join(", ");
+                        arms.push_str(&format!(
+                            "{name}::{vname}({pattern}) => serde::Value::Object(vec![(\
+                                 \"{vname}\".to_string(), serde::Value::Array(vec![{elems}]))]),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+             fn serialize_value(&self) -> serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    format!("#[automatically_derived] impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl must parse")
+}

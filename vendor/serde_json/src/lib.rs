@@ -1,0 +1,412 @@
+//! Offline subset of `serde_json`.
+//!
+//! [`Value`] and [`Number`] are re-exported from the `serde` shim (one shared
+//! data model instead of the real crates' serializer bridge). Provides the
+//! [`json!`] macro, compact/pretty writers, and a recursive-descent JSON
+//! parser for [`from_str`].
+
+pub use serde::{Number, Value};
+
+use std::fmt;
+
+/// Error produced by [`from_str`] (and, for signature compatibility, by the
+/// infallible writers).
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+    /// Byte offset the parser failed at (0 for writer errors).
+    pub offset: usize,
+}
+
+impl Error {
+    fn new(message: impl Into<String>, offset: usize) -> Self {
+        Error { message: message.into(), offset }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any [`serde::Serialize`] value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a 2-space-indented JSON string (serde_json's pretty format).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    let (nl, pad, pad_inner, colon) = match indent {
+        Some(unit) => ("\n", unit.repeat(level), unit.repeat(level + 1), ": "),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_inner);
+                write_value(out, item, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_inner);
+                write_escaped(out, k);
+                out.push_str(colon);
+                write_value(out, val, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected '{}'", c as char), *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input", *pos)),
+        Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new("expected ',' or ']'", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error::new("expected ',' or '}'", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, kw: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(kw.as_bytes()) {
+        *pos += kw.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("expected '{kw}'"), *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("bad \\u escape", *pos))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("bad \\u escape", *pos))?,
+                            16,
+                        )
+                        .map_err(|_| Error::new("bad \\u escape", *pos))?;
+                        // Surrogate pairs are not needed by this workspace's
+                        // logs; map unpaired surrogates to the replacement
+                        // character like serde_json's lossy mode.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 code point.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| Error::new("invalid utf-8", *pos))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+    if text.is_empty() || text == "-" {
+        return Err(Error::new("invalid number", start));
+    }
+    if !is_float {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::from_u64(v)));
+        }
+        if let Ok(v) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::from_i64(v)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|v| Value::Number(Number::from_f64(v)))
+        .map_err(|_| Error::new("invalid number", start))
+}
+
+/// Build a [`Value`] with JSON syntax. Keys must be string literals; values
+/// may be nested `{...}`/`[...]` literals or arbitrary expressions whose
+/// types implement `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object($crate::json_internal!(@object [] $($tt)+))
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: a token muncher that accumulates the
+/// finished entries in a bracketed list and emits one `vec![...]` at the end.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // -- object entries ----------------------------------------------------
+    (@object [$($pairs:expr,)*]) => { vec![$($pairs,)*] };
+    (@object [$($pairs:expr,)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::Value::Null),] $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : null) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::Value::Null),])
+    };
+    (@object [$($pairs:expr,)*] $key:literal : { $($map:tt)* } , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::json!({ $($map)* })),] $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : { $($map:tt)* }) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::json!({ $($map)* })),])
+    };
+    (@object [$($pairs:expr,)*] $key:literal : [ $($arr:tt)* ] , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::json!([ $($arr)* ])),] $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : [ $($arr:tt)* ]) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::json!([ $($arr)* ])),])
+    };
+    (@object [$($pairs:expr,)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::to_value(&$value)),] $($rest)*)
+    };
+    (@object [$($pairs:expr,)*] $key:literal : $value:expr) => {
+        $crate::json_internal!(@object [$($pairs,)* ($key.to_string(), $crate::to_value(&$value)),])
+    };
+    // -- array elements ----------------------------------------------------
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] { $($map:tt)* } , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({ $($map)* }),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] { $($map:tt)* }) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json!({ $($map)* }),])
+    };
+    (@array [$($elems:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$value),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $value:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::to_value(&$value),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_objects() {
+        let seeds = vec![3u32, 5, 8];
+        let v = json!({
+            "k": 3,
+            "name": "demo",
+            "inner": { "wall": 1.5, "flag": true },
+            "seeds": seeds,
+        });
+        assert_eq!(v["k"], 3);
+        assert_eq!(v["name"], "demo");
+        assert_eq!(v["inner"]["wall"], 1.5);
+        assert_eq!(v["seeds"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({ "a": 1, "b": [1.5, "x", false], "c": { "d": null } });
+        let text = to_string_pretty(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v = from_str(r#"{"s": "a\nb\"c", "n": -12, "f": 3.25e2}"#).unwrap();
+        assert_eq!(v["s"], "a\nb\"c");
+        assert_eq!(v["n"].as_i64(), Some(-12));
+        assert_eq!(v["f"].as_f64(), Some(325.0));
+    }
+
+    #[test]
+    fn empty_array_serializes_bare() {
+        let empty: [u32; 0] = [];
+        assert_eq!(to_string_pretty(&empty[..]).unwrap(), "[]");
+    }
+}
