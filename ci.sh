@@ -9,6 +9,14 @@ cargo fmt --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# `cargo test` does not build examples, and the figure/table + throughput
+# binaries are only compiled on demand; gate them all here.
+echo "==> cargo build (workspace, all targets)"
+cargo build --workspace --all-targets
+
+echo "==> cargo doc (workspace, deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 # The tier-1 gate is run verbatim (exactly as the driver invokes it), even
 # though the workspace sweep below is a superset of `cargo test -q` — the
 # few seconds of overlap buy a literal check of the contract in ROADMAP.md.

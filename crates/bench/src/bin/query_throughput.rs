@@ -1,0 +1,131 @@
+//! Query-serving throughput over a frozen sketch index: queries/sec vs.
+//! worker threads vs. cache hit rate.
+//!
+//! The serving scenario the ROADMAP targets: sampling runs **once**
+//! (`build-index`), then heavy query traffic — top-k budgets, spread and
+//! marginal-gain estimates — is answered from the frozen sketch. The
+//! workload draws from a bounded pool of distinct queries with repetition,
+//! the way real dashboards re-ask the same questions, so the LRU response
+//! cache sees realistic hit rates.
+//!
+//! Environment knobs: `IMM_BENCH_DATASET` (default web-Google),
+//! `IMM_BENCH_THREADS`, `IMM_BENCH_K`, `IMM_BENCH_EPSILON`,
+//! `IMM_QUERY_BATCH` (default 512), `IMM_QUERY_POOL` (default 64 distinct
+//! queries).
+
+use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams};
+use imm_bench::output::{fmt_seconds, results_dir, TextTable};
+use imm_bench::runner::weights_for;
+use imm_bench::{config, datasets};
+use imm_diffusion::DiffusionModel;
+use imm_service::{Query, QueryEngine, SketchIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default).max(1)
+}
+
+/// A bounded pool of distinct queries, then a batch sampled from it with
+/// repetition.
+fn build_workload(
+    num_nodes: usize,
+    k: usize,
+    pool_size: usize,
+    batch_size: usize,
+    rng: &mut SmallRng,
+) -> Vec<Query> {
+    let mut pool: Vec<Query> = Vec::with_capacity(pool_size);
+    for i in 0..pool_size {
+        let query = match i % 3 {
+            0 => Query::TopK { k: 1 + i % k.max(1) },
+            1 => {
+                let len = 1 + rng.gen_range(0usize..4);
+                let seeds = (0..len).map(|_| rng.gen_range(0..num_nodes as u32)).collect();
+                Query::Spread { seeds }
+            }
+            _ => {
+                let len = 1 + rng.gen_range(0usize..3);
+                let seeds = (0..len).map(|_| rng.gen_range(0..num_nodes as u32)).collect();
+                Query::Marginal { seeds, candidate: rng.gen_range(0..num_nodes as u32) }
+            }
+        };
+        pool.push(query);
+    }
+    (0..batch_size).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect()
+}
+
+fn main() {
+    let scale = config::bench_scale();
+    let k = config::bench_k();
+    let eps = config::bench_epsilon();
+    let thread_counts = config::bench_threads();
+    let batch_size = env_usize("IMM_QUERY_BATCH", 512);
+    let pool_size = env_usize("IMM_QUERY_POOL", 64);
+    let name = std::env::var("IMM_BENCH_DATASET").unwrap_or_else(|_| "web-Google".to_string());
+    let spec = datasets::find(scale, &name).expect("dataset exists in the registry");
+    let dataset = spec.build();
+
+    // Sampling phase, once: run IMM with set retention and freeze the index.
+    let model = DiffusionModel::IndependentCascade;
+    let params = ImmParams::new(k, eps, model).with_seed(0x5E21 ^ spec.seed);
+    let exec = ExecutionConfig::new(Algorithm::Efficient, 4).with_retained_sets(true);
+    let t0 = Instant::now();
+    let result = run_imm(&dataset.graph, weights_for(&dataset, model), &params, &exec)
+        .expect("valid parameters");
+    let build_seconds = t0.elapsed().as_secs_f64();
+    let index = Arc::new(
+        SketchIndex::build(&dataset.graph, result.rrr_sets.expect("retained"), spec.name)
+            .expect("index build"),
+    );
+    eprintln!(
+        "[query-throughput] index frozen: θ = {}, {} nodes, {:.1} KiB, built in {}",
+        index.num_sets(),
+        index.num_nodes(),
+        index.memory_bytes() as f64 / 1024.0,
+        fmt_seconds(build_seconds),
+    );
+
+    let mut rng = SmallRng::seed_from_u64(0xBEEF ^ spec.seed);
+    let workload = build_workload(index.num_nodes(), k, pool_size, batch_size, &mut rng);
+
+    let mut table = TextTable::new(&[
+        "Threads",
+        "Queries",
+        "Wall (s)",
+        "Queries/sec",
+        "Cache hit rate",
+        "Cache entries",
+    ]);
+    for &threads in &thread_counts {
+        // Fresh engine per thread count: every run starts cold and pays the
+        // same greedy-prefix and cache-fill cost.
+        let engine = QueryEngine::new(Arc::clone(&index));
+        let t0 = Instant::now();
+        let responses = engine.execute_batch(&workload, threads);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), workload.len());
+        let stats = engine.cache_stats();
+        table.add_row(vec![
+            threads.to_string(),
+            workload.len().to_string(),
+            fmt_seconds(wall),
+            format!("{:.0}", workload.len() as f64 / wall.max(1e-9)),
+            format!("{:.1}%", stats.hit_rate() * 100.0),
+            stats.entries.to_string(),
+        ]);
+        eprintln!("[query-throughput] threads={threads} done");
+    }
+
+    println!(
+        "Query throughput over a frozen sketch index on {} (k = {k}, eps = {eps}, θ = {})",
+        spec.name,
+        index.num_sets()
+    );
+    println!("{}", table.render());
+    let csv = results_dir().join("query_throughput.csv");
+    table.write_csv(&csv).expect("write csv");
+    println!("CSV written to {}", csv.display());
+}

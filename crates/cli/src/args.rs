@@ -9,19 +9,30 @@ pub const USAGE: &str = "\
 efficient-imm — influence maximization (EfficientIMM / Ripples engines)
 
 USAGE:
-  efficient-imm generate --output <FILE> [--kind social|community|rmat|road]
-                         [--nodes <N>] [--avg-degree <D>] [--seed <S>]
-  efficient-imm run      (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
-                         [--algorithm efficientimm|ripples] [--k <K>]
-                         [--epsilon <E>] [--threads <T>] [--seed <S>]
-                         [--output <JSON>]
-  efficient-imm compare  (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
-                         [--k <K>] [--epsilon <E>] [--threads <T>]
-  efficient-imm stats    (--graph <FILE> | --dataset <NAME>) [--rrr-sets <N>]
+  efficient-imm generate    --output <FILE> [--kind social|community|rmat|road]
+                            [--nodes <N>] [--avg-degree <D>] [--seed <S>]
+  efficient-imm run         (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
+                            [--algorithm efficientimm|ripples] [--k <K>]
+                            [--epsilon <E>] [--threads <T>] [--seed <S>]
+                            [--output <JSON>]
+  efficient-imm compare     (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
+                            [--k <K>] [--epsilon <E>] [--threads <T>]
+  efficient-imm stats       (--graph <FILE> | --dataset <NAME> | --index <FILE>)
+                            [--rrr-sets <N>]
+  efficient-imm build-index (--graph <FILE> | --dataset <NAME>) --output <FILE>
+                            [--model ic|lt] [--k <K>] [--epsilon <E>]
+                            [--threads <T>] [--seed <S>]
+  efficient-imm query       --index <FILE> [--top-k <K1,K2,..>]
+                            [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
+                            [--threads <T>]
   efficient-imm help
 
-The --dataset name refers to the built-in SNAP analogues (com-Amazon,
-com-DBLP, com-YouTube, as-Skitter, web-Google, soc-Pokec, com-LJ, twitter7).";
+`build-index` samples RRR sets once (the expensive phase) and freezes them
+into a reusable sketch-index snapshot; `query` serves top-k / spread /
+marginal-gain requests from that snapshot without resampling, and `stats
+--index` reads coverage statistics from it. The --dataset name refers to the
+built-in SNAP analogues (com-Amazon, com-DBLP, com-YouTube, as-Skitter,
+web-Google, soc-Pokec, com-LJ, twitter7).";
 
 /// Which graph source a command reads.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,10 +82,36 @@ pub struct RunArgs {
 /// Parsed `stats` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsArgs {
-    /// Where the graph comes from.
-    pub source: GraphSource,
+    /// Where the graph comes from (absent when reading a saved index).
+    pub source: Option<GraphSource>,
     /// How many RRR sets to sample for the coverage columns.
     pub rrr_sets: usize,
+    /// Sketch-index snapshot to reuse instead of resampling.
+    pub index: Option<String>,
+}
+
+/// Parsed `build-index` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildIndexArgs {
+    /// The sampling run that produces the indexed collection.
+    pub run: RunArgs,
+    /// Where the snapshot is written.
+    pub output: String,
+}
+
+/// Parsed `query` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryArgs {
+    /// Sketch-index snapshot to serve from.
+    pub index: String,
+    /// Top-k budgets to answer (one query per entry).
+    pub top_k: Vec<usize>,
+    /// Seed set for a spread estimate.
+    pub spread: Option<Vec<u32>>,
+    /// Seed set and candidate for a marginal-gain estimate.
+    pub marginal: Option<(Vec<u32>, u32)>,
+    /// Worker threads for the query batch.
+    pub threads: usize,
 }
 
 /// A fully parsed command.
@@ -88,6 +125,10 @@ pub enum Command {
     Compare(RunArgs),
     /// `stats`
     Stats(StatsArgs),
+    /// `build-index`
+    BuildIndex(BuildIndexArgs),
+    /// `query`
+    Query(QueryArgs),
     /// `help`
     Help,
 }
@@ -157,6 +198,53 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     })
 }
 
+/// Parse a comma-separated vertex list (`"1,2,3"`).
+fn parse_vertex_list(raw: &str) -> Result<Vec<u32>, String> {
+    raw.split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("invalid vertex '{}' in '{raw}'", p.trim())))
+        .collect()
+}
+
+fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
+    let flags = Flags::parse(args)?;
+    let index = flags.get("--index").ok_or("query requires --index")?.to_string();
+    let top_k = match flags.get("--top-k") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|p| {
+                p.trim().parse().map_err(|_| format!("invalid budget '{}' in --top-k", p.trim()))
+            })
+            .collect::<Result<Vec<usize>, String>>()?,
+    };
+    let spread = flags.get("--spread").map(parse_vertex_list).transpose()?;
+    let marginal = match flags.get("--marginal") {
+        None => None,
+        Some(raw) => {
+            let (seeds, candidate) = raw
+                .split_once(':')
+                .ok_or(format!("--marginal wants 'seeds:candidate', got '{raw}'"))?;
+            let seeds =
+                if seeds.trim().is_empty() { Vec::new() } else { parse_vertex_list(seeds)? };
+            let candidate = candidate
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid candidate '{candidate}' in --marginal"))?;
+            Some((seeds, candidate))
+        }
+    };
+    if top_k.is_empty() && spread.is_none() && marginal.is_none() {
+        return Err("query needs at least one of --top-k, --spread, --marginal".into());
+    }
+    Ok(QueryArgs {
+        index,
+        top_k,
+        spread,
+        marginal,
+        threads: flags.get_parsed("--threads", 4usize)?,
+    })
+}
+
 /// Parse the raw CLI arguments into a [`Command`].
 pub fn parse(args: &[String]) -> Result<Command, String> {
     let Some(sub) = args.first() else {
@@ -179,11 +267,30 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "compare" => Ok(Command::Compare(parse_run(rest)?)),
         "stats" => {
             let flags = Flags::parse(rest)?;
+            let index = flags.get("--index").map(|s| s.to_string());
+            if index.is_some() {
+                // A snapshot already fixes the graph and the sample; a second
+                // source (or a sample size) would be silently ignored, so
+                // reject the combination outright.
+                for conflicting in ["--graph", "--dataset", "--rrr-sets"] {
+                    if flags.get(conflicting).is_some() {
+                        return Err(format!("pass either --index or {conflicting}, not both"));
+                    }
+                }
+                return Ok(Command::Stats(StatsArgs { source: None, rrr_sets: 0, index }));
+            }
             Ok(Command::Stats(StatsArgs {
-                source: flags.source()?,
+                source: Some(flags.source()?),
                 rrr_sets: flags.get_parsed("--rrr-sets", 256usize)?,
+                index: None,
             }))
         }
+        "build-index" => {
+            let run = parse_run(rest)?;
+            let output = run.output.clone().ok_or("build-index requires --output")?;
+            Ok(Command::BuildIndex(BuildIndexArgs { run, output }))
+        }
+        "query" => Ok(Command::Query(parse_query(rest)?)),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -271,9 +378,96 @@ mod tests {
         let cmd = parse(&sv(&["stats", "--graph", "g.txt", "--rrr-sets", "64"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Stats(StatsArgs { source: GraphSource::File("g.txt".into()), rrr_sets: 64 })
+            Command::Stats(StatsArgs {
+                source: Some(GraphSource::File("g.txt".into())),
+                rrr_sets: 64,
+                index: None,
+            })
         );
         let cmd = parse(&sv(&["compare", "--dataset", "com-Amazon"])).unwrap();
         assert!(matches!(cmd, Command::Compare(_)));
+    }
+
+    #[test]
+    fn stats_accepts_an_index_instead_of_a_source() {
+        let cmd = parse(&sv(&["stats", "--index", "g.sketch"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats(StatsArgs { source: None, rrr_sets: 0, index: Some("g.sketch".into()) })
+        );
+        // With neither index nor source, stats is still an error.
+        assert!(parse(&sv(&["stats", "--rrr-sets", "8"])).is_err());
+        // A snapshot fixes the graph and the sample, so combining --index
+        // with a source or a sample size is rejected, not silently ignored.
+        assert!(parse(&sv(&["stats", "--graph", "g.txt", "--index", "g.sketch"])).is_err());
+        assert!(parse(&sv(&["stats", "--dataset", "com-DBLP", "--index", "g.sketch"])).is_err());
+        assert!(parse(&sv(&["stats", "--index", "g.sketch", "--rrr-sets", "64"])).is_err());
+    }
+
+    #[test]
+    fn parses_build_index() {
+        let cmd = parse(&sv(&[
+            "build-index",
+            "--dataset",
+            "web-Google",
+            "--k",
+            "7",
+            "--output",
+            "g.sketch",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::BuildIndex(b) => {
+                assert_eq!(b.output, "g.sketch");
+                assert_eq!(b.run.k, 7);
+                assert_eq!(b.run.source, GraphSource::Dataset("web-Google".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(
+            parse(&sv(&["build-index", "--dataset", "web-Google"])).is_err(),
+            "--output is required"
+        );
+    }
+
+    #[test]
+    fn parses_query_with_every_kind() {
+        let cmd = parse(&sv(&[
+            "query",
+            "--index",
+            "g.sketch",
+            "--top-k",
+            "3,5",
+            "--spread",
+            "1,2,3",
+            "--marginal",
+            "1,2:9",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query(QueryArgs {
+                index: "g.sketch".into(),
+                top_k: vec![3, 5],
+                spread: Some(vec![1, 2, 3]),
+                marginal: Some((vec![1, 2], 9)),
+                threads: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn query_rejects_bad_or_missing_requests() {
+        assert!(parse(&sv(&["query", "--top-k", "3"])).is_err(), "--index is required");
+        assert!(
+            parse(&sv(&["query", "--index", "i"])).is_err(),
+            "at least one query kind is required"
+        );
+        assert!(parse(&sv(&["query", "--index", "i", "--top-k", "x"])).is_err());
+        assert!(parse(&sv(&["query", "--index", "i", "--spread", "1,x"])).is_err());
+        assert!(parse(&sv(&["query", "--index", "i", "--marginal", "1,2"])).is_err());
+        assert!(parse(&sv(&["query", "--index", "i", "--marginal", "1,2:x"])).is_err());
     }
 }

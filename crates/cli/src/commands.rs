@@ -1,6 +1,8 @@
 //! Command implementations for the `efficient-imm` CLI.
 
-use crate::args::{Command, GenerateArgs, GraphSource, RunArgs, StatsArgs, USAGE};
+use crate::args::{
+    BuildIndexArgs, Command, GenerateArgs, GraphSource, QueryArgs, RunArgs, StatsArgs, USAGE,
+};
 use efficient_imm::balance::Schedule;
 use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
 use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams, ImmResult};
@@ -8,8 +10,10 @@ use imm_bench::datasets::{find, Scale};
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, WeightModel};
 use imm_rrr::AdaptivePolicy;
+use imm_service::{Query, QueryEngine, QueryResponse, SketchIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Top-level error type: every failure is reported as a message string.
@@ -26,6 +30,8 @@ pub fn execute(command: Command) -> Result<(), CliError> {
         Command::Run(args) => run(&args),
         Command::Compare(args) => compare(&args),
         Command::Stats(args) => stats(&args),
+        Command::BuildIndex(args) => build_index(&args),
+        Command::Query(args) => query(&args),
     }
 }
 
@@ -170,8 +176,132 @@ fn compare(args: &RunArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Sample RRR sets once and freeze them into a reusable sketch-index
+/// snapshot: the expensive phase runs exactly once, every later `query` /
+/// `stats --index` invocation loads the frozen sample instead of resampling.
+fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
+    let run = &args.run;
+    let (graph, weights, name) = load(&run.source, run.model, run.seed)?;
+    let params = ImmParams::new(run.k, run.epsilon, run.model).with_seed(run.seed);
+    let exec = ExecutionConfig::new(run.algorithm, run.threads).with_retained_sets(true);
+    let start = Instant::now();
+    let result = run_imm(&graph, &weights, &params, &exec).map_err(|e| e.to_string())?;
+    let build_seconds = start.elapsed().as_secs_f64();
+    let collection = result.rrr_sets.expect("retained sets were requested");
+    let index = SketchIndex::build(&graph, collection, &name).map_err(|e| e.to_string())?;
+    index.save_to_path(&args.output).map_err(|e| format!("cannot write {}: {e}", args.output))?;
+    let json = serde_json::json!({
+        "input": name,
+        "snapshot": args.output,
+        "theta": index.num_sets(),
+        "nodes": index.num_nodes(),
+        "edges": index.meta().num_edges,
+        "index_memory_bytes": index.memory_bytes(),
+        "build_seconds": build_seconds,
+        "sampling_seconds": result.breakdown.timings.generate_rrrsets.as_secs_f64(),
+        "top_k_seeds": result.seeds,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
+
+fn response_json(query: &Query, response: &QueryResponse) -> serde_json::Value {
+    match (query, response) {
+        (
+            Query::TopK { k },
+            QueryResponse::TopK { seeds, coverage_fraction, estimated_influence },
+        ) => serde_json::json!({
+            "query": "top-k",
+            "k": k,
+            "seeds": seeds,
+            "coverage_fraction": coverage_fraction,
+            "estimated_influence": estimated_influence,
+        }),
+        (Query::Spread { seeds }, QueryResponse::Spread { coverage_fraction, estimate }) => {
+            serde_json::json!({
+                "query": "spread",
+                "seeds": seeds,
+                "coverage_fraction": coverage_fraction,
+                "estimate": estimate,
+            })
+        }
+        (Query::Marginal { seeds, candidate }, QueryResponse::Marginal { gain_fraction, gain }) => {
+            serde_json::json!({
+                "query": "marginal",
+                "seeds": seeds,
+                "candidate": candidate,
+                "gain_fraction": gain_fraction,
+                "gain": gain,
+            })
+        }
+        _ => unreachable!("engine answers every query with its own response kind"),
+    }
+}
+
+/// Serve queries from a saved sketch index — no graph, no sampling.
+fn query(args: &QueryArgs) -> Result<(), CliError> {
+    let index = SketchIndex::load_from_path(&args.index)
+        .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+    let engine = QueryEngine::new(Arc::new(index));
+
+    let mut queries: Vec<Query> = args.top_k.iter().map(|&k| Query::TopK { k }).collect();
+    if let Some(seeds) = &args.spread {
+        queries.push(Query::Spread { seeds: seeds.clone() });
+    }
+    if let Some((seeds, candidate)) = &args.marginal {
+        queries.push(Query::Marginal { seeds: seeds.clone(), candidate: *candidate });
+    }
+
+    let start = Instant::now();
+    let responses = engine.execute_batch(&queries, args.threads);
+    let wall = start.elapsed().as_secs_f64();
+
+    let meta = engine.index().meta();
+    let json = serde_json::json!({
+        "index": args.index,
+        "source": meta.label,
+        "theta": engine.index().num_sets(),
+        "nodes": engine.index().num_nodes(),
+        "threads": args.threads,
+        "wall_seconds": wall,
+        "responses": queries
+            .iter()
+            .zip(responses.iter())
+            .map(|(q, r)| response_json(q, r))
+            .collect::<Vec<_>>(),
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
+
+/// Coverage statistics from a saved index — the sketches are reused, not
+/// resampled. Only the stored collection is decoded; the inverted postings
+/// are not rebuilt for a read-only stats pass.
+fn stats_from_index(path: &str) -> Result<(), CliError> {
+    let (meta, collection) = imm_service::load_collection_from_path(path)
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let coverage = collection.coverage_stats();
+    let json = serde_json::json!({
+        "input": meta.label,
+        "snapshot": path,
+        "nodes": collection.num_nodes(),
+        "edges": meta.num_edges,
+        "rrr_sets_sampled": coverage.count,
+        "avg_rrr_coverage": coverage.avg_coverage,
+        "max_rrr_coverage": coverage.max_coverage,
+        "rrr_memory_bytes": coverage.memory_bytes,
+        "bitmap_sets": coverage.bitmap_sets,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
+
 fn stats(args: &StatsArgs) -> Result<(), CliError> {
-    let (graph, weights, name) = load(&args.source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
+    if let Some(path) = &args.index {
+        return stats_from_index(path);
+    }
+    let source = args.source.as_ref().ok_or("stats needs a graph source or an --index snapshot")?;
+    let (graph, weights, name) = load(source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
     let scc = properties::strongly_connected_components(&graph);
     let out_stats = properties::out_degree_stats(&graph);
 
@@ -304,11 +434,62 @@ mod tests {
         }))
         .unwrap();
         execute(Command::Stats(StatsArgs {
-            source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
+            source: Some(GraphSource::File(graph_path.to_string_lossy().into_owned())),
             rrr_sets: 32,
+            index: None,
         }))
         .unwrap();
         std::fs::remove_file(&graph_path).ok();
+    }
+
+    #[test]
+    fn build_index_then_query_and_stats_reuse_the_snapshot() {
+        let snapshot_path = temp_path("cli_index.sketch");
+        execute(Command::BuildIndex(BuildIndexArgs {
+            run: RunArgs {
+                source: GraphSource::Dataset("com-Amazon".into()),
+                model: DiffusionModel::IndependentCascade,
+                algorithm: Algorithm::Efficient,
+                k: 4,
+                epsilon: 0.5,
+                threads: 2,
+                seed: 11,
+                output: None,
+            },
+            output: snapshot_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+        assert!(snapshot_path.exists());
+
+        execute(Command::Query(QueryArgs {
+            index: snapshot_path.to_string_lossy().into_owned(),
+            top_k: vec![2, 4],
+            spread: Some(vec![0, 1]),
+            marginal: Some((vec![0], 1)),
+            threads: 2,
+        }))
+        .unwrap();
+
+        execute(Command::Stats(StatsArgs {
+            source: None,
+            rrr_sets: 32,
+            index: Some(snapshot_path.to_string_lossy().into_owned()),
+        }))
+        .unwrap();
+        std::fs::remove_file(&snapshot_path).ok();
+    }
+
+    #[test]
+    fn query_on_a_missing_snapshot_is_reported() {
+        let err = execute(Command::Query(QueryArgs {
+            index: "/nonexistent/q.sketch".into(),
+            top_k: vec![1],
+            spread: None,
+            marginal: None,
+            threads: 1,
+        }))
+        .unwrap_err();
+        assert!(err.contains("cannot load"));
     }
 
     #[test]

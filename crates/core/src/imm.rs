@@ -49,6 +49,10 @@ pub struct ImmResult {
     pub algorithm: Algorithm,
     /// Number of worker threads used.
     pub threads: usize,
+    /// The sampled RRR collection, kept only when
+    /// [`ExecutionConfig::retain_rrr_sets`] is set — the input for building a
+    /// reusable `imm-service` sketch index without resampling.
+    pub rrr_sets: Option<RrrCollection>,
 }
 
 /// Run the complete IMM workflow on `graph` with the given parameters and
@@ -185,6 +189,7 @@ pub fn run_imm(
         rrr_stats,
         algorithm: exec.algorithm,
         threads: exec.threads,
+        rrr_sets: exec.retain_rrr_sets.then_some(sets),
     })
 }
 
@@ -291,6 +296,21 @@ mod tests {
         let unfused = run_imm(&g, &w, &params, &unfused_cfg).unwrap();
         assert_eq!(fused.seeds, unfused.seeds);
         assert_eq!(fused.theta, unfused.theta);
+    }
+
+    #[test]
+    fn retained_collection_matches_the_run_and_is_off_by_default() {
+        let (g, w) = small_social_graph(200, 9);
+        let params = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade).with_seed(5);
+        let retain = ExecutionConfig::new(Algorithm::Efficient, 2).with_retained_sets(true);
+        let result = run_imm(&g, &w, &params, &retain).unwrap();
+        let sets = result.rrr_sets.as_ref().expect("collection must be retained on opt-in");
+        assert_eq!(sets.len(), result.theta);
+        assert_eq!(sets.coverage_stats(), result.rrr_stats);
+        assert!((sets.estimate_influence(&result.seeds) - result.estimated_influence).abs() < 1e-9);
+
+        let drop_cfg = ExecutionConfig::new(Algorithm::Efficient, 2);
+        assert!(run_imm(&g, &w, &params, &drop_cfg).unwrap().rrr_sets.is_none());
     }
 
     #[test]

@@ -161,6 +161,12 @@ pub struct ExecutionConfig {
     pub placement: PlacementPolicy,
     /// Chunk size (in RRR sets or vertices) of a dynamically balanced job.
     pub job_chunk: usize,
+    /// Return the sampled [`imm_rrr::RrrCollection`] in
+    /// [`ImmResult::rrr_sets`](crate::ImmResult::rrr_sets) instead of dropping
+    /// it, so callers (the `imm-service` sketch index, the CLI stats path) can
+    /// reuse the sketches without resampling. Off by default: the collection
+    /// can be large and most batch callers only want the seeds.
+    pub retain_rrr_sets: bool,
 }
 
 impl ExecutionConfig {
@@ -177,7 +183,14 @@ impl ExecutionConfig {
             topology: Topology::perlmutter_node(),
             placement: PlacementPolicy::Interleaved,
             job_chunk: 64,
+            retain_rrr_sets: false,
         }
+    }
+
+    /// Opt in (or out) of returning the sampled RRR collection in the result.
+    pub fn with_retained_sets(mut self, retain: bool) -> Self {
+        self.retain_rrr_sets = retain;
+        self
     }
 
     /// Replace the feature flags.

@@ -108,6 +108,27 @@ impl BitSet {
         self.words.len() * std::mem::size_of::<u64>()
     }
 
+    /// The raw backing words, least-significant bit first (for serialization).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild from raw backing words (the inverse of [`BitSet::words`]).
+    ///
+    /// # Panics
+    /// Panics if the word count does not match the capacity or a bit beyond
+    /// `capacity` is set; deserializers should validate first.
+    pub fn from_words(capacity: usize, words: Vec<u64>) -> Self {
+        assert_eq!(words.len(), capacity.div_ceil(WORD_BITS), "word count mismatch");
+        if let Some(last) = words.last() {
+            let tail_bits = capacity % WORD_BITS;
+            assert!(tail_bits == 0 || *last >> tail_bits == 0, "bit beyond capacity");
+        }
+        let ones = words.iter().map(|w| w.count_ones() as usize).sum();
+        BitSet { words, capacity, ones }
+    }
+
     /// Number of set bits shared with `other`.
     pub fn intersection_count(&self, other: &BitSet) -> usize {
         self.words.iter().zip(other.words.iter()).map(|(a, b)| (a & b).count_ones() as usize).sum()

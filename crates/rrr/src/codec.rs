@@ -1,0 +1,406 @@
+//! Compact binary (de)serialization for RRR sets and collections.
+//!
+//! The encoding is the substrate of `imm-service`'s snapshot format: a
+//! sketch index sampled once can be persisted and memory-loaded by later
+//! processes instead of resampling. The layout is deliberately simple —
+//! little-endian fixed-width integers, one tag byte per set — so the decoder
+//! can validate every length against the remaining input and fail cleanly on
+//! truncated or corrupted bytes rather than over-allocating.
+//!
+//! Both physical representations round-trip exactly: a sorted-list set is
+//! stored as its vertex list, a bitmap set as its raw words, so
+//! `decode(encode(c)) == c` including each set's representation choice.
+
+use crate::bitset::BitSet;
+use crate::collection::RrrCollection;
+use crate::set::RrrSet;
+use crate::NodeId;
+
+/// Tag byte marking a sorted-list set in the encoded stream.
+const TAG_SORTED: u8 = 0;
+/// Tag byte marking a bitmap set in the encoded stream.
+const TAG_BITMAP: u8 = 1;
+
+/// Errors produced while decoding an encoded set or collection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the announced payload was complete.
+    UnexpectedEof {
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// An unknown representation tag byte.
+    InvalidTag(u8),
+    /// A length or capacity field that cannot describe a valid value
+    /// (e.g. a bitmap word count that disagrees with its capacity).
+    InvalidValue(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} left")
+            }
+            CodecError::InvalidTag(tag) => write!(f, "invalid RRR set tag byte {tag:#04x}"),
+            CodecError::InvalidValue(what) => write!(f, "invalid encoded value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over encoded bytes with length-checked reads.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Reader starting at the beginning of `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        ByteReader { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume `len` raw bytes.
+    pub fn read_bytes(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < len {
+            return Err(CodecError::UnexpectedEof { needed: len, remaining: self.remaining() });
+        }
+        let out = &self.input[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Consume one byte.
+    pub fn read_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.read_bytes(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.read_bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.read_bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Consume a `u64` length field, rejecting values that could not possibly
+    /// fit in the remaining input (`min_item_bytes` bytes per element).
+    pub fn read_len(&mut self, min_item_bytes: usize) -> Result<usize, CodecError> {
+        let raw = self.read_u64()?;
+        let len = usize::try_from(raw).map_err(|_| CodecError::InvalidValue("length overflow"))?;
+        if len.checked_mul(min_item_bytes).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(CodecError::UnexpectedEof {
+                needed: len.saturating_mul(min_item_bytes),
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+}
+
+impl BitSet {
+    /// Append the encoded form (`capacity`, word count, raw words) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.capacity() as u64).to_le_bytes());
+        let words = self.words();
+        out.extend_from_slice(&(words.len() as u64).to_le_bytes());
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Decode one bit set from `reader`.
+    pub fn decode(reader: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let capacity = usize::try_from(reader.read_u64()?)
+            .map_err(|_| CodecError::InvalidValue("bitmap capacity overflow"))?;
+        let num_words = reader.read_len(8)?;
+        if num_words != capacity.div_ceil(64) {
+            return Err(CodecError::InvalidValue("bitmap word count disagrees with capacity"));
+        }
+        let mut words = Vec::with_capacity(num_words);
+        for _ in 0..num_words {
+            words.push(reader.read_u64()?);
+        }
+        if let Some(last) = words.last() {
+            let tail_bits = capacity % 64;
+            if tail_bits != 0 && *last >> tail_bits != 0 {
+                return Err(CodecError::InvalidValue("bitmap has bits beyond its capacity"));
+            }
+        }
+        Ok(BitSet::from_words(capacity, words))
+    }
+}
+
+impl RrrSet {
+    /// Append the encoded form (tag byte + payload) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RrrSet::Sorted(list) => {
+                out.push(TAG_SORTED);
+                out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+                for v in list {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            RrrSet::Bitmap(bs) => {
+                out.push(TAG_BITMAP);
+                bs.encode(out);
+            }
+        }
+    }
+
+    /// Decode one set from `reader`, preserving its representation. Members
+    /// must fall inside the `num_nodes` vertex space (and a bitmap's capacity
+    /// must equal it), so a decoded set can never violate the invariants
+    /// downstream consumers rely on.
+    pub fn decode(reader: &mut ByteReader<'_>, num_nodes: usize) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            TAG_SORTED => {
+                let len = reader.read_len(std::mem::size_of::<NodeId>())?;
+                let mut list: Vec<NodeId> = Vec::with_capacity(len);
+                for _ in 0..len {
+                    list.push(reader.read_u32()?);
+                }
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(CodecError::InvalidValue("sorted set is not strictly increasing"));
+                }
+                // Strictly increasing, so checking the last member suffices.
+                if list.last().is_some_and(|&v| v as usize >= num_nodes) {
+                    return Err(CodecError::InvalidValue("set member outside the vertex space"));
+                }
+                Ok(RrrSet::Sorted(list))
+            }
+            TAG_BITMAP => {
+                let bs = BitSet::decode(reader)?;
+                if bs.capacity() != num_nodes {
+                    return Err(CodecError::InvalidValue(
+                        "bitmap capacity disagrees with the vertex space",
+                    ));
+                }
+                Ok(RrrSet::Bitmap(bs))
+            }
+            tag => Err(CodecError::InvalidTag(tag)),
+        }
+    }
+}
+
+impl RrrCollection {
+    /// Append the encoded form (`num_nodes`, set count, sets) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for set in self {
+            set.encode(out);
+        }
+    }
+
+    /// Encode into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.memory_bytes());
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode one collection from `reader`.
+    pub fn decode(reader: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let num_nodes = usize::try_from(reader.read_u64()?)
+            .map_err(|_| CodecError::InvalidValue("num_nodes overflow"))?;
+        // NodeId is a u32, so no valid collection spans a larger vertex
+        // space; rejecting here also stops crafted headers from driving
+        // O(num_nodes) allocations downstream.
+        if u32::try_from(num_nodes).is_err() {
+            return Err(CodecError::InvalidValue("num_nodes exceeds the u32 vertex-id space"));
+        }
+        // Every encoded set needs at least its tag byte.
+        let count = reader.read_len(1)?;
+        let mut collection = RrrCollection::with_capacity(num_nodes, count);
+        for _ in 0..count {
+            collection.push(RrrSet::decode(reader, num_nodes)?);
+        }
+        Ok(collection)
+    }
+
+    /// Decode from a byte slice, requiring the slice to be fully consumed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut reader = ByteReader::new(bytes);
+        let collection = Self::decode(&mut reader)?;
+        if !reader.is_exhausted() {
+            return Err(CodecError::InvalidValue("trailing bytes after collection"));
+        }
+        Ok(collection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::AdaptivePolicy;
+    use proptest::prelude::*;
+
+    fn sample_collection() -> RrrCollection {
+        let mut c = RrrCollection::new(128);
+        c.push_vertices(vec![3, 1, 127, 64], &AdaptivePolicy::always_sorted());
+        c.push_vertices((0..90).collect(), &AdaptivePolicy::always_bitmap());
+        c.push_vertices(vec![], &AdaptivePolicy::default());
+        c.push_vertices((10..80).collect(), &AdaptivePolicy::default());
+        c
+    }
+
+    #[test]
+    fn collection_round_trips_exactly() {
+        let original = sample_collection();
+        let bytes = original.to_bytes();
+        let decoded = RrrCollection::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, original);
+        assert_eq!(decoded.num_nodes(), original.num_nodes());
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample_collection().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                RrrCollection::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_collection().to_bytes();
+        bytes.push(0xAB);
+        assert_eq!(
+            RrrCollection::from_bytes(&bytes),
+            Err(CodecError::InvalidValue("trailing bytes after collection"))
+        );
+    }
+
+    #[test]
+    fn invalid_tag_is_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes()); // num_nodes
+        out.extend_from_slice(&1u64.to_le_bytes()); // one set
+        out.push(7); // bogus tag
+        assert_eq!(RrrCollection::from_bytes(&out), Err(CodecError::InvalidTag(7)));
+    }
+
+    #[test]
+    fn absurd_length_fields_do_not_allocate() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes());
+        out.extend_from_slice(&u64::MAX.to_le_bytes()); // "that many" sets
+        assert!(matches!(RrrCollection::from_bytes(&out), Err(CodecError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn absurd_vertex_space_is_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(1u64 << 60).to_le_bytes()); // num_nodes
+        out.extend_from_slice(&0u64.to_le_bytes()); // no sets
+        assert_eq!(
+            RrrCollection::from_bytes(&out),
+            Err(CodecError::InvalidValue("num_nodes exceeds the u32 vertex-id space"))
+        );
+    }
+
+    #[test]
+    fn unsorted_list_is_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.push(TAG_SORTED);
+        out.extend_from_slice(&2u64.to_le_bytes());
+        out.extend_from_slice(&5u32.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(RrrCollection::from_bytes(&out), Err(CodecError::InvalidValue(_))));
+    }
+
+    #[test]
+    fn out_of_range_member_is_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes()); // num_nodes = 8
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.push(TAG_SORTED);
+        out.extend_from_slice(&2u64.to_le_bytes());
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&9u32.to_le_bytes()); // 9 >= 8
+        assert_eq!(
+            RrrCollection::from_bytes(&out),
+            Err(CodecError::InvalidValue("set member outside the vertex space"))
+        );
+    }
+
+    #[test]
+    fn bitmap_capacity_must_match_the_vertex_space() {
+        // A valid 64-capacity bitmap inside a 128-node collection.
+        let mut inner = Vec::new();
+        BitSet::from_iter_with_capacity(64, [1usize, 5]).encode(&mut inner);
+        let mut out = Vec::new();
+        out.extend_from_slice(&128u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.push(TAG_BITMAP);
+        out.extend_from_slice(&inner);
+        assert_eq!(
+            RrrCollection::from_bytes(&out),
+            Err(CodecError::InvalidValue("bitmap capacity disagrees with the vertex space"))
+        );
+    }
+
+    #[test]
+    fn bitmap_word_count_must_match_capacity() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&200u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.push(TAG_BITMAP);
+        out.extend_from_slice(&200u64.to_le_bytes()); // capacity -> 4 words
+        out.extend_from_slice(&1u64.to_le_bytes()); // but only 1 announced
+        out.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(RrrCollection::from_bytes(&out), Err(CodecError::InvalidValue(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_collections_round_trip(
+            raw_sets in proptest::collection::vec(
+                proptest::collection::hash_set(0u32..500, 0..120),
+                0..20,
+            ),
+            bitmap_choices in proptest::collection::vec(any::<bool>(), 0..20),
+        ) {
+            let mut c = RrrCollection::new(500);
+            for (i, s) in raw_sets.iter().enumerate() {
+                let vertices: Vec<u32> = s.iter().copied().collect();
+                let policy = if bitmap_choices.get(i).copied().unwrap_or(false) {
+                    AdaptivePolicy::always_bitmap()
+                } else {
+                    AdaptivePolicy::always_sorted()
+                };
+                c.push_vertices(vertices, &policy);
+            }
+            let decoded = RrrCollection::from_bytes(&c.to_bytes()).unwrap();
+            prop_assert_eq!(decoded, c);
+        }
+    }
+}

@@ -28,7 +28,7 @@ pub struct CoverageStats {
 }
 
 /// The θ sampled RRR sets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RrrCollection {
     sets: Vec<RrrSet>,
     num_nodes: usize,
@@ -125,7 +125,7 @@ impl RrrCollection {
         let mut total = 0usize;
         let mut max_size = 0usize;
         let mut bitmap_sets = 0usize;
-        for s in &self.sets {
+        for s in self {
             let len = s.len();
             total += len;
             max_size = max_size.max(len);
@@ -167,6 +167,17 @@ impl IntoIterator for RrrCollection {
 
     fn into_iter(self) -> Self::IntoIter {
         self.sets.into_iter()
+    }
+}
+
+/// Borrowed iteration (`for set in &collection`), so consumers that only
+/// read the sets — index builders, stats code — never clone them.
+impl<'a> IntoIterator for &'a RrrCollection {
+    type Item = &'a RrrSet;
+    type IntoIter = std::slice::Iter<'a, RrrSet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.sets.iter()
     }
 }
 

@@ -1,5 +1,5 @@
 //! Delta + varint compressed RRR sets — the HBMax-style alternative the paper
-//! discusses (§IV-C, related work [2]).
+//! discusses (§IV-C, related work \[2\]).
 //!
 //! HBMax tackles the RRR-set memory footprint by *compressing* the sets
 //! (Huffman or bitmap coding) at the cost of encode/decode work on every

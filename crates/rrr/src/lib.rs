@@ -19,13 +19,17 @@
 //!   selected per set by [`AdaptivePolicy`].
 //! * [`RrrCollection`] — the θ sampled sets plus the coverage/size/memory
 //!   statistics reported in the paper's Table I.
+//! * [`codec`] — compact binary (de)serialization of sets and collections,
+//!   the substrate of `imm-service`'s persistable sketch snapshots.
 
 pub mod bitset;
+pub mod codec;
 pub mod collection;
 pub mod compressed;
 pub mod set;
 
 pub use bitset::BitSet;
+pub use codec::{ByteReader, CodecError};
 pub use collection::{CoverageStats, RrrCollection};
 pub use compressed::CompressedRrrSet;
 pub use set::{AdaptivePolicy, Representation, RrrSet};

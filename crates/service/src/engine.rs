@@ -1,0 +1,423 @@
+//! The query engine: incremental greedy Top-K, coverage-based spread and
+//! marginal-gain estimates, a batch executor, and the response cache.
+//!
+//! The Top-K path is the point of the subsystem: greedy max coverage is
+//! prefix-stable (the first `k` seeds of a budget-`k+Δ` selection are the
+//! budget-`k` selection), so the engine keeps one shared greedy prefix —
+//! counters, alive flags, selected seeds — and only ever *extends* it.
+//! Asking for `k` and later `k+5` computes five new rounds, not `k+5`;
+//! nothing is resampled, ever. The greedy rounds replicate the selection
+//! kernels' semantics exactly (ties toward the smaller vertex id, zero-count
+//! rounds still emit a seed), so the served seeds are byte-identical to a
+//! fresh `run_imm`/`select_seeds` pass over the same collection.
+
+use crate::cache::{CacheStats, QueryCache};
+use crate::index::SketchIndex;
+use crate::query::{Query, QueryKey, QueryResponse};
+use imm_rrr::NodeId;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default response-cache capacity of a new engine.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// The resumable greedy selection state (the shared prefix).
+#[derive(Debug)]
+struct GreedyState {
+    /// Working occurrence counter over alive sets, seeded from the index's
+    /// precomputed degrees.
+    counts: Vec<u64>,
+    /// Which sets are still uncovered.
+    alive: Vec<bool>,
+    /// Cumulative covered-set count after each selected seed, so a smaller
+    /// budget's coverage can be answered from the prefix.
+    covered_after: Vec<usize>,
+    /// The greedy prefix selected so far.
+    seeds: Vec<NodeId>,
+}
+
+impl GreedyState {
+    fn new(index: &SketchIndex) -> Self {
+        GreedyState {
+            counts: index.degree_vector(),
+            alive: vec![true; index.num_sets()],
+            covered_after: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Run greedy rounds until `min(k, n)` seeds are selected. Rounds already
+    /// played are never repeated.
+    fn extend_to(&mut self, index: &SketchIndex, k: usize) {
+        let n = index.num_nodes();
+        while self.seeds.len() < k.min(n) {
+            // Argmax with ties toward the smaller vertex id — identical to
+            // the selection kernels' reduction order.
+            let mut best = 0usize;
+            let mut best_count = self.counts[0];
+            for (v, &c) in self.counts.iter().enumerate().skip(1) {
+                if c > best_count {
+                    best = v;
+                    best_count = c;
+                }
+            }
+            self.seeds.push(best as NodeId);
+            let covered_so_far = self.covered_after.last().copied().unwrap_or(0);
+            if best_count == 0 {
+                // No alive set contains any vertex; later seeds are emitted
+                // deterministically with zero gain (kernel behaviour).
+                self.covered_after.push(covered_so_far);
+                continue;
+            }
+            // Retire the covered sets: the postings list gives them directly
+            // (the kernel rescans all sets; same result, less work).
+            let mut covered = covered_so_far;
+            for &sid in index.postings(best as NodeId) {
+                if self.alive[sid as usize] {
+                    self.alive[sid as usize] = false;
+                    covered += 1;
+                    for v in index.sets().get(sid as usize).iter() {
+                        self.counts[v as usize] -= 1;
+                    }
+                }
+            }
+            self.covered_after.push(covered);
+        }
+    }
+}
+
+/// A query-serving engine over one frozen [`SketchIndex`].
+///
+/// The engine is `Sync`: spread/marginal queries run lock-free against the
+/// immutable index, Top-K extensions serialize on the shared greedy prefix,
+/// and responses are memoized in an LRU cache keyed on normalized queries.
+#[derive(Debug)]
+pub struct QueryEngine {
+    index: Arc<SketchIndex>,
+    greedy: Mutex<GreedyState>,
+    cache: QueryCache,
+}
+
+impl QueryEngine {
+    /// Engine with the default cache capacity.
+    pub fn new(index: Arc<SketchIndex>) -> Self {
+        Self::with_cache_capacity(index, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Engine with an explicit cache capacity (0 disables caching).
+    pub fn with_cache_capacity(index: Arc<SketchIndex>, capacity: usize) -> Self {
+        let greedy = Mutex::new(GreedyState::new(&index));
+        QueryEngine { index, greedy, cache: QueryCache::new(capacity) }
+    }
+
+    /// The index this engine serves.
+    pub fn index(&self) -> &Arc<SketchIndex> {
+        &self.index
+    }
+
+    /// Hit/miss counters of the response cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Answer one query, consulting the response cache first.
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        let key = QueryKey::from_query(query);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
+        }
+        let response = self.execute_uncached(query);
+        self.cache.insert(key, response.clone());
+        response
+    }
+
+    /// Answer one query without touching the cache.
+    pub fn execute_uncached(&self, query: &Query) -> QueryResponse {
+        match query {
+            Query::TopK { k } => self.top_k(*k),
+            Query::Spread { seeds } => self.spread(seeds),
+            Query::Marginal { seeds, candidate } => self.marginal(seeds, *candidate),
+        }
+    }
+
+    /// Fan a batch of queries across `threads` workers, preserving input
+    /// order in the returned responses.
+    pub fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(queries.len());
+        let chunk = queries.len().div_ceil(threads);
+        let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+        rayon::scope(|s| {
+            for (q_chunk, r_chunk) in queries.chunks(chunk).zip(responses.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (query, slot) in q_chunk.iter().zip(r_chunk.iter_mut()) {
+                        *slot = Some(self.execute(query));
+                    }
+                });
+            }
+        });
+        responses.into_iter().map(|r| r.expect("every slot is filled by its worker")).collect()
+    }
+
+    fn top_k(&self, k: usize) -> QueryResponse {
+        let take = k.min(self.index.num_nodes());
+        let mut state = self.greedy.lock();
+        state.extend_to(&self.index, k);
+        let seeds = state.seeds[..take].to_vec();
+        let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
+        drop(state);
+        let theta = self.index.num_sets();
+        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
+        QueryResponse::TopK {
+            seeds,
+            coverage_fraction,
+            estimated_influence: self.index.num_nodes() as f64 * coverage_fraction,
+        }
+    }
+
+    /// Count the sets covered by `seeds`, marking them in `marks`.
+    fn mark_covered(&self, seeds: &[NodeId], marks: &mut [bool]) -> usize {
+        let n = self.index.num_nodes();
+        let mut covered = 0usize;
+        for &seed in seeds {
+            if (seed as usize) >= n {
+                continue; // out-of-range seeds cover nothing
+            }
+            for &sid in self.index.postings(seed) {
+                if !marks[sid as usize] {
+                    marks[sid as usize] = true;
+                    covered += 1;
+                }
+            }
+        }
+        covered
+    }
+
+    fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
+        let theta = self.index.num_sets();
+        let mut marks = vec![false; theta];
+        let covered = self.mark_covered(seeds, &mut marks);
+        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
+        QueryResponse::Spread {
+            coverage_fraction,
+            estimate: self.index.num_nodes() as f64 * coverage_fraction,
+        }
+    }
+
+    fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
+        let theta = self.index.num_sets();
+        let mut marks = vec![false; theta];
+        self.mark_covered(seeds, &mut marks);
+        let gained = if (candidate as usize) < self.index.num_nodes() {
+            self.index.postings(candidate).iter().filter(|&&sid| !marks[sid as usize]).count()
+        } else {
+            0
+        };
+        let gain_fraction = if theta == 0 { 0.0 } else { gained as f64 / theta as f64 };
+        QueryResponse::Marginal {
+            gain_fraction,
+            gain: self.index.num_nodes() as f64 * gain_fraction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexMeta;
+    use imm_rrr::{RrrCollection, RrrSet};
+
+    fn engine_over(num_nodes: usize, sets: &[&[NodeId]]) -> QueryEngine {
+        let mut c = RrrCollection::new(num_nodes);
+        for s in sets {
+            c.push(RrrSet::sorted(s.to_vec()));
+        }
+        let index = SketchIndex::from_collection(c, IndexMeta::default()).unwrap();
+        QueryEngine::new(Arc::new(index))
+    }
+
+    /// The paper's Figure 3 sets; hand-checkable greedy trajectory.
+    fn figure3() -> QueryEngine {
+        engine_over(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]])
+    }
+
+    #[test]
+    fn top_k_follows_the_hand_computed_greedy_trajectory() {
+        let engine = figure3();
+        // Counts [2,4,2,2,3,1]: seed 1 (4 sets), then 2 (ties 3, smaller id
+        // wins; 2 more sets), then 3 (the last two sets).
+        match engine.execute(&Query::TopK { k: 3 }) {
+            QueryResponse::TopK { seeds, coverage_fraction, estimated_influence } => {
+                assert_eq!(seeds, vec![1, 2, 3]);
+                assert!((coverage_fraction - 1.0).abs() < 1e-12);
+                assert!((estimated_influence - 6.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn growing_the_budget_reuses_the_prefix() {
+        let engine = figure3();
+        let one = engine.execute(&Query::TopK { k: 1 });
+        let three = engine.execute(&Query::TopK { k: 3 });
+        let fresh = figure3().execute(&Query::TopK { k: 3 });
+        assert_eq!(three, fresh, "incremental extension must equal a fresh selection");
+        match (one, three) {
+            (
+                QueryResponse::TopK { seeds: s1, coverage_fraction: f1, .. },
+                QueryResponse::TopK { seeds: s3, .. },
+            ) => {
+                assert_eq!(s1, s3[..1].to_vec(), "smaller budget is a prefix");
+                assert!((f1 - 0.5).abs() < 1e-12, "vertex 1 covers 4 of 8 sets");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinking_the_budget_reads_the_prefix_without_new_rounds() {
+        let engine = figure3();
+        let three = engine.execute(&Query::TopK { k: 3 });
+        let two = engine.execute(&Query::TopK { k: 2 });
+        match (three, two) {
+            (
+                QueryResponse::TopK { seeds: s3, .. },
+                QueryResponse::TopK { seeds: s2, coverage_fraction, .. },
+            ) => {
+                assert_eq!(s2, s3[..2].to_vec());
+                assert!((coverage_fraction - 0.75).abs() < 1e-12, "seeds {{1,2}} cover 6 of 8");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spread_matches_the_collection_estimator() {
+        let engine = figure3();
+        // Seeds {1,3}: sets 0,1,3,4 (via 1) + 5,6 (via 3) = 6 of 8.
+        match engine.execute(&Query::Spread { seeds: vec![1, 3] }) {
+            QueryResponse::Spread { coverage_fraction, estimate } => {
+                assert!((coverage_fraction - 0.75).abs() < 1e-12);
+                assert!((estimate - 4.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Duplicates and order don't change the answer.
+        assert_eq!(
+            engine.execute_uncached(&Query::Spread { seeds: vec![3, 1, 1, 3] }),
+            engine.execute_uncached(&Query::Spread { seeds: vec![1, 3] }),
+        );
+    }
+
+    #[test]
+    fn marginal_is_the_spread_difference() {
+        let engine = figure3();
+        let base = vec![1u32];
+        for candidate in 0..6u32 {
+            let with: Vec<u32> = base.iter().copied().chain([candidate]).collect();
+            let (s_with, s_base) = match (
+                engine.execute_uncached(&Query::Spread { seeds: with }),
+                engine.execute_uncached(&Query::Spread { seeds: base.clone() }),
+            ) {
+                (
+                    QueryResponse::Spread { estimate: a, .. },
+                    QueryResponse::Spread { estimate: b, .. },
+                ) => (a, b),
+                other => panic!("unexpected {other:?}"),
+            };
+            match engine.execute_uncached(&Query::Marginal { seeds: base.clone(), candidate }) {
+                QueryResponse::Marginal { gain, .. } => {
+                    assert!((gain - (s_with - s_base)).abs() < 1e-9, "candidate {candidate}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_vertices_cover_nothing() {
+        let engine = figure3();
+        match engine.execute(&Query::Spread { seeds: vec![100] }) {
+            QueryResponse::Spread { coverage_fraction, .. } => assert_eq!(coverage_fraction, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match engine.execute(&Query::Marginal { seeds: vec![1], candidate: 100 }) {
+            QueryResponse::Marginal { gain, .. } => assert_eq!(gain, 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_beyond_coverage_emits_deterministic_zero_gain_seeds() {
+        // Two sets over 4 vertices; after vertices 0 and 2 everything is
+        // covered and further rounds emit vertex 0 (kernel behaviour).
+        let engine = engine_over(4, &[&[0], &[2]]);
+        match engine.execute(&Query::TopK { k: 4 }) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds, vec![0, 2, 0, 0]);
+                assert!((coverage_fraction - 1.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_is_clamped_to_the_vertex_count() {
+        let engine = engine_over(3, &[&[0, 1], &[2]]);
+        match engine.execute(&Query::TopK { k: 10 }) {
+            QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_index_answers_zeroes() {
+        let engine = engine_over(5, &[]);
+        assert_eq!(
+            engine.execute(&Query::Spread { seeds: vec![1] }),
+            QueryResponse::Spread { coverage_fraction: 0.0, estimate: 0.0 }
+        );
+        match engine.execute(&Query::TopK { k: 2 }) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds.len(), 2, "kernel also emits k zero-gain seeds");
+                assert_eq!(coverage_fraction, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_queries() {
+        let engine = figure3();
+        let q = Query::Spread { seeds: vec![1, 3] };
+        let first = engine.execute(&q);
+        let second = engine.execute(&q);
+        assert_eq!(first, second);
+        // Normalization: a permuted duplicate-carrying variant also hits.
+        let third = engine.execute(&Query::Spread { seeds: vec![3, 1, 3] });
+        assert_eq!(first, third);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_sequential_execution() {
+        let engine = figure3();
+        let queries: Vec<Query> = (1..=4)
+            .map(|k| Query::TopK { k })
+            .chain((0..6).map(|v| Query::Spread { seeds: vec![v] }))
+            .chain((0..6).map(|v| Query::Marginal { seeds: vec![1], candidate: v }))
+            .collect();
+        let sequential: Vec<QueryResponse> =
+            queries.iter().map(|q| figure3().execute_uncached(q)).collect();
+        for threads in [1usize, 2, 4] {
+            let batch = engine.execute_batch(&queries, threads);
+            assert_eq!(batch, sequential, "threads={threads}");
+        }
+        assert!(engine.execute_batch(&[], 4).is_empty());
+    }
+}

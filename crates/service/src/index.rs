@@ -1,0 +1,256 @@
+//! The frozen sketch index: an [`RrrCollection`] plus the inverted postings
+//! and precomputed occurrence counts that make query serving cheap.
+//!
+//! Building the index is a single pass over the sets (via the collection's
+//! borrowed iterator — nothing is cloned); afterwards the structure is
+//! immutable and can be shared across worker threads behind an `Arc`. The
+//! postings are laid out CSR-style (one offsets array, one flat set-id
+//! array), mirroring how `imm-graph` stores adjacency: answering "which sets
+//! contain vertex v" is a slice lookup instead of a scan over all θ sets.
+
+use imm_graph::CsrGraph;
+use imm_rrr::{CoverageStats, NodeId, RrrCollection};
+
+/// Identifier of one RRR set inside the indexed collection.
+pub type SetId = u32;
+
+/// Provenance carried alongside the index (and through snapshots), so a
+/// loaded index can report what it was built from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexMeta {
+    /// Number of edges of the source graph (0 when built without a graph).
+    pub num_edges: usize,
+    /// Free-form description of the source (dataset name, file path, …).
+    pub label: String,
+}
+
+/// Errors produced while building a [`SketchIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A set contains a vertex id outside `[0, num_nodes)`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: NodeId,
+        /// The collection's vertex-space size.
+        num_nodes: usize,
+    },
+    /// The collection holds more sets than a [`SetId`] can address.
+    TooManySets(usize),
+    /// The collection's vertex space disagrees with the provided graph.
+    GraphMismatch {
+        /// Vertices in the graph.
+        graph_nodes: usize,
+        /// Vertices the collection was sampled over.
+        collection_nodes: usize,
+    },
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::VertexOutOfRange { vertex, num_nodes } => {
+                write!(f, "set member {vertex} is outside the vertex space [0, {num_nodes})")
+            }
+            IndexError::TooManySets(count) => {
+                write!(f, "collection has {count} sets, more than a u32 set id can address")
+            }
+            IndexError::GraphMismatch { graph_nodes, collection_nodes } => write!(
+                f,
+                "graph has {graph_nodes} vertices but the collection was sampled over \
+                 {collection_nodes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// A frozen, immutable index over a sampled RRR collection.
+///
+/// Holds the collection itself (queries still need per-set membership),
+/// the inverted vertex → set-id postings, and each vertex's occurrence
+/// count (its posting-list length) — the initial counter state of the
+/// greedy selection, precomputed once at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchIndex {
+    sets: RrrCollection,
+    meta: IndexMeta,
+    postings_offsets: Vec<usize>,
+    postings: Vec<SetId>,
+}
+
+impl SketchIndex {
+    /// Build an index over `collection`, validating it against `graph`.
+    pub fn build(
+        graph: &CsrGraph,
+        collection: RrrCollection,
+        label: impl Into<String>,
+    ) -> Result<Self, IndexError> {
+        if graph.num_nodes() != collection.num_nodes() {
+            return Err(IndexError::GraphMismatch {
+                graph_nodes: graph.num_nodes(),
+                collection_nodes: collection.num_nodes(),
+            });
+        }
+        Self::from_collection(
+            collection,
+            IndexMeta { num_edges: graph.num_edges(), label: label.into() },
+        )
+    }
+
+    /// Build an index over a bare collection (no source graph at hand, e.g.
+    /// when reloading a snapshot).
+    pub fn from_collection(collection: RrrCollection, meta: IndexMeta) -> Result<Self, IndexError> {
+        let n = collection.num_nodes();
+        if u32::try_from(collection.len()).is_err() {
+            return Err(IndexError::TooManySets(collection.len()));
+        }
+
+        // Two passes over the borrowed sets: occurrence counts, then the
+        // CSR-style postings fill.
+        let mut offsets = vec![0usize; n + 1];
+        for set in &collection {
+            for v in set.iter() {
+                if (v as usize) >= n {
+                    return Err(IndexError::VertexOutOfRange { vertex: v, num_nodes: n });
+                }
+                offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut postings = vec![0 as SetId; offsets[n]];
+        for (sid, set) in collection.iter().enumerate() {
+            for v in set.iter() {
+                postings[cursor[v as usize]] = sid as SetId;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Ok(SketchIndex { sets: collection, meta, postings_offsets: offsets, postings })
+    }
+
+    /// Number of vertices of the indexed vertex space.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.sets.num_nodes()
+    }
+
+    /// Number of indexed RRR sets (θ).
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The ids of every set containing `v`, in increasing order.
+    #[inline]
+    pub fn postings(&self, v: NodeId) -> &[SetId] {
+        &self.postings[self.postings_offsets[v as usize]..self.postings_offsets[v as usize + 1]]
+    }
+
+    /// Occurrence count of `v` — how many sets contain it. This is the
+    /// initial greedy counter value, precomputed at build time.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> u64 {
+        (self.postings_offsets[v as usize + 1] - self.postings_offsets[v as usize]) as u64
+    }
+
+    /// All occurrence counts as a fresh mutable vector (the greedy engine's
+    /// working counter).
+    pub fn degree_vector(&self) -> Vec<u64> {
+        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).collect()
+    }
+
+    /// The indexed collection.
+    #[inline]
+    pub fn sets(&self) -> &RrrCollection {
+        &self.sets
+    }
+
+    /// Provenance metadata.
+    #[inline]
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
+    }
+
+    /// Coverage/size statistics of the indexed sets (paper Table I).
+    pub fn coverage_stats(&self) -> CoverageStats {
+        self.sets.coverage_stats()
+    }
+
+    /// Heap bytes of the collection plus the index structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.sets.memory_bytes()
+            + self.postings_offsets.len() * std::mem::size_of::<usize>()
+            + self.postings.len() * std::mem::size_of::<SetId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imm_rrr::{AdaptivePolicy, RrrSet};
+
+    fn collection(num_nodes: usize, sets: &[&[NodeId]]) -> RrrCollection {
+        let mut c = RrrCollection::new(num_nodes);
+        for s in sets {
+            c.push(RrrSet::sorted(s.to_vec()));
+        }
+        c
+    }
+
+    #[test]
+    fn postings_and_degrees_match_hand_computation() {
+        // Figure 3 of the paper: occurrence counts [2, 4, 2, 2, 3, 1].
+        let c = collection(6, &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]);
+        let index = SketchIndex::from_collection(c, IndexMeta::default()).unwrap();
+        assert_eq!(index.num_sets(), 8);
+        assert_eq!(index.degree_vector(), vec![2, 4, 2, 2, 3, 1]);
+        assert_eq!(index.postings(1), &[0, 1, 3, 4]);
+        assert_eq!(index.postings(4), &[2, 3, 4]);
+        assert_eq!(index.postings(5), &[4]);
+    }
+
+    #[test]
+    fn bitmap_and_sorted_sets_index_identically() {
+        let mut sorted = RrrCollection::new(64);
+        let mut bitmap = RrrCollection::new(64);
+        for vertices in [vec![1u32, 5, 9], vec![5, 40, 63], vec![0, 1]] {
+            sorted.push_vertices(vertices.clone(), &AdaptivePolicy::always_sorted());
+            bitmap.push_vertices(vertices, &AdaptivePolicy::always_bitmap());
+        }
+        let a = SketchIndex::from_collection(sorted, IndexMeta::default()).unwrap();
+        let b = SketchIndex::from_collection(bitmap, IndexMeta::default()).unwrap();
+        for v in 0..64u32 {
+            assert_eq!(a.postings(v), b.postings(v), "vertex {v}");
+            assert_eq!(a.degree(v), b.degree(v));
+        }
+    }
+
+    #[test]
+    fn out_of_range_member_is_rejected() {
+        let c = collection(4, &[&[0, 9]]);
+        assert_eq!(
+            SketchIndex::from_collection(c, IndexMeta::default()),
+            Err(IndexError::VertexOutOfRange { vertex: 9, num_nodes: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_collection_indexes_fine() {
+        let index =
+            SketchIndex::from_collection(RrrCollection::new(10), IndexMeta::default()).unwrap();
+        assert_eq!(index.num_sets(), 0);
+        assert_eq!(index.degree(3), 0);
+        assert!(index.postings(3).is_empty());
+    }
+
+    #[test]
+    fn memory_accounting_includes_the_postings() {
+        let c = collection(6, &[&[0, 1], &[1, 2, 3]]);
+        let index = SketchIndex::from_collection(c.clone(), IndexMeta::default()).unwrap();
+        assert!(index.memory_bytes() > c.memory_bytes());
+    }
+}

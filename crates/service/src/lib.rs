@@ -1,0 +1,64 @@
+//! # imm-service
+//!
+//! A reusable sketch index and query-serving subsystem over sampled RRR
+//! sets.
+//!
+//! The batch pipeline (`efficient_imm::run_imm`) samples θ RRR sets, selects
+//! seeds once, and drops the sample — although sampling dominates runtime
+//! (the paper's Fig. 2 breakdown) and greedy selection over an existing
+//! sketch is comparatively cheap. This crate freezes the sample into a
+//! persistent, shareable index and answers many queries against it:
+//!
+//! * [`SketchIndex`] — immutable index over an [`imm_rrr::RrrCollection`]:
+//!   inverted vertex → set postings and precomputed occurrence counts,
+//!   shareable across threads via `Arc`.
+//! * [`QueryEngine`] — answers [`Query::TopK`] (incremental greedy with a
+//!   shared prefix: budgets `k` then `k + 5` reuse the first `k` rounds and
+//!   never resample), [`Query::Spread`] and [`Query::Marginal`]; batches fan
+//!   out across worker threads and responses are memoized in an LRU
+//!   [`cache::QueryCache`] keyed on normalized queries.
+//! * [`snapshot`] — a versioned binary format (magic bytes, version field,
+//!   checksum) so an index built once can be memory-loaded by later
+//!   processes: [`SketchIndex::save`] / [`SketchIndex::load`].
+//!
+//! ```
+//! use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams};
+//! use imm_diffusion::DiffusionModel;
+//! use imm_graph::{generators, CsrGraph, EdgeWeights};
+//! use imm_service::{Query, QueryEngine, QueryResponse, SketchIndex};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = CsrGraph::from_edge_list(&generators::social_network(300, 5, 0.3, &mut rng));
+//! let weights = EdgeWeights::ic_weighted_cascade(&graph);
+//! let params = ImmParams::new(4, 0.5, DiffusionModel::IndependentCascade).with_seed(7);
+//! // Opt in to keeping the sampled collection, then freeze it into an index.
+//! let exec = ExecutionConfig::new(Algorithm::Efficient, 2).with_retained_sets(true);
+//! let result = run_imm(&graph, &weights, &params, &exec).unwrap();
+//! let index = SketchIndex::build(&graph, result.rrr_sets.unwrap(), "docs").unwrap();
+//! let engine = QueryEngine::new(Arc::new(index));
+//! // Same collection, same greedy — the served seeds match the batch run.
+//! match engine.execute(&Query::TopK { k: 4 }) {
+//!     QueryResponse::TopK { seeds, .. } => assert_eq!(seeds, result.seeds),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod index;
+pub mod query;
+pub mod snapshot;
+
+pub use cache::{CacheStats, QueryCache};
+pub use engine::{QueryEngine, DEFAULT_CACHE_CAPACITY};
+pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
+pub use query::{Query, QueryKey, QueryResponse};
+pub use snapshot::{
+    load_collection, load_collection_from_path, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+
+/// Vertex identifier (re-exported from `imm-rrr` for convenience).
+pub type NodeId = imm_rrr::NodeId;

@@ -1,0 +1,122 @@
+//! The query vocabulary of the serving subsystem and the normalized cache
+//! keys derived from it.
+
+use imm_rrr::NodeId;
+
+/// One request against a [`SketchIndex`](crate::SketchIndex).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// The `k` most influential seeds (greedy max coverage over the index).
+    TopK {
+        /// Seed budget.
+        k: usize,
+    },
+    /// Coverage-based influence estimate of an explicit seed set.
+    Spread {
+        /// The seed set to evaluate.
+        seeds: Vec<NodeId>,
+    },
+    /// Marginal influence gain of adding `candidate` to `seeds`.
+    Marginal {
+        /// The already-selected seeds.
+        seeds: Vec<NodeId>,
+        /// The vertex whose additional contribution is asked for.
+        candidate: NodeId,
+    },
+}
+
+/// The answer to one [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`Query::TopK`].
+    TopK {
+        /// The selected seeds, most influential first. Byte-identical to what
+        /// a fresh greedy selection over the same collection would return.
+        seeds: Vec<NodeId>,
+        /// Fraction of indexed sets covered by the seeds.
+        coverage_fraction: f64,
+        /// Estimated spread `n · coverage_fraction`.
+        estimated_influence: f64,
+    },
+    /// Answer to [`Query::Spread`].
+    Spread {
+        /// Fraction of indexed sets hit by at least one seed.
+        coverage_fraction: f64,
+        /// Estimated spread `n · coverage_fraction`.
+        estimate: f64,
+    },
+    /// Answer to [`Query::Marginal`].
+    Marginal {
+        /// Fraction of indexed sets newly covered by the candidate.
+        gain_fraction: f64,
+        /// Estimated additional spread `n · gain_fraction`.
+        gain: f64,
+    },
+}
+
+/// Cache key: a [`Query`] normalized so that semantically identical requests
+/// collide. Seed lists are sorted and deduplicated — coverage is a set
+/// property, so `Spread {[3, 1, 3]}` and `Spread {[1, 3]}` share one entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum QueryKey {
+    /// Normalized [`Query::TopK`].
+    TopK(usize),
+    /// Normalized [`Query::Spread`] (sorted, deduplicated seeds).
+    Spread(Vec<NodeId>),
+    /// Normalized [`Query::Marginal`] (sorted, deduplicated seeds).
+    Marginal(Vec<NodeId>, NodeId),
+}
+
+fn normalize_seeds(seeds: &[NodeId]) -> Vec<NodeId> {
+    let mut out = seeds.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl QueryKey {
+    /// Normalize a query into its cache key.
+    pub fn from_query(query: &Query) -> Self {
+        match query {
+            Query::TopK { k } => QueryKey::TopK(*k),
+            Query::Spread { seeds } => QueryKey::Spread(normalize_seeds(seeds)),
+            Query::Marginal { seeds, candidate } => {
+                QueryKey::Marginal(normalize_seeds(seeds), *candidate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equivalent_spread_queries_share_a_key() {
+        let a = QueryKey::from_query(&Query::Spread { seeds: vec![3, 1, 3, 2] });
+        let b = QueryKey::from_query(&Query::Spread { seeds: vec![1, 2, 3] });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_queries_have_distinct_keys() {
+        let spread = QueryKey::from_query(&Query::Spread { seeds: vec![1] });
+        let marginal = QueryKey::from_query(&Query::Marginal { seeds: vec![1], candidate: 2 });
+        let topk = QueryKey::from_query(&Query::TopK { k: 1 });
+        assert_ne!(spread, marginal);
+        assert_ne!(spread, topk);
+        assert_ne!(
+            QueryKey::from_query(&Query::TopK { k: 1 }),
+            QueryKey::from_query(&Query::TopK { k: 2 })
+        );
+    }
+
+    #[test]
+    fn marginal_normalizes_only_the_seed_list() {
+        let a = QueryKey::from_query(&Query::Marginal { seeds: vec![5, 4], candidate: 9 });
+        let b = QueryKey::from_query(&Query::Marginal { seeds: vec![4, 5, 5], candidate: 9 });
+        let c = QueryKey::from_query(&Query::Marginal { seeds: vec![4, 5], candidate: 8 });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,302 @@
+//! The versioned binary snapshot format.
+//!
+//! Sampling dominates IMM runtime, so a sketch sampled once is worth
+//! persisting: `save` freezes a [`SketchIndex`] to disk and `load` brings it
+//! back in a later process without resampling. The container is defensive —
+//! magic bytes, a format version, and an FNV-1a checksum over the payload —
+//! so a wrong file, a future format, or flipped bits fail loudly instead of
+//! deserializing garbage into a serving index.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [0..8)   magic  "IMMSKTCH"
+//! [8..12)  format version (currently 1)
+//! [12..20) FNV-1a 64 checksum of the payload
+//! [20..)   payload: num_edges u64, label (u32 length + UTF-8 bytes),
+//!          then the RRR collection in the `imm_rrr::codec` encoding
+//! ```
+//!
+//! Only the collection and metadata are stored; the inverted postings are
+//! rebuilt on load (a deterministic single pass, far cheaper than sampling).
+
+use crate::index::{IndexError, IndexMeta, SketchIndex};
+use imm_rrr::codec::{ByteReader, CodecError};
+use imm_rrr::RrrCollection;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The magic bytes opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IMMSKTCH";
+/// The current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors produced while saving or loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic([u8; 8]),
+    /// The file announces a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The payload bytes do not decode (truncation, bad tags, bad lengths).
+    Corrupt(CodecError),
+    /// The decoded collection cannot be indexed.
+    Index(IndexError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic(found) => {
+                write!(f, "not a sketch snapshot (magic bytes {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch (header {expected:#018x}, payload {actual:#018x})"
+            ),
+            SnapshotError::Corrupt(e) => write!(f, "corrupt snapshot payload: {e}"),
+            SnapshotError::Index(e) => write!(f, "snapshot decodes but cannot be indexed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Corrupt(e) => Some(e),
+            SnapshotError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Corrupt(e)
+    }
+}
+
+impl From<IndexError> for SnapshotError {
+    fn from(e: IndexError) -> Self {
+        SnapshotError::Index(e)
+    }
+}
+
+/// FNV-1a 64-bit hash of `bytes` (dependency-free integrity check).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn encode_payload(index: &SketchIndex) -> Vec<u8> {
+    let meta = index.meta();
+    let mut payload = Vec::with_capacity(32 + meta.label.len() + index.sets().memory_bytes());
+    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
+    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(meta.label.as_bytes());
+    index.sets().encode(&mut payload);
+    payload
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+    let mut reader = ByteReader::new(payload);
+    let num_edges = usize::try_from(reader.read_u64()?)
+        .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("num_edges overflow")))?;
+    let label_len = reader.read_u32()? as usize;
+    let label = String::from_utf8(reader.read_bytes(label_len)?.to_vec())
+        .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("label is not UTF-8")))?;
+    let collection = RrrCollection::decode(&mut reader)?;
+    if !reader.is_exhausted() {
+        return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+            "trailing bytes after collection",
+        )));
+    }
+    Ok((IndexMeta { num_edges, label }, collection))
+}
+
+impl SketchIndex {
+    /// Serialize this index into `writer` (header + checksummed payload).
+    pub fn save(&self, writer: &mut impl Write) -> Result<(), SnapshotError> {
+        let payload = encode_payload(self);
+        writer.write_all(&SNAPSHOT_MAGIC)?;
+        writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        writer.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Serialize this index to a file at `path`.
+    pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save(&mut file)?;
+        file.flush()?;
+        Ok(())
+    }
+
+    /// Read an index back from `reader`, verifying magic, version and
+    /// checksum, then rebuilding the postings.
+    pub fn load(reader: &mut impl Read) -> Result<Self, SnapshotError> {
+        let (meta, collection) = load_collection(reader)?;
+        Ok(SketchIndex::from_collection(collection, meta)?)
+    }
+
+    /// Read an index back from the file at `path`.
+    pub fn load_from_path(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+        Self::load(&mut file)
+    }
+}
+
+/// Read just the metadata and collection out of a snapshot (same magic /
+/// version / checksum verification as [`SketchIndex::load`]) without
+/// rebuilding the inverted postings — for consumers like `stats --index`
+/// that only inspect the stored sets.
+pub fn load_collection(
+    reader: &mut impl Read,
+) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let mut header = ByteReader::new(&bytes);
+    let magic = header.read_bytes(SNAPSHOT_MAGIC.len())?;
+    if magic != SNAPSHOT_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(magic);
+        return Err(SnapshotError::BadMagic(found));
+    }
+    let version = header.read_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let expected = header.read_u64()?;
+    let payload = &bytes[bytes.len() - header.remaining()..];
+    let actual = fnv1a64(payload);
+    if actual != expected {
+        return Err(SnapshotError::ChecksumMismatch { expected, actual });
+    }
+    decode_payload(payload)
+}
+
+/// [`load_collection`] over the file at `path`.
+pub fn load_collection_from_path(
+    path: impl AsRef<Path>,
+) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    load_collection(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imm_rrr::AdaptivePolicy;
+
+    fn sample_index() -> SketchIndex {
+        let mut c = RrrCollection::new(200);
+        c.push_vertices(vec![5, 1, 199], &AdaptivePolicy::always_sorted());
+        c.push_vertices((0..150).collect(), &AdaptivePolicy::always_bitmap());
+        c.push_vertices(vec![42], &AdaptivePolicy::default());
+        SketchIndex::from_collection(
+            c,
+            IndexMeta { num_edges: 777, label: "unit-test".to_string() },
+        )
+        .unwrap()
+    }
+
+    fn snapshot_bytes(index: &SketchIndex) -> Vec<u8> {
+        let mut out = Vec::new();
+        index.save(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let index = sample_index();
+        let bytes = snapshot_bytes(&index);
+        let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, index);
+        assert_eq!(loaded.meta().label, "unit-test");
+        assert_eq!(loaded.meta().num_edges, 777);
+    }
+
+    #[test]
+    fn load_collection_skips_the_index_build_but_verifies_everything() {
+        let index = sample_index();
+        let bytes = snapshot_bytes(&index);
+        let (meta, collection) = load_collection(&mut bytes.as_slice()).unwrap();
+        assert_eq!(&meta, index.meta());
+        assert_eq!(&collection, index.sets());
+
+        let mut tampered = bytes.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        assert!(matches!(
+            load_collection(&mut tampered.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let mut bytes = snapshot_bytes(&sample_index());
+        bytes[0] = b'X';
+        assert!(matches!(
+            SketchIndex::load(&mut bytes.as_slice()),
+            Err(SnapshotError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = snapshot_bytes(&sample_index());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            SketchIndex::load(&mut bytes.as_slice()),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let mut bytes = snapshot_bytes(&sample_index());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            SketchIndex::load(&mut bytes.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_everywhere() {
+        let bytes = snapshot_bytes(&sample_index());
+        for cut in 0..bytes.len() {
+            assert!(
+                SketchIndex::load(&mut bytes[..cut].as_ref()).is_err(),
+                "prefix of {cut} bytes must not load"
+            );
+        }
+    }
+}

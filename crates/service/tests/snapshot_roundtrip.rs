@@ -1,0 +1,141 @@
+//! Property tests of the snapshot format: arbitrary collections of mixed
+//! list/bitmap representation must survive save → load bit-exactly, and
+//! corrupted or truncated files must fail with a descriptive error instead
+//! of loading garbage.
+
+use imm_rrr::{AdaptivePolicy, RrrCollection};
+use imm_service::{IndexMeta, SketchIndex, SnapshotError, SNAPSHOT_MAGIC};
+use proptest::prelude::*;
+
+const NUM_NODES: usize = 300;
+
+fn index_from(raw_sets: &[Vec<u32>], bitmap_choices: &[bool], label: &str) -> SketchIndex {
+    let mut c = RrrCollection::new(NUM_NODES);
+    for (i, vertices) in raw_sets.iter().enumerate() {
+        let policy = if bitmap_choices.get(i).copied().unwrap_or(false) {
+            AdaptivePolicy::always_bitmap()
+        } else {
+            AdaptivePolicy::always_sorted()
+        };
+        c.push_vertices(vertices.clone(), &policy);
+    }
+    SketchIndex::from_collection(
+        c,
+        IndexMeta { num_edges: raw_sets.len() * 3, label: label.to_string() },
+    )
+    .expect("members are within range")
+}
+
+fn snapshot_bytes(index: &SketchIndex) -> Vec<u8> {
+    let mut out = Vec::new();
+    index.save(&mut out).unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_mixed_indices_round_trip(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::hash_set(0u32..NUM_NODES as u32, 0..60),
+            0..25,
+        ),
+        bitmap_choices in proptest::collection::vec(any::<bool>(), 0..25),
+        label_tag in 0u32..10_000,
+    ) {
+        let owned: Vec<Vec<u32>> = raw_sets.iter().map(|s| s.iter().copied().collect()).collect();
+        let label = format!("dataset/run-{label_tag} (ε = 0.5)");
+        let index = index_from(&owned, &bitmap_choices, &label);
+        let loaded = SketchIndex::load(&mut snapshot_bytes(&index).as_slice()).unwrap();
+        prop_assert_eq!(&loaded, &index);
+        prop_assert_eq!(loaded.meta(), index.meta());
+        prop_assert_eq!(loaded.coverage_stats(), index.coverage_stats());
+    }
+
+    #[test]
+    fn flipping_any_payload_byte_is_detected(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::hash_set(0u32..NUM_NODES as u32, 1..30),
+            1..8,
+        ),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let owned: Vec<Vec<u32>> = raw_sets.iter().map(|s| s.iter().copied().collect()).collect();
+        let index = index_from(&owned, &[], "flip");
+        let mut bytes = snapshot_bytes(&index);
+        let header_len = SNAPSHOT_MAGIC.len() + 4 + 8;
+        let target = header_len + flip.index(bytes.len() - header_len);
+        bytes[target] ^= 0x40;
+        // A payload flip must surface as a checksum mismatch — never as a
+        // silently different index.
+        prop_assert!(matches!(
+            SketchIndex::load(&mut bytes.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncating_anywhere_is_detected(
+        raw_sets in proptest::collection::vec(
+            proptest::collection::hash_set(0u32..NUM_NODES as u32, 1..30),
+            1..8,
+        ),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let owned: Vec<Vec<u32>> = raw_sets.iter().map(|s| s.iter().copied().collect()).collect();
+        let index = index_from(&owned, &[true], "cut");
+        let bytes = snapshot_bytes(&index);
+        let cut = cut.index(bytes.len());
+        prop_assert!(SketchIndex::load(&mut bytes[..cut].as_ref()).is_err());
+    }
+}
+
+#[test]
+fn corrupted_header_cases_report_specific_errors() {
+    let index = index_from(&[vec![1, 2, 3]], &[], "header");
+    let good = snapshot_bytes(&index);
+
+    // Wrong magic.
+    let mut bad_magic = good.clone();
+    bad_magic[..8].copy_from_slice(b"NOTANIDX");
+    assert!(matches!(
+        SketchIndex::load(&mut bad_magic.as_slice()),
+        Err(SnapshotError::BadMagic(_))
+    ));
+
+    // Unsupported version.
+    let mut bad_version = good.clone();
+    bad_version[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        SketchIndex::load(&mut bad_version.as_slice()),
+        Err(SnapshotError::UnsupportedVersion(7))
+    ));
+
+    // Tampered checksum field.
+    let mut bad_checksum = good.clone();
+    bad_checksum[12] ^= 0xFF;
+    assert!(matches!(
+        SketchIndex::load(&mut bad_checksum.as_slice()),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // Empty file.
+    assert!(SketchIndex::load(&mut [].as_ref()).is_err());
+
+    // The pristine bytes still load (the cases above were the only damage).
+    assert_eq!(SketchIndex::load(&mut good.as_slice()).unwrap(), index);
+}
+
+#[test]
+fn round_trip_through_a_real_file() {
+    let index =
+        index_from(&[vec![0, 5, 9], vec![2], (0..200).collect()], &[false, false, true], "file");
+    let dir = std::env::temp_dir().join("imm_service_snapshot_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.sketch");
+    index.save_to_path(&path).unwrap();
+    let loaded = SketchIndex::load_from_path(&path).unwrap();
+    assert_eq!(loaded, index);
+    std::fs::remove_file(&path).ok();
+}

@@ -9,3 +9,4 @@ pub use imm_graph as graph;
 pub use imm_memsim as memsim;
 pub use imm_numa as numa;
 pub use imm_rrr as rrr;
+pub use imm_service as service;

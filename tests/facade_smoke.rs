@@ -2,7 +2,7 @@
 //! core types of each sub-crate must be constructible through the facade
 //! paths alone.
 
-use efficient_imm_repro::{diffusion, graph, imm, memsim, numa, rrr};
+use efficient_imm_repro::{diffusion, graph, imm, memsim, numa, rrr, service};
 
 #[test]
 fn every_reexported_crate_path_resolves() {
@@ -13,6 +13,7 @@ fn every_reexported_crate_path_resolves() {
     let _ = numa::PlacementPolicy::Interleaved;
     let _ = memsim::HierarchyConfig::default();
     let _ = imm::Algorithm::Efficient;
+    let _ = service::Query::TopK { k: 1 };
 }
 
 #[test]
@@ -46,4 +47,42 @@ fn facade_supports_an_end_to_end_run() {
     let exec = imm::ExecutionConfig::new(imm::Algorithm::Efficient, 2);
     let result = imm::run_imm(&g, &w, &params, &exec).expect("facade run");
     assert_eq!(result.seeds.len(), 3);
+}
+
+#[test]
+fn facade_supports_build_index_then_top_k_and_spread() {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    // Sample once through the facade, retaining the collection...
+    let mut rng = SmallRng::seed_from_u64(23);
+    let g =
+        graph::CsrGraph::from_edge_list(&graph::generators::social_network(250, 5, 0.3, &mut rng));
+    let w = graph::EdgeWeights::ic_weighted_cascade(&g);
+    let params =
+        imm::ImmParams::new(4, 0.5, diffusion::DiffusionModel::IndependentCascade).with_seed(3);
+    let exec = imm::ExecutionConfig::new(imm::Algorithm::Efficient, 2).with_retained_sets(true);
+    let result = imm::run_imm(&g, &w, &params, &exec).expect("facade run");
+
+    // ...freeze it into an index and serve queries against it.
+    let index = service::SketchIndex::build(&g, result.rrr_sets.unwrap(), "facade-smoke")
+        .expect("index build");
+    let engine = service::QueryEngine::new(Arc::new(index));
+
+    let top = engine.execute(&service::Query::TopK { k: 4 });
+    let seeds = match &top {
+        service::QueryResponse::TopK { seeds, .. } => {
+            assert_eq!(seeds, &result.seeds, "served seeds must match the batch run");
+            seeds.clone()
+        }
+        other => panic!("unexpected {other:?}"),
+    };
+
+    match engine.execute(&service::Query::Spread { seeds }) {
+        service::QueryResponse::Spread { estimate, .. } => {
+            assert!((estimate - result.estimated_influence).abs() < 1e-9);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }
