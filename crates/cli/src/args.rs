@@ -25,14 +25,20 @@ USAGE:
   efficient-imm query       --index <FILE> [--top-k <K1,K2,..>]
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
                             [--threads <T>]
+  efficient-imm update-index --index <FILE> (--graph <FILE> | --dataset <NAME>)
+                            --delta <FILE> [--output <FILE>]
   efficient-imm help
 
 `build-index` samples RRR sets once (the expensive phase) and freezes them
 into a reusable sketch-index snapshot; `query` serves top-k / spread /
 marginal-gain requests from that snapshot without resampling, and `stats
---index` reads coverage statistics from it. The --dataset name refers to the
-built-in SNAP analogues (com-Amazon, com-DBLP, com-YouTube, as-Skitter,
-web-Google, soc-Pokec, com-LJ, twitter7).";
+--index` reads coverage statistics from it. `update-index` refreshes a
+snapshot against a batch of edge mutations (delta file lines: `+ src dst w`,
+`- src dst`, `~ src dst w`, `#` comments), resampling only the RRR sets the
+mutations touch; pass the *original* graph source — the snapshot's delta log
+replays every earlier batch to reconstruct the current revision. The
+--dataset name refers to the built-in SNAP analogues (com-Amazon, com-DBLP,
+com-YouTube, as-Skitter, web-Google, soc-Pokec, com-LJ, twitter7).";
 
 /// Which graph source a command reads.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +105,20 @@ pub struct BuildIndexArgs {
     pub output: String,
 }
 
+/// Parsed `update-index` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateIndexArgs {
+    /// Sketch-index snapshot to refresh (must carry provenance, i.e. be a v2
+    /// dynamic snapshot).
+    pub index: String,
+    /// The *original* graph source the snapshot was built from.
+    pub source: GraphSource,
+    /// Delta file with one mutation per line.
+    pub delta: String,
+    /// Where the refreshed snapshot is written (defaults to `--index`).
+    pub output: Option<String>,
+}
+
 /// Parsed `query` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryArgs {
@@ -127,6 +147,8 @@ pub enum Command {
     Stats(StatsArgs),
     /// `build-index`
     BuildIndex(BuildIndexArgs),
+    /// `update-index`
+    UpdateIndex(UpdateIndexArgs),
     /// `query`
     Query(QueryArgs),
     /// `help`
@@ -290,6 +312,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let output = run.output.clone().ok_or("build-index requires --output")?;
             Ok(Command::BuildIndex(BuildIndexArgs { run, output }))
         }
+        "update-index" => {
+            let flags = Flags::parse(rest)?;
+            Ok(Command::UpdateIndex(UpdateIndexArgs {
+                index: flags.get("--index").ok_or("update-index requires --index")?.to_string(),
+                source: flags.source()?,
+                delta: flags.get("--delta").ok_or("update-index requires --delta")?.to_string(),
+                output: flags.get("--output").map(|s| s.to_string()),
+            }))
+        }
         "query" => Ok(Command::Query(parse_query(rest)?)),
         other => Err(format!("unknown subcommand '{other}'")),
     }
@@ -428,6 +459,52 @@ mod tests {
             parse(&sv(&["build-index", "--dataset", "web-Google"])).is_err(),
             "--output is required"
         );
+    }
+
+    #[test]
+    fn parses_update_index() {
+        let cmd = parse(&sv(&[
+            "update-index",
+            "--index",
+            "g.sketch",
+            "--graph",
+            "g.txt",
+            "--delta",
+            "churn.delta",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::UpdateIndex(UpdateIndexArgs {
+                index: "g.sketch".into(),
+                source: GraphSource::File("g.txt".into()),
+                delta: "churn.delta".into(),
+                output: None,
+            })
+        );
+        let cmd = parse(&sv(&[
+            "update-index",
+            "--index",
+            "g.sketch",
+            "--dataset",
+            "com-DBLP",
+            "--delta",
+            "churn.delta",
+            "--output",
+            "g2.sketch",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::UpdateIndex(u) => {
+                assert_eq!(u.output.as_deref(), Some("g2.sketch"));
+                assert_eq!(u.source, GraphSource::Dataset("com-DBLP".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Every required flag is enforced.
+        assert!(parse(&sv(&["update-index", "--graph", "g.txt", "--delta", "d"])).is_err());
+        assert!(parse(&sv(&["update-index", "--index", "i", "--delta", "d"])).is_err());
+        assert!(parse(&sv(&["update-index", "--index", "i", "--graph", "g.txt"])).is_err());
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Command implementations for the `efficient-imm` CLI.
 
 use crate::args::{
-    BuildIndexArgs, Command, GenerateArgs, GraphSource, QueryArgs, RunArgs, StatsArgs, USAGE,
+    BuildIndexArgs, Command, GenerateArgs, GraphSource, QueryArgs, RunArgs, StatsArgs,
+    UpdateIndexArgs, USAGE,
 };
 use efficient_imm::balance::Schedule;
 use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
 use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams, ImmResult};
 use imm_bench::datasets::{find, Scale};
 use imm_diffusion::DiffusionModel;
-use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, WeightModel};
+use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, GraphDelta, WeightModel};
 use imm_rrr::AdaptivePolicy;
-use imm_service::{Query, QueryEngine, QueryResponse, SketchIndex};
+use imm_service::{Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -31,6 +32,7 @@ pub fn execute(command: Command) -> Result<(), CliError> {
         Command::Compare(args) => compare(&args),
         Command::Stats(args) => stats(&args),
         Command::BuildIndex(args) => build_index(&args),
+        Command::UpdateIndex(args) => update_index(&args),
         Command::Query(args) => query(&args),
     }
 }
@@ -183,12 +185,18 @@ fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
     let run = &args.run;
     let (graph, weights, name) = load(&run.source, run.model, run.seed)?;
     let params = ImmParams::new(run.k, run.epsilon, run.model).with_seed(run.seed);
-    let exec = ExecutionConfig::new(run.algorithm, run.threads).with_retained_sets(true);
+    let exec = ExecutionConfig::new(run.algorithm, run.threads)
+        .with_retained_sets(true)
+        .with_provenance(true);
     let start = Instant::now();
     let result = run_imm(&graph, &weights, &params, &exec).map_err(|e| e.to_string())?;
     let build_seconds = start.elapsed().as_secs_f64();
     let collection = result.rrr_sets.expect("retained sets were requested");
-    let index = SketchIndex::build(&graph, collection, &name).map_err(|e| e.to_string())?;
+    let records = result.provenance.expect("provenance tracing was requested");
+    let spec =
+        SampleSpec::new(run.model, run.seed).with_policy(exec.features.representation_policy());
+    let index = SketchIndex::build_with_provenance(&graph, collection, records, spec, &name)
+        .map_err(|e| e.to_string())?;
     index.save_to_path(&args.output).map_err(|e| format!("cannot write {}: {e}", args.output))?;
     let json = serde_json::json!({
         "input": name,
@@ -200,6 +208,72 @@ fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
         "build_seconds": build_seconds,
         "sampling_seconds": result.breakdown.timings.generate_rrrsets.as_secs_f64(),
         "top_k_seeds": result.seeds,
+        "dynamic": index.is_dynamic(),
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
+
+/// Refresh a dynamic snapshot against a delta file: reconstruct the current
+/// graph revision (original source + replay of the snapshot's delta log),
+/// apply the new batch through `SketchIndex::apply_delta`, and persist the
+/// refreshed snapshot — resampling only the RRR sets the batch touched.
+fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
+    let mut index = SketchIndex::load_from_path(&args.index)
+        .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+    let (spec, replay) = match index.provenance() {
+        Some(provenance) => (
+            provenance.spec,
+            provenance.delta_log.iter().map(|entry| entry.delta.clone()).collect::<Vec<_>>(),
+        ),
+        None => {
+            return Err(format!(
+                "{} is a static snapshot (no sampling provenance); rebuild it with build-index",
+                args.index
+            ))
+        }
+    };
+
+    let (mut graph, mut weights, name) = load(&args.source, spec.model, spec.rng_seed)?;
+    for (i, delta) in replay.iter().enumerate() {
+        let (next_graph, next_weights) = delta.apply(&graph, &weights).map_err(|e| {
+            format!(
+                "replaying logged delta {i} of {} failed: {e} — is '{name}' the original \
+                 source the snapshot was built from?",
+                replay.len()
+            )
+        })?;
+        graph = next_graph;
+        weights = next_weights;
+    }
+
+    let text = std::fs::read_to_string(&args.delta)
+        .map_err(|e| format!("cannot read {}: {e}", args.delta))?;
+    let delta = GraphDelta::parse_text(&text).map_err(|e| e.to_string())?;
+
+    let start = Instant::now();
+    let (_, _, stats) = index.apply_delta(&graph, &weights, &delta).map_err(|e| e.to_string())?;
+    let refresh_seconds = start.elapsed().as_secs_f64();
+
+    // Write-then-rename so the default in-place refresh can never destroy
+    // the only copy of the snapshot on a crash or disk-full mid-write.
+    let output = args.output.as_deref().unwrap_or(&args.index);
+    let staging = format!("{output}.tmp");
+    index.save_to_path(&staging).map_err(|e| format!("cannot write {staging}: {e}"))?;
+    std::fs::rename(&staging, output)
+        .map_err(|e| format!("cannot move {staging} into place at {output}: {e}"))?;
+    let json = serde_json::json!({
+        "input": name,
+        "snapshot": output,
+        "theta": stats.total_sets,
+        "resampled_sets": stats.resampled_sets,
+        "resampled_fraction": stats.resampled_fraction(),
+        "inserted_edges": stats.inserted_edges,
+        "deleted_edges": stats.deleted_edges,
+        "reweighted_edges": stats.reweighted_edges,
+        "edges_after": stats.num_edges_after,
+        "applied_deltas_total": index.provenance().expect("still dynamic").delta_log.len(),
+        "refresh_seconds": refresh_seconds,
     });
     println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
     Ok(())
@@ -477,6 +551,111 @@ mod tests {
         }))
         .unwrap();
         std::fs::remove_file(&snapshot_path).ok();
+    }
+
+    #[test]
+    fn update_index_refreshes_a_snapshot_and_replays_its_log() {
+        let graph_path = temp_path("cli_update_graph.txt");
+        let snapshot_path = temp_path("cli_update.sketch");
+        let delta1_path = temp_path("cli_update_1.delta");
+        let delta2_path = temp_path("cli_update_2.delta");
+        execute(Command::Generate(GenerateArgs {
+            output: graph_path.to_string_lossy().into_owned(),
+            kind: "social".into(),
+            nodes: 200,
+            avg_degree: 5,
+            seed: 9,
+        }))
+        .unwrap();
+        execute(Command::BuildIndex(BuildIndexArgs {
+            run: RunArgs {
+                source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
+                model: DiffusionModel::IndependentCascade,
+                algorithm: Algorithm::Efficient,
+                k: 3,
+                epsilon: 0.5,
+                threads: 2,
+                seed: 13,
+                output: None,
+            },
+            output: snapshot_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+
+        // First delta: insertions plus the deletion of a real edge taken
+        // from the graph file itself.
+        let first_edge = std::fs::read_to_string(&graph_path)
+            .unwrap()
+            .lines()
+            .find(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(|l| l.split_whitespace().take(2).collect::<Vec<_>>().join(" "))
+            .expect("generated graph has edges");
+        std::fs::write(&delta1_path, format!("# churn\n+ 0 199 0.4\n- {first_edge}\n")).unwrap();
+        let update = |delta_path: &std::path::Path| {
+            execute(Command::UpdateIndex(UpdateIndexArgs {
+                index: snapshot_path.to_string_lossy().into_owned(),
+                source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
+                delta: delta_path.to_string_lossy().into_owned(),
+                output: None,
+            }))
+        };
+        update(&delta1_path).unwrap();
+
+        // Second delta exercises the log replay: the snapshot now describes
+        // revision 1, so the logged first delta must be replayed before this
+        // one applies — including deleting the edge revision 1 added.
+        std::fs::write(&delta2_path, "- 0 199\n+ 5 6 0.7\n").unwrap();
+        update(&delta2_path).unwrap();
+
+        // The refreshed snapshot still serves queries.
+        execute(Command::Query(QueryArgs {
+            index: snapshot_path.to_string_lossy().into_owned(),
+            top_k: vec![2],
+            spread: Some(vec![0, 5]),
+            marginal: None,
+            threads: 1,
+        }))
+        .unwrap();
+
+        // A bogus delta (deleting a non-existent edge) is reported cleanly.
+        std::fs::write(&delta1_path, "- 198 199\n- 198 199\n- 198 199\n- 198 199\n").unwrap();
+        let err = update(&delta1_path).unwrap_err();
+        assert!(err.contains("delta"), "unexpected error: {err}");
+
+        for p in [&graph_path, &snapshot_path, &delta1_path, &delta2_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn update_index_rejects_static_snapshots_and_missing_files() {
+        let err = execute(Command::UpdateIndex(UpdateIndexArgs {
+            index: "/nonexistent/u.sketch".into(),
+            source: GraphSource::Dataset("com-Amazon".into()),
+            delta: "/nonexistent/u.delta".into(),
+            output: None,
+        }))
+        .unwrap_err();
+        assert!(err.contains("cannot load"));
+
+        // A provenance-free (static) snapshot is rejected with a pointer to
+        // build-index, before any graph loading happens.
+        let static_path = temp_path("cli_static.sketch");
+        let mut collection = imm_rrr::RrrCollection::new(10);
+        collection.push(imm_rrr::RrrSet::sorted(vec![0, 1]));
+        imm_service::SketchIndex::from_collection(collection, imm_service::IndexMeta::default())
+            .unwrap()
+            .save_to_path(&static_path)
+            .unwrap();
+        let err = execute(Command::UpdateIndex(UpdateIndexArgs {
+            index: static_path.to_string_lossy().into_owned(),
+            source: GraphSource::Dataset("com-Amazon".into()),
+            delta: "/nonexistent/u.delta".into(),
+            output: None,
+        }))
+        .unwrap_err();
+        assert!(err.contains("static snapshot"), "unexpected error: {err}");
+        std::fs::remove_file(&static_path).ok();
     }
 
     #[test]

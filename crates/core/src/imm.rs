@@ -5,12 +5,12 @@ use crate::balance::Schedule;
 use crate::counter::GlobalCounter;
 use crate::math;
 use crate::params::{Algorithm, ExecutionConfig, ImmParams};
-use crate::sampling::{generate_rrr_sets, SamplingConfig};
+use crate::sampling::{generate_rrr_sets, generate_rrr_sets_traced, SamplingConfig};
 use crate::selection::select_seeds;
 use crate::stats::RuntimeBreakdown;
 use crate::NodeId;
 use imm_graph::{CsrGraph, EdgeWeights};
-use imm_rrr::{CoverageStats, RrrCollection};
+use imm_rrr::{CoverageStats, RrrCollection, SetProvenance};
 use std::time::Instant;
 
 /// Errors returned by [`run_imm`].
@@ -53,6 +53,10 @@ pub struct ImmResult {
     /// [`ExecutionConfig::retain_rrr_sets`] is set — the input for building a
     /// reusable `imm-service` sketch index without resampling.
     pub rrr_sets: Option<RrrCollection>,
+    /// Per-set sampling provenance aligned with `rrr_sets`, recorded only
+    /// when [`ExecutionConfig::trace_provenance`] is set — the input for
+    /// building an *incrementally refreshable* `imm-service` index.
+    pub provenance: Option<Vec<SetProvenance>>,
 }
 
 /// Run the complete IMM workflow on `graph` with the given parameters and
@@ -90,6 +94,7 @@ pub fn run_imm(
     let fused_counter = if use_fusion { Some(GlobalCounter::new(n)) } else { None };
 
     let mut sets = RrrCollection::new(n);
+    let mut provenance: Option<Vec<SetProvenance>> = exec.trace_provenance.then(Vec::new);
     let mut lower_bound = 1.0f64;
     let mut converged = false;
 
@@ -101,7 +106,9 @@ pub fn run_imm(
         if target > sets.len() {
             let missing = target - sets.len();
             let t0 = Instant::now();
-            let out = generate_rrr_sets(
+            let sampler =
+                if exec.trace_provenance { generate_rrr_sets_traced } else { generate_rrr_sets };
+            let out = sampler(
                 graph,
                 weights,
                 missing,
@@ -118,6 +125,9 @@ pub fn run_imm(
             );
             breakdown.timings.generate_rrrsets += t0.elapsed();
             breakdown.sampling_work.merge(&out.work);
+            if let (Some(log), Some(mut records)) = (provenance.as_mut(), out.provenance) {
+                log.append(&mut records);
+            }
             sets.extend_from(out.sets);
         }
         breakdown.sampling_iterations = i;
@@ -149,7 +159,9 @@ pub fn run_imm(
     if theta > sets.len() {
         let missing = theta - sets.len();
         let t0 = Instant::now();
-        let out = generate_rrr_sets(
+        let sampler =
+            if exec.trace_provenance { generate_rrr_sets_traced } else { generate_rrr_sets };
+        let out = sampler(
             graph,
             weights,
             missing,
@@ -166,6 +178,9 @@ pub fn run_imm(
         );
         breakdown.timings.generate_rrrsets += t0.elapsed();
         breakdown.sampling_work.merge(&out.work);
+        if let (Some(log), Some(mut records)) = (provenance.as_mut(), out.provenance) {
+            log.append(&mut records);
+        }
         sets.extend_from(out.sets);
     }
 
@@ -190,6 +205,7 @@ pub fn run_imm(
         algorithm: exec.algorithm,
         threads: exec.threads,
         rrr_sets: exec.retain_rrr_sets.then_some(sets),
+        provenance,
     })
 }
 
@@ -311,6 +327,28 @@ mod tests {
 
         let drop_cfg = ExecutionConfig::new(Algorithm::Efficient, 2);
         assert!(run_imm(&g, &w, &params, &drop_cfg).unwrap().rrr_sets.is_none());
+    }
+
+    #[test]
+    fn provenance_is_traced_on_opt_in_and_aligned_with_the_sets() {
+        let (g, w) = small_social_graph(200, 10);
+        let params = ImmParams::new(3, 0.5, DiffusionModel::IndependentCascade).with_seed(23);
+        let exec = ExecutionConfig::new(Algorithm::Efficient, 2)
+            .with_retained_sets(true)
+            .with_provenance(true);
+        let result = run_imm(&g, &w, &params, &exec).unwrap();
+        let sets = result.rrr_sets.as_ref().expect("retained");
+        let provenance = result.provenance.as_ref().expect("traced");
+        assert_eq!(provenance.len(), sets.len());
+        for (set, record) in sets.iter().zip(provenance) {
+            assert!(set.contains(record.root), "each set contains its recorded root");
+        }
+        // Tracing must not perturb the RNG streams or the selection.
+        let plain =
+            run_imm(&g, &w, &params, &ExecutionConfig::new(Algorithm::Efficient, 2)).unwrap();
+        assert_eq!(plain.seeds, result.seeds);
+        assert_eq!(plain.theta, result.theta);
+        assert!(plain.provenance.is_none(), "provenance is off by default");
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub mod stats;
 pub use counter::GlobalCounter;
 pub use imm::{run_imm, ImmError, ImmResult};
 pub use params::{Algorithm, EfficientFeatures, ExecutionConfig, ImmParams};
-pub use sampling::{generate_rrr_set, generate_rrr_sets, SamplingOutput};
+pub use sampling::{
+    generate_indexed_rrr_set, generate_rrr_set, generate_rrr_set_traced, generate_rrr_sets,
+    generate_rrr_sets_traced, SamplingOutput,
+};
 pub use selection::{select_seeds, SeedSelection};
 pub use stats::{KernelTimings, RuntimeBreakdown, WorkProfile};
 

@@ -167,6 +167,11 @@ pub struct ExecutionConfig {
     /// reuse the sketches without resampling. Off by default: the collection
     /// can be large and most batch callers only want the seeds.
     pub retain_rrr_sets: bool,
+    /// Record per-set sampling provenance (root + probed-edge footprint) in
+    /// [`ImmResult::provenance`](crate::ImmResult::provenance) — the input
+    /// for building an incrementally refreshable `imm-service` index. Off by
+    /// default: batch runs discard the sample and have no use for it.
+    pub trace_provenance: bool,
 }
 
 impl ExecutionConfig {
@@ -184,12 +189,19 @@ impl ExecutionConfig {
             placement: PlacementPolicy::Interleaved,
             job_chunk: 64,
             retain_rrr_sets: false,
+            trace_provenance: false,
         }
     }
 
     /// Opt in (or out) of returning the sampled RRR collection in the result.
     pub fn with_retained_sets(mut self, retain: bool) -> Self {
         self.retain_rrr_sets = retain;
+        self
+    }
+
+    /// Opt in (or out) of recording per-set sampling provenance.
+    pub fn with_provenance(mut self, trace: bool) -> Self {
+        self.trace_provenance = trace;
         self
     }
 

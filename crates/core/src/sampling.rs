@@ -12,11 +12,14 @@
 //!   characterization of the LT model.
 //!
 //! The parallel driver generates `count` sets with per-set RNG streams
-//! derived from the base seed and the set's global index, so results are
-//! identical for any thread count or schedule. When the EfficientIMM kernel
-//! fusion is enabled the freshly generated set immediately increments the
-//! shared [`GlobalCounter`] (Algorithm 3 of the paper) while it is still hot
-//! in cache.
+//! derived from the base seed and the set's global index, and returns them
+//! in global set-index order, so results are identical — order included —
+//! for any thread count or schedule. When the EfficientIMM kernel fusion is
+//! enabled the freshly generated set immediately increments the shared
+//! [`GlobalCounter`] (Algorithm 3 of the paper) while it is still hot in
+//! cache. [`generate_rrr_sets_traced`] additionally records each set's
+//! provenance (root + probed-edge footprint), the substrate of the
+//! incremental sketch refresh in `imm-service`.
 
 use crate::balance::{run_jobs, Schedule};
 use crate::counter::GlobalCounter;
@@ -24,7 +27,9 @@ use crate::stats::WorkProfile;
 use crate::NodeId;
 use imm_diffusion::DiffusionModel;
 use imm_graph::{CsrGraph, EdgeWeights};
-use imm_rrr::{AdaptivePolicy, RrrCollection, RrrSet};
+use imm_rrr::{
+    AdaptivePolicy, EdgeFootprint, NoTrace, ProbeTrace, RrrCollection, RrrSet, SetProvenance,
+};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -84,19 +89,43 @@ pub fn generate_rrr_set<R: Rng + ?Sized>(
     rng: &mut R,
     marker: &mut VisitMarker,
 ) -> Vec<NodeId> {
+    generate_rrr_set_traced(graph, weights, model, root, rng, marker, &mut NoTrace)
+}
+
+/// [`generate_rrr_set`] with an edge-probe trace.
+///
+/// `trace` receives every edge whose presence or weight influenced the
+/// RNG-visible course of the traversal: for IC, each in-edge probed with a
+/// fresh draw; for LT, each in-edge scanned while the per-step draw was being
+/// consumed. The [`NoTrace`] instantiation compiles to the untraced kernel,
+/// so the hot batch path pays nothing.
+pub fn generate_rrr_set_traced<R: Rng + ?Sized, T: ProbeTrace>(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    model: DiffusionModel,
+    root: NodeId,
+    rng: &mut R,
+    marker: &mut VisitMarker,
+    trace: &mut T,
+) -> Vec<NodeId> {
     marker.next_epoch();
     match model {
-        DiffusionModel::IndependentCascade => ic_reverse_bfs(graph, weights, root, rng, marker),
-        DiffusionModel::LinearThreshold => lt_reverse_walk(graph, weights, root, rng, marker),
+        DiffusionModel::IndependentCascade => {
+            ic_reverse_bfs(graph, weights, root, rng, marker, trace)
+        }
+        DiffusionModel::LinearThreshold => {
+            lt_reverse_walk(graph, weights, root, rng, marker, trace)
+        }
     }
 }
 
-fn ic_reverse_bfs<R: Rng + ?Sized>(
+fn ic_reverse_bfs<R: Rng + ?Sized, T: ProbeTrace>(
     graph: &CsrGraph,
     weights: &EdgeWeights,
     root: NodeId,
     rng: &mut R,
     marker: &mut VisitMarker,
+    trace: &mut T,
 ) -> Vec<NodeId> {
     let mut set = Vec::with_capacity(16);
     let mut queue = std::collections::VecDeque::with_capacity(16);
@@ -106,22 +135,28 @@ fn ic_reverse_bfs<R: Rng + ?Sized>(
 
     while let Some(v) = queue.pop_front() {
         for (u, eid) in graph.in_neighbors_with_edge_ids(v) {
-            if !marker.visited(u) && rng.gen::<f32>() < weights.weight(eid) {
-                marker.visit(u);
-                set.push(u);
-                queue.push_back(u);
+            // An edge is probed (one RNG draw) only when its source is still
+            // unvisited — exactly the edges the trace must capture.
+            if !marker.visited(u) {
+                trace.record_edge(u, v);
+                if rng.gen::<f32>() < weights.weight(eid) {
+                    marker.visit(u);
+                    set.push(u);
+                    queue.push_back(u);
+                }
             }
         }
     }
     set
 }
 
-fn lt_reverse_walk<R: Rng + ?Sized>(
+fn lt_reverse_walk<R: Rng + ?Sized, T: ProbeTrace>(
     graph: &CsrGraph,
     weights: &EdgeWeights,
     root: NodeId,
     rng: &mut R,
     marker: &mut VisitMarker,
+    trace: &mut T,
 ) -> Vec<NodeId> {
     let mut set = Vec::with_capacity(8);
     marker.visit(root);
@@ -130,10 +165,13 @@ fn lt_reverse_walk<R: Rng + ?Sized>(
 
     loop {
         // Pick at most one in-neighbor with probability equal to its edge
-        // weight; the remaining mass (1 - Σ w) stops the walk.
+        // weight; the remaining mass (1 - Σ w) stops the walk. Every scanned
+        // edge (up to and including the pick) shapes the outcome, so each is
+        // traced.
         let mut draw = rng.gen::<f32>();
         let mut picked: Option<NodeId> = None;
         for (u, eid) in graph.in_neighbors_with_edge_ids(current) {
+            trace.record_edge(u, current);
             let w = weights.weight(eid);
             if draw < w {
                 picked = Some(u);
@@ -156,14 +194,43 @@ fn lt_reverse_walk<R: Rng + ?Sized>(
     set
 }
 
+/// Generate the RRR set with global index `set_index` of the deterministic
+/// sampling stream `(base_seed, set_index)`, returning the member vertices
+/// and the set's provenance (root + probed-edge footprint).
+///
+/// This is **the** definition of "set `i` of a sample": the bulk generator
+/// and the incremental refresh in `imm-service` both route through it, so a
+/// set resampled in isolation is byte-identical to the one a full rebuild at
+/// the same index would produce.
+pub fn generate_indexed_rrr_set(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    model: DiffusionModel,
+    base_seed: u64,
+    set_index: usize,
+    marker: &mut VisitMarker,
+) -> (Vec<NodeId>, SetProvenance) {
+    let mut rng = rng_for_set(base_seed, set_index);
+    let root = rng.gen_range(0..graph.num_nodes() as u32);
+    let mut footprint = EdgeFootprint::new();
+    let vertices =
+        generate_rrr_set_traced(graph, weights, model, root, &mut rng, marker, &mut footprint);
+    (vertices, SetProvenance { root, footprint })
+}
+
 /// Result of a bulk sampling call.
 #[derive(Debug)]
 pub struct SamplingOutput {
-    /// The generated sets (appended to whatever collection was passed in).
+    /// The generated sets, in global set-index order: position `i` holds the
+    /// set of RNG stream `start_index + i` regardless of thread count or
+    /// schedule.
     pub sets: RrrCollection,
     /// Per-thread operation counts of the generation (edge probes + counter
     /// updates when fused).
     pub work: WorkProfile,
+    /// Per-set provenance aligned with `sets`, recorded only by
+    /// [`generate_rrr_sets_traced`].
+    pub provenance: Option<Vec<SetProvenance>>,
 }
 
 /// Options controlling a bulk sampling call.
@@ -186,6 +253,11 @@ pub struct SamplingConfig<'a> {
 
 /// Generate `count` RRR sets (with global indices starting at `start_index`
 /// for RNG-stream purposes) on `pool`.
+///
+/// The returned collection is in global set-index order for every thread
+/// count and schedule: set `i` always came from RNG stream
+/// `(rng_seed, start_index + i)`. That canonical order is what lets the
+/// `imm-service` sketch index resample individual sets later.
 pub fn generate_rrr_sets(
     graph: &CsrGraph,
     weights: &EdgeWeights,
@@ -194,23 +266,64 @@ pub fn generate_rrr_sets(
     config: &SamplingConfig<'_>,
     pool: &rayon::ThreadPool,
 ) -> SamplingOutput {
+    generate_rrr_sets_impl(graph, weights, count, start_index, config, pool, false)
+}
+
+/// [`generate_rrr_sets`] with per-set provenance recording: the output's
+/// `provenance` holds each set's root and probed-edge footprint, aligned
+/// with the collection.
+pub fn generate_rrr_sets_traced(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    count: usize,
+    start_index: usize,
+    config: &SamplingConfig<'_>,
+    pool: &rayon::ThreadPool,
+) -> SamplingOutput {
+    generate_rrr_sets_impl(graph, weights, count, start_index, config, pool, true)
+}
+
+fn generate_rrr_sets_impl(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    count: usize,
+    start_index: usize,
+    config: &SamplingConfig<'_>,
+    pool: &rayon::ThreadPool,
+    trace: bool,
+) -> SamplingOutput {
     let threads = config.threads.max(1);
     let num_nodes = graph.num_nodes();
-    let per_worker_sets: Vec<Mutex<RrrCollection>> =
-        (0..threads).map(|_| Mutex::new(RrrCollection::new(num_nodes))).collect();
+    type Produced = (usize, RrrSet, Option<SetProvenance>);
+    let per_worker_sets: Vec<Mutex<Vec<Produced>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
     let per_worker_ops: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
     let atomic_ops = AtomicU64::new(0);
 
     run_jobs(pool, threads, count, config.schedule, |worker, range| {
         let mut marker = VisitMarker::new(num_nodes);
         let mut local_ops = 0u64;
-        let mut local = Vec::with_capacity(range.len());
+        let mut local: Vec<Produced> = Vec::with_capacity(range.len());
         for job in range.iter() {
             let set_index = start_index + job;
-            let mut rng = rng_for_set(config.rng_seed, set_index);
-            let root = rng.gen_range(0..num_nodes as u32);
-            let vertices =
-                generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
+            let (vertices, provenance) = if trace {
+                let (vertices, provenance) = generate_indexed_rrr_set(
+                    graph,
+                    weights,
+                    config.model,
+                    config.rng_seed,
+                    set_index,
+                    &mut marker,
+                );
+                (vertices, Some(provenance))
+            } else {
+                // Same draws as the traced path, no footprint bookkeeping.
+                let mut rng = rng_for_set(config.rng_seed, set_index);
+                let root = rng.gen_range(0..num_nodes as u32);
+                let vertices =
+                    generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
+                (vertices, None)
+            };
             local_ops += vertices.len() as u64;
             if let Some(counter) = config.fused_counter {
                 for &v in &vertices {
@@ -218,25 +331,40 @@ pub fn generate_rrr_sets(
                 }
                 atomic_ops.fetch_add(vertices.len() as u64, Ordering::Relaxed);
             }
-            local.push(RrrSet::from_vertices(vertices, num_nodes, &config.policy));
+            local.push((
+                job,
+                RrrSet::from_vertices(vertices, num_nodes, &config.policy),
+                provenance,
+            ));
         }
         per_worker_ops[worker].fetch_add(local_ops, Ordering::Relaxed);
-        let mut guard = per_worker_sets[worker].lock();
-        for set in local {
-            guard.push(set);
-        }
+        per_worker_sets[worker].lock().append(&mut local);
     });
 
-    let mut sets = RrrCollection::with_capacity(num_nodes, count);
+    // Scatter the per-worker batches back into global set-index order so the
+    // output is canonical for every schedule.
+    let mut slots: Vec<Option<(RrrSet, Option<SetProvenance>)>> =
+        (0..count).map(|_| None).collect();
     for slot in per_worker_sets {
-        sets.extend_from(slot.into_inner());
+        for (job, set, provenance) in slot.into_inner() {
+            slots[job] = Some((set, provenance));
+        }
+    }
+    let mut sets = RrrCollection::with_capacity(num_nodes, count);
+    let mut provenance = trace.then(|| Vec::with_capacity(count));
+    for produced in slots {
+        let (set, set_provenance) = produced.expect("every job index is produced exactly once");
+        sets.push(set);
+        if let (Some(log), Some(record)) = (provenance.as_mut(), set_provenance) {
+            log.push(record);
+        }
     }
     let work = WorkProfile {
         per_thread_ops: per_worker_ops.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
         atomic_ops: atomic_ops.load(Ordering::Relaxed),
         search_probes: 0,
     };
-    SamplingOutput { sets, work }
+    SamplingOutput { sets, work, provenance }
 }
 
 /// Derive the RNG stream of one RRR set from the base seed and the set's
@@ -359,26 +487,110 @@ mod tests {
     }
 
     #[test]
-    fn bulk_generation_is_deterministic_across_thread_counts_and_schedules() {
+    fn bulk_generation_is_deterministic_and_ordered_across_threads_and_schedules() {
         let mut rng = SmallRng::seed_from_u64(5);
         let g = CsrGraph::from_edge_list(&generators::social_network(200, 6, 0.2, &mut rng));
         let w = EdgeWeights::ic_weighted_cascade(&g);
 
-        let collect_sorted = |threads: usize, schedule: Schedule| -> Vec<Vec<NodeId>> {
+        let collect = |threads: usize, schedule: Schedule| -> Vec<Vec<NodeId>> {
             let p = pool(threads);
             let mut cfg = config(DiffusionModel::IndependentCascade, threads);
             cfg.schedule = schedule;
             let out = generate_rrr_sets(&g, &w, 100, 0, &cfg, &p);
-            let mut sets: Vec<Vec<NodeId>> = out.sets.iter().map(|s| s.to_vec()).collect();
-            sets.sort();
-            sets
+            out.sets.iter().map(|s| s.to_vec()).collect()
         };
 
-        let a = collect_sorted(1, Schedule::Static);
-        let b = collect_sorted(4, Schedule::Dynamic { chunk: 3 });
-        let c = collect_sorted(2, Schedule::Static);
+        // The output is in global set-index order, so equality holds without
+        // sorting — the canonical order the sketch index relies on.
+        let a = collect(1, Schedule::Static);
+        let b = collect(4, Schedule::Dynamic { chunk: 3 });
+        let c = collect(2, Schedule::Static);
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn output_order_matches_the_indexed_streams() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = CsrGraph::from_edge_list(&generators::social_network(150, 5, 0.2, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        let p = pool(3);
+        let cfg = config(DiffusionModel::IndependentCascade, 3);
+        let out = generate_rrr_sets(&g, &w, 40, 7, &cfg, &p);
+        let mut marker = VisitMarker::new(g.num_nodes());
+        for (i, set) in out.sets.iter().enumerate() {
+            let (vertices, _) = generate_indexed_rrr_set(
+                &g,
+                &w,
+                DiffusionModel::IndependentCascade,
+                cfg.rng_seed,
+                7 + i,
+                &mut marker,
+            );
+            let mut sorted = vertices;
+            sorted.sort_unstable();
+            assert_eq!(set.to_vec(), sorted, "set {i} must come from stream {}", 7 + i);
+        }
+    }
+
+    #[test]
+    fn traced_generation_matches_untraced_and_records_probed_edges() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = CsrGraph::from_edge_list(&generators::social_network(180, 6, 0.25, &mut rng));
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        for model in [DiffusionModel::IndependentCascade, DiffusionModel::LinearThreshold] {
+            let p = pool(2);
+            let cfg = config(model, 2);
+            let plain = generate_rrr_sets(&g, &w, 60, 0, &cfg, &p);
+            let traced = generate_rrr_sets_traced(&g, &w, 60, 0, &cfg, &p);
+            assert_eq!(plain.sets, traced.sets, "{model:?}: tracing must not change draws");
+            assert!(plain.provenance.is_none());
+            let provenance = traced.provenance.expect("traced run records provenance");
+            assert_eq!(provenance.len(), 60);
+            for (set, record) in traced.sets.iter().zip(&provenance) {
+                assert!(set.contains(record.root), "the root is always a member");
+                // Every member beyond the root was reached over a probed
+                // in-edge, so a non-singleton set has a non-empty footprint.
+                if set.len() > 1 {
+                    assert!(!record.footprint.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_covers_every_in_edge_of_an_ic_set() {
+        // IC probes every in-edge of each visited vertex whose source was
+        // unvisited at scan time; in particular, each member's first-scan
+        // in-edges from non-members are always probed. Check the one-sided
+        // guarantee on a concrete instance: any edge into a member from a
+        // vertex outside the set must be in the footprint (it was probed and
+        // rejected) or its source is a member (it may have been skipped).
+        let mut rng = SmallRng::seed_from_u64(14);
+        let g = CsrGraph::from_edge_list(&generators::social_network(120, 6, 0.25, &mut rng));
+        let w = EdgeWeights::constant(&g, 0.4);
+        let mut marker = VisitMarker::new(g.num_nodes());
+        for idx in 0..30 {
+            let (vertices, record) = generate_indexed_rrr_set(
+                &g,
+                &w,
+                DiffusionModel::IndependentCascade,
+                99,
+                idx,
+                &mut marker,
+            );
+            let members: std::collections::HashSet<NodeId> = vertices.iter().copied().collect();
+            for &v in &vertices {
+                for u in g.in_neighbors(v) {
+                    if !members.contains(u) {
+                        assert!(
+                            record.footprint.may_contain(*u, v),
+                            "probed edge {u} -> {v} missing from footprint of set {idx}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

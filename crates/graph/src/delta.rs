@@ -1,0 +1,617 @@
+//! Batched graph mutation: edge insertions, deletions and weight updates
+//! applied to a frozen [`CsrGraph`] + [`EdgeWeights`] pair.
+//!
+//! [`GraphDelta::apply`] produces a *new* CSR/weights pair (the inputs stay
+//! immutable and shareable) with one carefully engineered invariant:
+//!
+//! > For every vertex `v` whose in-edges the delta does not touch, the order
+//! > in which `in_neighbors_with_edge_ids(v)` yields its in-edges — and each
+//! > edge's weight — is identical before and after the delta.
+//!
+//! The reverse-influence-sampling kernels consume RNG draws exactly in
+//! in-neighbor scan order of the vertices they visit, so this invariant is
+//! what lets an incremental sketch refresh keep every RRR set whose member
+//! vertices were untouched: regenerating such a set on the mutated graph
+//! would replay byte-identical draws and reproduce the same set. The
+//! implementation emits the new edge list grouped by *destination* (each
+//! destination's surviving in-edges in their old scan order, then its
+//! insertions in delta order), which is precisely the order
+//! [`CsrGraph::from_edge_list`] fills `in_sources` in.
+//!
+//! Weight semantics after `apply`:
+//!
+//! 1. surviving edges carry their old weight, inserted edges their given one;
+//! 2. degree-normalized models are repaired destination-locally —
+//!    [`WeightModel::IcWeightedCascade`] recomputes `1/in_degree(v)` for every
+//!    destination whose in-degree changed;
+//! 3. explicit [`reweight`](GraphDelta::reweight)s are applied (they win over
+//!    the model repair);
+//! 4. [`WeightModel::LtNormalized`] destinations touched by the delta are
+//!    rescaled to keep their in-weight sum ≤ 1.
+//!
+//! Every adjustment is local to the destinations the delta names, which keeps
+//! "sets containing a touched destination" a correct superset of the sets a
+//! mutation can affect.
+
+use crate::csr::CsrGraph;
+use crate::edge_list::EdgeList;
+use crate::weights::{EdgeWeights, WeightModel};
+use crate::NodeId;
+use std::collections::HashMap;
+
+/// Errors produced while validating or applying a [`GraphDelta`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaError {
+    /// An operation references a vertex outside `[0, num_nodes)`. Deltas never
+    /// grow the vertex space — a sketch index is built over a fixed one.
+    NodeOutOfRange {
+        /// The offending vertex id.
+        node: NodeId,
+        /// The graph's vertex count.
+        num_nodes: usize,
+    },
+    /// A deletion names an edge the graph does not (still) contain.
+    MissingEdge {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+    },
+    /// A reweight names an edge absent after the deletions are applied.
+    ReweightMissingEdge {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+    },
+    /// An inserted or updated weight is outside `[0, 1]` or NaN.
+    InvalidWeight {
+        /// Edge source.
+        src: NodeId,
+        /// Edge destination.
+        dst: NodeId,
+        /// The rejected value.
+        value: f32,
+    },
+    /// A delta text line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "delta vertex {node} is outside the vertex space [0, {num_nodes})")
+            }
+            DeltaError::MissingEdge { src, dst } => {
+                write!(f, "delta deletes edge {src} -> {dst}, which the graph does not contain")
+            }
+            DeltaError::ReweightMissingEdge { src, dst } => {
+                write!(f, "delta reweights edge {src} -> {dst}, which is absent after deletions")
+            }
+            DeltaError::InvalidWeight { src, dst, value } => {
+                write!(f, "delta weight {value} on edge {src} -> {dst} is not a probability")
+            }
+            DeltaError::Parse { line, message } => {
+                write!(f, "delta line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// A batch of edge mutations against one graph revision.
+///
+/// Operations are applied as: deletions first (multiset semantics — each
+/// deletion removes one surviving occurrence of the named edge), then
+/// insertions (appended after the destination's surviving in-edges), then
+/// weight repairs/updates as described in the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GraphDelta {
+    insertions: Vec<(NodeId, NodeId, f32)>,
+    deletions: Vec<(NodeId, NodeId)>,
+    reweights: Vec<(NodeId, NodeId, f32)>,
+}
+
+impl GraphDelta {
+    /// Empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Queue an edge insertion `src -> dst` with activation weight `weight`.
+    pub fn insert(mut self, src: NodeId, dst: NodeId, weight: f32) -> Self {
+        self.insertions.push((src, dst, weight));
+        self
+    }
+
+    /// Queue the deletion of one occurrence of `src -> dst`.
+    pub fn delete(mut self, src: NodeId, dst: NodeId) -> Self {
+        self.deletions.push((src, dst));
+        self
+    }
+
+    /// Queue a weight update for every surviving occurrence of `src -> dst`.
+    pub fn reweight(mut self, src: NodeId, dst: NodeId, weight: f32) -> Self {
+        self.reweights.push((src, dst, weight));
+        self
+    }
+
+    /// Queued insertions as `(src, dst, weight)`.
+    pub fn insertions(&self) -> &[(NodeId, NodeId, f32)] {
+        &self.insertions
+    }
+
+    /// Queued deletions as `(src, dst)`.
+    pub fn deletions(&self) -> &[(NodeId, NodeId)] {
+        &self.deletions
+    }
+
+    /// Queued weight updates as `(src, dst, weight)`.
+    pub fn reweights(&self) -> &[(NodeId, NodeId, f32)] {
+        &self.reweights
+    }
+
+    /// Whether the delta holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty() && self.reweights.is_empty()
+    }
+
+    /// Total number of queued operations.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len() + self.reweights.len()
+    }
+
+    /// Destination vertices named by any operation, deduplicated and sorted.
+    ///
+    /// This is the invalidation frontier of an incremental sketch refresh:
+    /// only RRR sets containing one of these vertices can be affected by the
+    /// delta (see the module docs for why).
+    pub fn touched_destinations(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .insertions
+            .iter()
+            .map(|&(_, d, _)| d)
+            .chain(self.deletions.iter().map(|&(_, d)| d))
+            .chain(self.reweights.iter().map(|&(_, d, _)| d))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn validate(&self, num_nodes: usize) -> Result<(), DeltaError> {
+        let check_node = |node: NodeId| {
+            if (node as usize) >= num_nodes {
+                Err(DeltaError::NodeOutOfRange { node, num_nodes })
+            } else {
+                Ok(())
+            }
+        };
+        for &(s, d, w) in &self.insertions {
+            check_node(s)?;
+            check_node(d)?;
+            if !(0.0..=1.0).contains(&w) || w.is_nan() {
+                return Err(DeltaError::InvalidWeight { src: s, dst: d, value: w });
+            }
+        }
+        for &(s, d) in &self.deletions {
+            check_node(s)?;
+            check_node(d)?;
+        }
+        for &(s, d, w) in &self.reweights {
+            check_node(s)?;
+            check_node(d)?;
+            if !(0.0..=1.0).contains(&w) || w.is_nan() {
+                return Err(DeltaError::InvalidWeight { src: s, dst: d, value: w });
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply the delta to `graph` + `weights`, returning the mutated pair.
+    ///
+    /// See the module docs for the order- and weight-preservation guarantees.
+    pub fn apply(
+        &self,
+        graph: &CsrGraph,
+        weights: &EdgeWeights,
+    ) -> Result<(CsrGraph, EdgeWeights), DeltaError> {
+        let n = graph.num_nodes();
+        self.validate(n)?;
+
+        // Deletion multiset: each queued deletion consumes one occurrence.
+        // The `has_delete` bitmap lets the emission loop below copy the in-
+        // edges of untouched destinations without a per-edge map lookup —
+        // deltas are tiny compared to the graph, so almost every destination
+        // takes the fast path.
+        let mut pending_deletes: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        let mut has_delete = vec![false; n];
+        for &(s, d) in &self.deletions {
+            *pending_deletes.entry((s, d)).or_insert(0) += 1;
+            has_delete[d as usize] = true;
+        }
+
+        // Insertions grouped by destination, preserving delta order.
+        let mut inserts_by_dst: HashMap<NodeId, Vec<(NodeId, f32)>> = HashMap::new();
+        for &(s, d, w) in &self.insertions {
+            inserts_by_dst.entry(d).or_default().push((s, w));
+        }
+
+        // Emit the new edge list grouped by destination: each vertex's
+        // surviving in-edges in old scan order, then its insertions. This is
+        // the order `from_edge_list` fills `in_sources` in, so untouched
+        // vertices keep their exact in-neighbor scan order.
+        let capacity =
+            graph.num_edges() + self.insertions.len() - self.deletions.len().min(graph.num_edges());
+        let mut el = EdgeList::with_capacity(n, capacity);
+        let mut emitted_weights: Vec<f32> = Vec::with_capacity(capacity);
+        for v in 0..n as NodeId {
+            for (u, eid) in graph.in_neighbors_with_edge_ids(v) {
+                if has_delete[v as usize] {
+                    if let Some(count) = pending_deletes.get_mut(&(u, v)) {
+                        if *count > 0 {
+                            *count -= 1;
+                            continue;
+                        }
+                    }
+                }
+                el.push(u, v);
+                emitted_weights.push(weights.weight(eid));
+            }
+            if let Some(ins) = inserts_by_dst.get(&v) {
+                for &(u, w) in ins {
+                    el.push(u, v);
+                    emitted_weights.push(w);
+                }
+            }
+        }
+        el.ensure_nodes(n);
+
+        if let Some((&(s, d), _)) = pending_deletes.iter().find(|(_, &count)| count > 0) {
+            return Err(DeltaError::MissingEdge { src: s, dst: d });
+        }
+
+        let new_graph = CsrGraph::from_edge_list(&el);
+
+        // Map the emitted (destination-grouped) weights onto forward edge
+        // ids: the new graph's in-scan of v yields its in-edges in exactly
+        // the order they were emitted, and each carries its forward edge id.
+        let mut new_weights = vec![0.0f32; new_graph.num_edges()];
+        let mut cursor = 0usize;
+        for v in 0..n as NodeId {
+            for (_, eid) in new_graph.in_neighbors_with_edge_ids(v) {
+                new_weights[eid] = emitted_weights[cursor];
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, emitted_weights.len());
+
+        // Destination-local repairs, in documented precedence order.
+        let model = weights.model();
+        let mut degree_changed: Vec<NodeId> = self
+            .insertions
+            .iter()
+            .map(|&(_, d, _)| d)
+            .chain(self.deletions.iter().map(|&(_, d)| d))
+            .collect();
+        degree_changed.sort_unstable();
+        degree_changed.dedup();
+
+        if model == WeightModel::IcWeightedCascade {
+            for &v in &degree_changed {
+                let indeg = new_graph.in_degree(v);
+                if indeg == 0 {
+                    continue;
+                }
+                let w = 1.0 / indeg as f32;
+                for (_, eid) in new_graph.in_neighbors_with_edge_ids(v) {
+                    new_weights[eid] = w;
+                }
+            }
+        }
+
+        for &(s, d, w) in &self.reweights {
+            let mut matched = false;
+            for (u, eid) in new_graph.in_neighbors_with_edge_ids(d) {
+                if u == s {
+                    new_weights[eid] = w;
+                    matched = true;
+                }
+            }
+            if !matched {
+                return Err(DeltaError::ReweightMissingEdge { src: s, dst: d });
+            }
+        }
+
+        if model == WeightModel::LtNormalized {
+            for v in self.touched_destinations() {
+                let sum: f32 =
+                    new_graph.in_neighbors_with_edge_ids(v).map(|(_, eid)| new_weights[eid]).sum();
+                if sum > 1.0 {
+                    for (_, eid) in new_graph.in_neighbors_with_edge_ids(v) {
+                        new_weights[eid] /= sum;
+                    }
+                }
+            }
+        }
+
+        let new_weights = EdgeWeights::from_vec(&new_graph, new_weights, model)
+            .expect("repaired weights stay valid probabilities");
+        Ok((new_graph, new_weights))
+    }
+
+    /// Parse the delta text format: one operation per line,
+    ///
+    /// ```text
+    /// + src dst weight   # insert edge
+    /// - src dst          # delete edge
+    /// ~ src dst weight   # update weight
+    /// ```
+    ///
+    /// with `#` comments and blank lines ignored.
+    pub fn parse_text(text: &str) -> Result<Self, DeltaError> {
+        let mut delta = GraphDelta::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = idx + 1;
+            let mut parts = line.split_whitespace();
+            let op = parts.next().expect("non-empty line has a first token");
+            let mut field = |what: &str| -> Result<&str, DeltaError> {
+                parts.next().ok_or_else(|| DeltaError::Parse {
+                    line: lineno,
+                    message: format!("missing {what}"),
+                })
+            };
+            let parse_node = |raw: &str| -> Result<NodeId, DeltaError> {
+                raw.parse().map_err(|_| DeltaError::Parse {
+                    line: lineno,
+                    message: format!("invalid vertex '{raw}'"),
+                })
+            };
+            let parse_weight = |raw: &str| -> Result<f32, DeltaError> {
+                raw.parse().map_err(|_| DeltaError::Parse {
+                    line: lineno,
+                    message: format!("invalid weight '{raw}'"),
+                })
+            };
+            match op {
+                "+" => {
+                    let src = parse_node(field("source")?)?;
+                    let dst = parse_node(field("destination")?)?;
+                    let w = parse_weight(field("weight")?)?;
+                    delta = delta.insert(src, dst, w);
+                }
+                "-" => {
+                    let src = parse_node(field("source")?)?;
+                    let dst = parse_node(field("destination")?)?;
+                    delta = delta.delete(src, dst);
+                }
+                "~" => {
+                    let src = parse_node(field("source")?)?;
+                    let dst = parse_node(field("destination")?)?;
+                    let w = parse_weight(field("weight")?)?;
+                    delta = delta.reweight(src, dst, w);
+                }
+                other => {
+                    return Err(DeltaError::Parse {
+                        line: lineno,
+                        message: format!("unknown operation '{other}' (expected +, - or ~)"),
+                    });
+                }
+            }
+            if let Some(extra) = parts.next() {
+                if !extra.starts_with('#') {
+                    return Err(DeltaError::Parse {
+                        line: lineno,
+                        message: format!("trailing token '{extra}'"),
+                    });
+                }
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Render the delta in the [`parse_text`](GraphDelta::parse_text) format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for &(s, d, w) in &self.insertions {
+            out.push_str(&format!("+ {s} {d} {w}\n"));
+        }
+        for &(s, d) in &self.deletions {
+            out.push_str(&format!("- {s} {d}\n"));
+        }
+        for &(s, d, w) in &self.reweights {
+            out.push_str(&format!("~ {s} {d} {w}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 vertices: 0 -> 2, 1 -> 2, 0 -> 3, 2 -> 3 with distinct weights.
+    fn sample() -> (CsrGraph, EdgeWeights) {
+        let g = CsrGraph::from_edges(4, vec![(0, 2), (1, 2), (0, 3), (2, 3)]).unwrap();
+        let mut w = vec![0.0f32; g.num_edges()];
+        for (i, (_, eid)) in
+            g.in_neighbors_with_edge_ids(2).chain(g.in_neighbors_with_edge_ids(3)).enumerate()
+        {
+            w[eid] = 0.1 + 0.2 * i as f32; // in-scan order: 0.1, 0.3, 0.5, 0.7
+        }
+        let w = EdgeWeights::from_vec(&g, w, WeightModel::Constant).unwrap();
+        (g, w)
+    }
+
+    fn in_scan(g: &CsrGraph, w: &EdgeWeights, v: NodeId) -> Vec<(NodeId, f32)> {
+        g.in_neighbors_with_edge_ids(v).map(|(u, eid)| (u, w.weight(eid))).collect()
+    }
+
+    #[test]
+    fn untouched_destinations_keep_scan_order_and_weights() {
+        let (g, w) = sample();
+        let before = in_scan(&g, &w, 2);
+        let delta = GraphDelta::new().delete(2, 3).insert(3, 3, 0.9);
+        let (g2, w2) = delta.apply(&g, &w).unwrap();
+        assert_eq!(in_scan(&g2, &w2, 2), before, "vertex 2 was not touched");
+        assert_eq!(g2.num_edges(), 4);
+    }
+
+    #[test]
+    fn insertions_append_after_surviving_in_edges() {
+        let (g, w) = sample();
+        let delta = GraphDelta::new().insert(3, 2, 0.25);
+        let (g2, w2) = delta.apply(&g, &w).unwrap();
+        let scan = in_scan(&g2, &w2, 2);
+        assert_eq!(scan.len(), 3);
+        assert_eq!(scan[..2], in_scan(&g, &w, 2)[..]);
+        assert_eq!(scan[2], (3, 0.25));
+    }
+
+    #[test]
+    fn deletion_removes_first_surviving_occurrence() {
+        let g = CsrGraph::from_edges(3, vec![(0, 2), (1, 2), (0, 2)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![0.1, 0.2, 0.3], WeightModel::Constant).unwrap();
+        // in-scan of 2 before: (0, w_a), (1, w_b), (0, w_c) in edge-list order.
+        let before = in_scan(&g, &w, 2);
+        let (g2, w2) = GraphDelta::new().delete(0, 2).apply(&g, &w).unwrap();
+        let after = in_scan(&g2, &w2, 2);
+        assert_eq!(after.len(), 2);
+        assert_eq!(after[0], before[1]);
+        assert_eq!(after[1], before[2]);
+    }
+
+    #[test]
+    fn deleting_a_missing_edge_fails() {
+        let (g, w) = sample();
+        assert_eq!(
+            GraphDelta::new().delete(3, 0).apply(&g, &w),
+            Err(DeltaError::MissingEdge { src: 3, dst: 0 })
+        );
+        // Deleting the same single edge twice exhausts the multiset.
+        assert_eq!(
+            GraphDelta::new().delete(1, 2).delete(1, 2).apply(&g, &w),
+            Err(DeltaError::MissingEdge { src: 1, dst: 2 })
+        );
+    }
+
+    #[test]
+    fn reweight_updates_surviving_occurrences_only() {
+        let (g, w) = sample();
+        let (g2, w2) = GraphDelta::new().reweight(0, 3, 0.99).apply(&g, &w).unwrap();
+        let scan = in_scan(&g2, &w2, 3);
+        assert_eq!(scan.iter().find(|&&(u, _)| u == 0), Some(&(0, 0.99)));
+        assert_eq!(
+            GraphDelta::new().delete(0, 3).reweight(0, 3, 0.5).apply(&g, &w),
+            Err(DeltaError::ReweightMissingEdge { src: 0, dst: 3 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_and_invalid_weights_are_rejected() {
+        let (g, w) = sample();
+        assert!(matches!(
+            GraphDelta::new().insert(0, 9, 0.5).apply(&g, &w),
+            Err(DeltaError::NodeOutOfRange { node: 9, .. })
+        ));
+        assert!(matches!(
+            GraphDelta::new().insert(0, 1, 1.5).apply(&g, &w),
+            Err(DeltaError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            GraphDelta::new().reweight(0, 2, f32::NAN).apply(&g, &w),
+            Err(DeltaError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_cascade_destinations_are_renormalized() {
+        let g = CsrGraph::from_edges(3, vec![(0, 2), (1, 2)]).unwrap();
+        let w = EdgeWeights::ic_weighted_cascade(&g);
+        let (g2, w2) = GraphDelta::new().delete(1, 2).apply(&g, &w).unwrap();
+        assert_eq!(in_scan(&g2, &w2, 2), vec![(0, 1.0)], "1/in_degree after the deletion");
+        let (g3, w3) = GraphDelta::new().insert(2, 2, 0.0).apply(&g, &w).unwrap();
+        let scan = in_scan(&g3, &w3, 2);
+        assert_eq!(scan.len(), 3);
+        assert!(scan.iter().all(|&(_, wgt)| (wgt - 1.0 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn lt_destinations_are_clamped_to_unit_mass() {
+        let g = CsrGraph::from_edges(3, vec![(0, 2), (1, 2)]).unwrap();
+        let w = EdgeWeights::from_vec(&g, vec![0.5, 0.4], WeightModel::LtNormalized).unwrap();
+        let (g2, w2) = GraphDelta::new().insert(2, 2, 0.6).apply(&g, &w).unwrap();
+        let sum = w2.in_weight_sum(&g2, 2);
+        assert!(sum <= 1.0 + 1e-6, "in-weight sum {sum} must be clamped");
+        // Proportions are preserved by the rescale.
+        let scan = in_scan(&g2, &w2, 2);
+        assert!((scan[0].1 / scan[1].1 - 0.5 / 0.4).abs() < 1e-4);
+    }
+
+    #[test]
+    fn touched_destinations_are_sorted_and_deduplicated() {
+        let delta = GraphDelta::new().insert(0, 5, 0.1).delete(1, 2).reweight(3, 5, 0.2);
+        assert_eq!(delta.touched_destinations(), vec![2, 5]);
+        assert_eq!(delta.len(), 3);
+        assert!(!delta.is_empty());
+        assert!(GraphDelta::new().is_empty());
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let delta = GraphDelta::new()
+            .insert(0, 1, 0.25)
+            .insert(2, 3, 0.5)
+            .delete(4, 5)
+            .reweight(6, 7, 0.75);
+        let parsed = GraphDelta::parse_text(&delta.to_text()).unwrap();
+        assert_eq!(parsed, delta);
+    }
+
+    #[test]
+    fn text_parser_accepts_comments_and_rejects_garbage() {
+        let parsed = GraphDelta::parse_text("# churn batch\n\n+ 1 2 0.5\n- 3 4\n~ 5 6 0.1\n");
+        assert_eq!(
+            parsed.unwrap(),
+            GraphDelta::new().insert(1, 2, 0.5).delete(3, 4).reweight(5, 6, 0.1)
+        );
+        assert!(matches!(
+            GraphDelta::parse_text("* 1 2\n"),
+            Err(DeltaError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            GraphDelta::parse_text("+ 1 2\n"),
+            Err(DeltaError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            GraphDelta::parse_text("- 1 x\n"),
+            Err(DeltaError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            GraphDelta::parse_text("- 1 2 3\n"),
+            Err(DeltaError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_delta_reproduces_the_graph_exactly() {
+        let (g, w) = sample();
+        let (g2, w2) = GraphDelta::new().apply(&g, &w).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in 0..4u32 {
+            assert_eq!(in_scan(&g2, &w2, v), in_scan(&g, &w, v), "vertex {v}");
+        }
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`properties`] — the structural analytics the paper's motivation section
 //!   relies on: degree distributions, strongly/weakly connected components and
 //!   the giant-SCC fraction that drives dense RRR sets.
+//! * [`delta`] — batched edge insertion/deletion/reweighting against a frozen
+//!   CSR + weights pair, with the in-neighbor-order preservation guarantees
+//!   the incremental sketch refresh in `imm-service` is built on.
 //! * [`io`] — SNAP-style whitespace edge-list text I/O plus a compact binary
 //!   format.
 //! * [`partition`] — vertex/range partitioning helpers (block, NUMA
@@ -31,6 +34,7 @@
 //! consideration the paper cares about.
 
 pub mod csr;
+pub mod delta;
 pub mod edge_list;
 pub mod generators;
 pub mod io;
@@ -39,6 +43,7 @@ pub mod properties;
 pub mod weights;
 
 pub use csr::{CsrGraph, NeighborIter};
+pub use delta::{DeltaError, GraphDelta};
 pub use edge_list::{Edge, EdgeList};
 pub use partition::{block_ranges, interleaved_owner, Range};
 pub use properties::{DegreeStats, SccResult};

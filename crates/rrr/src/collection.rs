@@ -86,6 +86,13 @@ impl RrrCollection {
         &self.sets[idx]
     }
 
+    /// Replace the set at `idx` (incremental refresh swaps resampled sets in
+    /// place; the collection length never changes).
+    #[inline]
+    pub fn replace(&mut self, idx: usize, set: RrrSet) {
+        self.sets[idx] = set;
+    }
+
     /// Slice of all sets.
     #[inline]
     pub fn sets(&self) -> &[RrrSet] {
@@ -260,6 +267,15 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.num_nodes(), 10);
+    }
+
+    #[test]
+    fn replace_swaps_one_set_in_place() {
+        let mut c = collection_with(vec![vec![0, 1], vec![2]], 5);
+        c.replace(1, RrrSet::sorted(vec![3, 4]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0).to_vec(), vec![0, 1]);
+        assert_eq!(c.get(1).to_vec(), vec![3, 4]);
     }
 
     #[test]

@@ -21,17 +21,22 @@
 //!   statistics reported in the paper's Table I.
 //! * [`codec`] — compact binary (de)serialization of sets and collections,
 //!   the substrate of `imm-service`'s persistable sketch snapshots.
+//! * [`provenance`] — per-set sampling provenance (root + compressed edge
+//!   footprint), the substrate of incremental sketch refresh under graph
+//!   mutation.
 
 pub mod bitset;
 pub mod codec;
 pub mod collection;
 pub mod compressed;
+pub mod provenance;
 pub mod set;
 
 pub use bitset::BitSet;
 pub use codec::{ByteReader, CodecError};
 pub use collection::{CoverageStats, RrrCollection};
 pub use compressed::CompressedRrrSet;
+pub use provenance::{EdgeFootprint, NoTrace, ProbeTrace, SetProvenance, FOOTPRINT_WORDS};
 pub use set::{AdaptivePolicy, Representation, RrrSet};
 
 /// Vertex identifier (re-exported from `imm-graph` for convenience).

@@ -12,8 +12,10 @@
 //! fresh `run_imm`/`select_seeds` pass over the same collection.
 
 use crate::cache::{CacheStats, QueryCache};
+use crate::dynamic::{DynamicError, RefreshStats};
 use crate::index::SketchIndex;
 use crate::query::{Query, QueryKey, QueryResponse};
+use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
 use imm_rrr::NodeId;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -118,6 +120,28 @@ impl QueryEngine {
     /// Hit/miss counters of the response cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Refresh the served index against a graph mutation.
+    ///
+    /// Delegates to [`SketchIndex::apply_delta`] (the index must be dynamic),
+    /// then resets the shared greedy prefix and drops the response cache —
+    /// every answer after this call is computed over the refreshed index,
+    /// never replayed from the pre-delta one. Requires exclusive access
+    /// (`&mut self`): queries in flight on other threads finish against the
+    /// old revision before the swap can begin. If the index `Arc` is shared,
+    /// the refresh works on a private copy (clone-on-write).
+    pub fn apply_delta(
+        &mut self,
+        graph: &CsrGraph,
+        weights: &EdgeWeights,
+        delta: &GraphDelta,
+    ) -> Result<(CsrGraph, EdgeWeights, RefreshStats), DynamicError> {
+        let index = Arc::make_mut(&mut self.index);
+        let out = index.apply_delta(graph, weights, delta)?;
+        *self.greedy.lock() = GreedyState::new(&self.index);
+        self.cache.clear();
+        Ok(out)
     }
 
     /// Answer one query, consulting the response cache first.

@@ -8,6 +8,7 @@
 //! array), mirroring how `imm-graph` stores adjacency: answering "which sets
 //! contain vertex v" is a slice lookup instead of a scan over all θ sets.
 
+use crate::dynamic::SketchProvenance;
 use imm_graph::CsrGraph;
 use imm_rrr::{CoverageStats, NodeId, RrrCollection};
 
@@ -43,6 +44,13 @@ pub enum IndexError {
         /// Vertices the collection was sampled over.
         collection_nodes: usize,
     },
+    /// A provenance log does not line up with the collection it describes.
+    ProvenanceMismatch {
+        /// Sets in the collection.
+        sets: usize,
+        /// Records in the provenance log.
+        records: usize,
+    },
 }
 
 impl std::fmt::Display for IndexError {
@@ -59,6 +67,9 @@ impl std::fmt::Display for IndexError {
                 "graph has {graph_nodes} vertices but the collection was sampled over \
                  {collection_nodes}"
             ),
+            IndexError::ProvenanceMismatch { sets, records } => {
+                write!(f, "provenance log has {records} records for a collection of {sets} sets")
+            }
         }
     }
 }
@@ -73,10 +84,14 @@ impl std::error::Error for IndexError {}
 /// greedy selection, precomputed once at build time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SketchIndex {
-    sets: RrrCollection,
-    meta: IndexMeta,
-    postings_offsets: Vec<usize>,
-    postings: Vec<SetId>,
+    pub(crate) sets: RrrCollection,
+    pub(crate) meta: IndexMeta,
+    pub(crate) postings_offsets: Vec<usize>,
+    pub(crate) postings: Vec<SetId>,
+    /// Sampling provenance; present only on indexes built through the
+    /// dynamic constructors (see [`crate::dynamic`]). A provenance-free index
+    /// serves queries normally but cannot `apply_delta`.
+    pub(crate) provenance: Option<SketchProvenance>,
 }
 
 impl SketchIndex {
@@ -129,7 +144,13 @@ impl SketchIndex {
             }
         }
 
-        Ok(SketchIndex { sets: collection, meta, postings_offsets: offsets, postings })
+        Ok(SketchIndex {
+            sets: collection,
+            meta,
+            postings_offsets: offsets,
+            postings,
+            provenance: None,
+        })
     }
 
     /// Number of vertices of the indexed vertex space.
@@ -173,6 +194,19 @@ impl SketchIndex {
     #[inline]
     pub fn meta(&self) -> &IndexMeta {
         &self.meta
+    }
+
+    /// Sampling provenance, present only on dynamic indexes (see
+    /// [`crate::dynamic`]).
+    #[inline]
+    pub fn provenance(&self) -> Option<&SketchProvenance> {
+        self.provenance.as_ref()
+    }
+
+    /// Whether this index carries the provenance `apply_delta` needs.
+    #[inline]
+    pub fn is_dynamic(&self) -> bool {
+        self.provenance.is_some()
     }
 
     /// Coverage/size statistics of the indexed sets (paper Table I).

@@ -19,7 +19,14 @@
 //!   [`cache::QueryCache`] keyed on normalized queries.
 //! * [`snapshot`] — a versioned binary format (magic bytes, version field,
 //!   checksum) so an index built once can be memory-loaded by later
-//!   processes: [`SketchIndex::save`] / [`SketchIndex::load`].
+//!   processes: [`SketchIndex::save`] / [`SketchIndex::load`]. Format v2
+//!   persists sampling provenance and the delta log; v1 files still load.
+//! * [`dynamic`] — incremental refresh under graph mutation: a dynamic index
+//!   ([`SketchIndex::sample`]) records per-set provenance, and
+//!   [`SketchIndex::apply_delta`] / [`QueryEngine::apply_delta`] resample
+//!   only the RRR sets an [`imm_graph::GraphDelta`] actually touches,
+//!   patching the postings in place and invalidating the response cache —
+//!   byte-identical to a from-scratch rebuild on the mutated graph.
 //!
 //! ```
 //! use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams};
@@ -47,17 +54,20 @@
 //! ```
 
 pub mod cache;
+pub mod dynamic;
 pub mod engine;
 pub mod index;
 pub mod query;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryCache};
+pub use dynamic::{DeltaLogEntry, DynamicError, RefreshStats, SampleSpec, SketchProvenance};
 pub use engine::{QueryEngine, DEFAULT_CACHE_CAPACITY};
 pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
 pub use query::{Query, QueryKey, QueryResponse};
 pub use snapshot::{
     load_collection, load_collection_from_path, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V1,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

@@ -11,25 +11,40 @@
 //!
 //! ```text
 //! [0..8)   magic  "IMMSKTCH"
-//! [8..12)  format version (currently 1)
+//! [8..12)  format version (1 or 2; writers emit 2)
 //! [12..20) FNV-1a 64 checksum of the payload
 //! [20..)   payload: num_edges u64, label (u32 length + UTF-8 bytes),
 //!          then the RRR collection in the `imm_rrr::codec` encoding
 //! ```
 //!
-//! Only the collection and metadata are stored; the inverted postings are
-//! rebuilt on load (a deterministic single pass, far cheaper than sampling).
+//! Version 2 appends the **provenance section** after the collection — a
+//! presence flag, the sampling spec (diffusion model, base RNG seed,
+//! representation policy), one `(root, edge footprint)` record per set, and
+//! the **delta log** of every [`imm_graph::GraphDelta`] applied since the
+//! initial sample. A v2 snapshot of a dynamic index therefore stays
+//! refreshable after a round trip, and the delta log lets `update-index`
+//! reconstruct the current graph revision from the original source. Version
+//! 1 files (no provenance) still load; they come back as static indexes.
+//!
+//! Only the collection, metadata and provenance are stored; the inverted
+//! postings are rebuilt on load (a deterministic single pass, far cheaper
+//! than sampling).
 
+use crate::dynamic::{DeltaLogEntry, SampleSpec, SketchProvenance};
 use crate::index::{IndexError, IndexMeta, SketchIndex};
+use imm_diffusion::DiffusionModel;
+use imm_graph::GraphDelta;
 use imm_rrr::codec::{ByteReader, CodecError};
-use imm_rrr::RrrCollection;
+use imm_rrr::{AdaptivePolicy, EdgeFootprint, RrrCollection, SetProvenance, FOOTPRINT_WORDS};
 use std::io::{Read, Write};
 use std::path::Path;
 
 /// The magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IMMSKTCH";
-/// The current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+/// The legacy (pre-provenance) format version this build still reads.
+pub const SNAPSHOT_VERSION_V1: u32 = 1;
 
 /// Errors produced while saving or loading a snapshot.
 #[derive(Debug)]
@@ -61,7 +76,11 @@ impl std::fmt::Display for SnapshotError {
                 write!(f, "not a sketch snapshot (magic bytes {found:02x?})")
             }
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (this build reads {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads \
+                     {SNAPSHOT_VERSION_V1} and {SNAPSHOT_VERSION})"
+                )
             }
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
                 f,
@@ -112,6 +131,132 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+const MODEL_IC: u8 = 0;
+const MODEL_LT: u8 = 1;
+
+fn encode_delta(delta: &GraphDelta, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(delta.insertions().len() as u64).to_le_bytes());
+    for &(s, d, w) in delta.insertions() {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(delta.deletions().len() as u64).to_le_bytes());
+    for &(s, d) in delta.deletions() {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+    }
+    out.extend_from_slice(&(delta.reweights().len() as u64).to_le_bytes());
+    for &(s, d, w) in delta.reweights() {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+}
+
+fn decode_delta(reader: &mut ByteReader<'_>) -> Result<GraphDelta, SnapshotError> {
+    let mut delta = GraphDelta::new();
+    let insertions = reader.read_len(12)?;
+    for _ in 0..insertions {
+        let s = reader.read_u32()?;
+        let d = reader.read_u32()?;
+        let w = f32::from_bits(reader.read_u32()?);
+        delta = delta.insert(s, d, w);
+    }
+    let deletions = reader.read_len(8)?;
+    for _ in 0..deletions {
+        let s = reader.read_u32()?;
+        let d = reader.read_u32()?;
+        delta = delta.delete(s, d);
+    }
+    let reweights = reader.read_len(12)?;
+    for _ in 0..reweights {
+        let s = reader.read_u32()?;
+        let d = reader.read_u32()?;
+        let w = f32::from_bits(reader.read_u32()?);
+        delta = delta.reweight(s, d, w);
+    }
+    Ok(delta)
+}
+
+fn encode_provenance(provenance: &SketchProvenance, out: &mut Vec<u8>) {
+    let spec = &provenance.spec;
+    out.push(match spec.model {
+        DiffusionModel::IndependentCascade => MODEL_IC,
+        DiffusionModel::LinearThreshold => MODEL_LT,
+    });
+    out.extend_from_slice(&spec.rng_seed.to_le_bytes());
+    out.extend_from_slice(&spec.policy.density_threshold.to_bits().to_le_bytes());
+    out.extend_from_slice(&(spec.policy.min_bitmap_size as u64).to_le_bytes());
+    out.extend_from_slice(&(provenance.sets.len() as u64).to_le_bytes());
+    for record in &provenance.sets {
+        out.extend_from_slice(&record.root.to_le_bytes());
+        for word in record.footprint.words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(provenance.delta_log.len() as u64).to_le_bytes());
+    for entry in &provenance.delta_log {
+        out.extend_from_slice(&entry.resampled_sets.to_le_bytes());
+        encode_delta(&entry.delta, out);
+    }
+}
+
+fn decode_provenance(
+    reader: &mut ByteReader<'_>,
+    num_sets: usize,
+    num_nodes: usize,
+) -> Result<SketchProvenance, SnapshotError> {
+    let model = match reader.read_u8()? {
+        MODEL_IC => DiffusionModel::IndependentCascade,
+        MODEL_LT => DiffusionModel::LinearThreshold,
+        _ => return Err(SnapshotError::Corrupt(CodecError::InvalidValue("unknown model tag"))),
+    };
+    let rng_seed = reader.read_u64()?;
+    let density_threshold = f64::from_bits(reader.read_u64()?);
+    if density_threshold.is_nan() || density_threshold < 0.0 {
+        return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+            "density threshold is not a fraction",
+        )));
+    }
+    let min_bitmap_size = usize::try_from(reader.read_u64()?)
+        .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("bitmap size overflow")))?;
+    let spec = SampleSpec::new(model, rng_seed)
+        .with_policy(AdaptivePolicy { density_threshold, min_bitmap_size });
+
+    let record_bytes = 4 + FOOTPRINT_WORDS * 8;
+    let count = reader.read_len(record_bytes)?;
+    if count != num_sets {
+        return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+            "provenance record count disagrees with the collection",
+        )));
+    }
+    let mut sets = Vec::with_capacity(count);
+    for _ in 0..count {
+        let root = reader.read_u32()?;
+        if root as usize >= num_nodes {
+            return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+                "provenance root outside the vertex space",
+            )));
+        }
+        let mut words = [0u64; FOOTPRINT_WORDS];
+        for word in &mut words {
+            *word = reader.read_u64()?;
+        }
+        sets.push(SetProvenance { root, footprint: EdgeFootprint::from_words(words) });
+    }
+
+    // Each log entry needs at least its resampled count + three lengths.
+    let log_len = reader.read_len(32)?;
+    let mut delta_log = Vec::with_capacity(log_len);
+    for _ in 0..log_len {
+        let resampled_sets = reader.read_u64()?;
+        let delta = decode_delta(reader)?;
+        delta_log.push(DeltaLogEntry { delta, resampled_sets });
+    }
+    Ok(SketchProvenance { spec, sets, delta_log })
+}
+
 fn encode_payload(index: &SketchIndex) -> Vec<u8> {
     let meta = index.meta();
     let mut payload = Vec::with_capacity(32 + meta.label.len() + index.sets().memory_bytes());
@@ -119,10 +264,20 @@ fn encode_payload(index: &SketchIndex) -> Vec<u8> {
     payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
     payload.extend_from_slice(meta.label.as_bytes());
     index.sets().encode(&mut payload);
+    match index.provenance() {
+        None => payload.push(0),
+        Some(provenance) => {
+            payload.push(1);
+            encode_provenance(provenance, &mut payload);
+        }
+    }
     payload
 }
 
-fn decode_payload(payload: &[u8]) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+fn decode_payload(
+    version: u32,
+    payload: &[u8],
+) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
     let mut reader = ByteReader::new(payload);
     let num_edges = usize::try_from(reader.read_u64()?)
         .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("num_edges overflow")))?;
@@ -130,12 +285,25 @@ fn decode_payload(payload: &[u8]) -> Result<(IndexMeta, RrrCollection), Snapshot
     let label = String::from_utf8(reader.read_bytes(label_len)?.to_vec())
         .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("label is not UTF-8")))?;
     let collection = RrrCollection::decode(&mut reader)?;
+    let provenance = if version >= SNAPSHOT_VERSION {
+        match reader.read_u8()? {
+            0 => None,
+            1 => Some(decode_provenance(&mut reader, collection.len(), collection.num_nodes())?),
+            _ => {
+                return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+                    "provenance flag is not 0 or 1",
+                )))
+            }
+        }
+    } else {
+        None
+    };
     if !reader.is_exhausted() {
         return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
             "trailing bytes after collection",
         )));
     }
-    Ok((IndexMeta { num_edges, label }, collection))
+    Ok((IndexMeta { num_edges, label }, collection, provenance))
 }
 
 impl SketchIndex {
@@ -158,10 +326,16 @@ impl SketchIndex {
     }
 
     /// Read an index back from `reader`, verifying magic, version and
-    /// checksum, then rebuilding the postings.
+    /// checksum, then rebuilding the postings. A v2 snapshot with a
+    /// provenance section comes back dynamic (refreshable); v1 snapshots and
+    /// provenance-free v2 snapshots come back static.
     pub fn load(reader: &mut impl Read) -> Result<Self, SnapshotError> {
-        let (meta, collection) = load_collection(reader)?;
-        Ok(SketchIndex::from_collection(collection, meta)?)
+        let (meta, collection, provenance) = load_verified(reader)?;
+        let mut index = SketchIndex::from_collection(collection, meta)?;
+        if let Some(provenance) = provenance {
+            index.attach_provenance(provenance)?;
+        }
+        Ok(index)
     }
 
     /// Read an index back from the file at `path`.
@@ -171,13 +345,10 @@ impl SketchIndex {
     }
 }
 
-/// Read just the metadata and collection out of a snapshot (same magic /
-/// version / checksum verification as [`SketchIndex::load`]) without
-/// rebuilding the inverted postings — for consumers like `stats --index`
-/// that only inspect the stored sets.
-pub fn load_collection(
+/// Verify the container (magic, version, checksum) and decode the payload.
+fn load_verified(
     reader: &mut impl Read,
-) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes)?;
     let mut header = ByteReader::new(&bytes);
@@ -188,7 +359,7 @@ pub fn load_collection(
         return Err(SnapshotError::BadMagic(found));
     }
     let version = header.read_u32()?;
-    if version != SNAPSHOT_VERSION {
+    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let expected = header.read_u64()?;
@@ -197,7 +368,18 @@ pub fn load_collection(
     if actual != expected {
         return Err(SnapshotError::ChecksumMismatch { expected, actual });
     }
-    decode_payload(payload)
+    decode_payload(version, payload)
+}
+
+/// Read just the metadata and collection out of a snapshot (same magic /
+/// version / checksum verification as [`SketchIndex::load`]) without
+/// rebuilding the inverted postings — for consumers like `stats --index`
+/// that only inspect the stored sets.
+pub fn load_collection(
+    reader: &mut impl Read,
+) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+    let (meta, collection, _) = load_verified(reader)?;
+    Ok((meta, collection))
 }
 
 /// [`load_collection`] over the file at `path`.
@@ -231,6 +413,21 @@ mod tests {
         out
     }
 
+    /// A v2 snapshot of a *dynamic* index, with a non-empty delta log.
+    fn dynamic_index() -> SketchIndex {
+        use imm_graph::generators;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let graph =
+            imm_graph::CsrGraph::from_edge_list(&generators::social_network(80, 4, 0.3, &mut rng));
+        let weights = imm_graph::EdgeWeights::constant(&graph, 0.2);
+        let spec = SampleSpec::new(DiffusionModel::IndependentCascade, 42);
+        let mut index = SketchIndex::sample(&graph, &weights, spec, 60, 2, "dynamic").unwrap();
+        index.apply_delta(&graph, &weights, &GraphDelta::new().insert(0, 7, 0.5)).unwrap();
+        index
+    }
+
     #[test]
     fn save_load_round_trips_exactly() {
         let index = sample_index();
@@ -239,6 +436,44 @@ mod tests {
         assert_eq!(loaded, index);
         assert_eq!(loaded.meta().label, "unit-test");
         assert_eq!(loaded.meta().num_edges, 777);
+        assert!(!loaded.is_dynamic(), "no provenance was stored");
+    }
+
+    #[test]
+    fn dynamic_index_round_trips_with_provenance_and_delta_log() {
+        let index = dynamic_index();
+        let bytes = snapshot_bytes(&index);
+        let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, index);
+        let provenance = loaded.provenance().expect("provenance survives the round trip");
+        assert_eq!(provenance, index.provenance().unwrap());
+        assert_eq!(provenance.delta_log.len(), 1);
+        assert_eq!(provenance.sets.len(), loaded.num_sets());
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_as_static_indexes() {
+        // Hand-assemble a version-1 file: v1 payload has no provenance
+        // section at all.
+        let index = sample_index();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(index.meta().num_edges as u64).to_le_bytes());
+        payload.extend_from_slice(&(index.meta().label.len() as u32).to_le_bytes());
+        payload.extend_from_slice(index.meta().label.as_bytes());
+        index.sets().encode(&mut payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_V1.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, index);
+        assert!(!loaded.is_dynamic());
+        // And the collection-only reader agrees.
+        let (meta, collection) = load_collection(&mut bytes.as_slice()).unwrap();
+        assert_eq!(&meta, index.meta());
+        assert_eq!(&collection, index.sets());
     }
 
     #[test]

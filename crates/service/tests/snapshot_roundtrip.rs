@@ -1,11 +1,20 @@
 //! Property tests of the snapshot format: arbitrary collections of mixed
 //! list/bitmap representation must survive save → load bit-exactly, and
 //! corrupted or truncated files must fail with a descriptive error instead
-//! of loading garbage.
+//! of loading garbage. Format v2 adds the provenance section (sampling spec,
+//! per-set records, delta log); the corruption suite covers it byte by byte,
+//! and v1 files must keep loading as static indexes.
 
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, CsrGraph, EdgeWeights, GraphDelta};
 use imm_rrr::{AdaptivePolicy, RrrCollection};
-use imm_service::{IndexMeta, SketchIndex, SnapshotError, SNAPSHOT_MAGIC};
+use imm_service::{
+    IndexMeta, SampleSpec, SketchIndex, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V1,
+};
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 const NUM_NODES: usize = 300;
 
@@ -30,6 +39,29 @@ fn snapshot_bytes(index: &SketchIndex) -> Vec<u8> {
     let mut out = Vec::new();
     index.save(&mut out).unwrap();
     out
+}
+
+/// A dynamic index (provenance + one applied delta) and its graph/weights.
+fn dynamic_index(seed: u64) -> (SketchIndex, CsrGraph, EdgeWeights) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = CsrGraph::from_edge_list(&generators::social_network(90, 4, 0.3, &mut rng));
+    let weights = EdgeWeights::constant(&graph, 0.2);
+    let spec = SampleSpec::new(DiffusionModel::IndependentCascade, seed ^ 0xD17A);
+    let mut index = SketchIndex::sample(&graph, &weights, spec, 80, 2, "dynamic-rt").unwrap();
+    let (graph, weights, _) = index
+        .apply_delta(&graph, &weights, &GraphDelta::new().insert(1, 2, 0.4).insert(7, 8, 0.6))
+        .unwrap();
+    (index, graph, weights)
+}
+
+/// Byte offset where the provenance section starts (header + v1-equivalent
+/// payload + the presence flag).
+fn provenance_offset(index: &SketchIndex) -> usize {
+    let header = SNAPSHOT_MAGIC.len() + 4 + 8;
+    let meta = index.meta();
+    let mut collection_bytes = Vec::new();
+    index.sets().encode(&mut collection_bytes);
+    header + 8 + 4 + meta.label.len() + collection_bytes.len() + 1
 }
 
 proptest! {
@@ -89,6 +121,151 @@ proptest! {
         let cut = cut.index(bytes.len());
         prop_assert!(SketchIndex::load(&mut bytes[..cut].as_ref()).is_err());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamic_snapshots_round_trip_and_stay_refreshable(seed in 0u64..5_000) {
+        let (index, graph, weights) = dynamic_index(seed);
+        let bytes = snapshot_bytes(&index);
+        let mut loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(&loaded, &index);
+        prop_assert!(loaded.is_dynamic());
+        prop_assert_eq!(loaded.provenance().unwrap().delta_log.len(), 1);
+        // The reloaded index accepts the next delta against the current
+        // revision — provenance survived byte-exactly.
+        let delta = GraphDelta::new().insert(3, 4, 0.5);
+        let (_, _, stats) = loaded.apply_delta(&graph, &weights, &delta).unwrap();
+        prop_assert_eq!(stats.total_sets, 80);
+    }
+
+    #[test]
+    fn flipping_any_provenance_byte_is_detected(
+        seed in 0u64..5_000,
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let (index, _, _) = dynamic_index(seed);
+        let mut bytes = snapshot_bytes(&index);
+        let start = provenance_offset(&index);
+        assert!(start < bytes.len(), "dynamic snapshot must carry a provenance section");
+        let target = start + flip.index(bytes.len() - start);
+        bytes[target] ^= 0x10;
+        prop_assert!(matches!(
+            SketchIndex::load(&mut bytes.as_slice()),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncating_the_provenance_section_is_detected(
+        seed in 0u64..5_000,
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let (index, _, _) = dynamic_index(seed);
+        let bytes = snapshot_bytes(&index);
+        let start = provenance_offset(&index);
+        let cut = start + cut.index(bytes.len() - start);
+        prop_assert!(SketchIndex::load(&mut bytes[..cut].as_ref()).is_err());
+    }
+}
+
+/// Structural corruption *behind* a recomputed checksum: the decoder itself
+/// (not the container hash) must reject inconsistent provenance.
+#[test]
+fn provenance_decode_validates_structure_even_with_a_fixed_checksum() {
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+    let (index, _, _) = dynamic_index(11);
+    let good = snapshot_bytes(&index);
+    let header = SNAPSHOT_MAGIC.len() + 4 + 8;
+    let flag_offset = provenance_offset(&index) - 1;
+
+    // Corrupt the presence flag, the model tag, and the record count; each
+    // time recompute the checksum so only the decoder can object.
+    for (offset, value, what) in [
+        (flag_offset, 7u8, "presence flag"),
+        (flag_offset + 1, 9u8, "model tag"),
+        (flag_offset + 1 + 1 + 8 + 8 + 8, 0xFFu8, "record count"),
+    ] {
+        let mut bytes = good.clone();
+        bytes[offset] = value;
+        let checksum = fnv1a64(&bytes[header..]);
+        bytes[12..20].copy_from_slice(&checksum.to_le_bytes());
+        let err = SketchIndex::load(&mut bytes.as_slice())
+            .expect_err(&format!("corrupt {what} must not load"));
+        assert!(
+            matches!(err, SnapshotError::Corrupt(_)),
+            "corrupt {what} surfaced as {err:?} instead of a decode error"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_fields_are_rejected_and_both_real_versions_load() {
+    let (index, _, _) = dynamic_index(21);
+    let good = snapshot_bytes(&index);
+
+    // Versions this build does not know: rejected before any payload work.
+    for bogus in [0u32, 3, 7, u32::MAX] {
+        let mut bytes = good.clone();
+        bytes[8..12].copy_from_slice(&bogus.to_le_bytes());
+        assert!(
+            matches!(
+                SketchIndex::load(&mut bytes.as_slice()),
+                Err(SnapshotError::UnsupportedVersion(v)) if v == bogus
+            ),
+            "version {bogus} must be rejected"
+        );
+    }
+
+    // The writer emits v2, and v2 loads.
+    assert_eq!(u32::from_le_bytes(good[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
+    assert!(SketchIndex::load(&mut good.as_slice()).is_ok());
+}
+
+/// v1 → load compatibility: a file written by the previous format (no
+/// provenance section) keeps loading, as a static index.
+#[test]
+fn v1_snapshot_files_keep_loading() {
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+    let index =
+        index_from(&[vec![1, 5, 9], vec![2, 3], (0..150).collect()], &[false, false, true], "v1");
+    // Assemble the file exactly as the v1 writer did: header with version 1,
+    // payload without the provenance section.
+    let meta = index.meta();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
+    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(meta.label.as_bytes());
+    index.sets().encode(&mut payload);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION_V1.to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+    assert_eq!(loaded, index);
+    assert!(!loaded.is_dynamic(), "v1 files carry no provenance");
+    // Re-saving upgrades the container to v2 losslessly.
+    let resaved = snapshot_bytes(&loaded);
+    assert_eq!(u32::from_le_bytes(resaved[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
+    assert_eq!(SketchIndex::load(&mut resaved.as_slice()).unwrap(), loaded);
 }
 
 #[test]

@@ -31,10 +31,17 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // The real default (256) is overkill for the CPU-heavy invariant
-        // properties here; 64 keeps `cargo test` fast while still sweeping
-        // a meaningful input space.
-        ProptestConfig { cases: 64 }
+        // Like the real crate, the `PROPTEST_CASES` environment variable
+        // overrides the source default — CI pins it so property suites stay
+        // deterministic in runtime as well as in inputs. The fallback (the
+        // real crate uses 256) is 64: the CPU-heavy invariant properties
+        // here don't need more to sweep a meaningful input space.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|raw| raw.parse().ok())
+            .filter(|&cases| cases > 0)
+            .unwrap_or(64);
+        ProptestConfig { cases }
     }
 }
 
