@@ -40,4 +40,17 @@ if grep -rn '#\[ignore' crates/service/tests; then
   exit 1
 fi
 
+# Criterion benches are not part of `cargo test`; make sure they always at
+# least compile so a refactor cannot silently rot them.
+echo "==> cargo bench --no-run"
+cargo bench --no-run --workspace --quiet
+
+# The perf baseline must stay runnable and keep emitting parseable JSON; the
+# smoke run asserts the schema internally (no timing assertions) and exits
+# non-zero on any parse failure.
+echo "==> perf_suite --smoke (JSON output must parse)"
+SMOKE_OUT="$(mktemp /tmp/bench4_smoke.XXXXXX.json)"
+cargo run --release -p imm-bench --bin perf_suite -- --smoke --out "$SMOKE_OUT" > /dev/null
+rm -f "$SMOKE_OUT"
+
 echo "CI OK"

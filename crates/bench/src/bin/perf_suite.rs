@@ -1,0 +1,246 @@
+//! The machine-readable performance baseline: one fixed sampling +
+//! selection + query-serving workload, timed and written as `BENCH_4.json`
+//! so later PRs can prove they did not regress the hot paths.
+//!
+//! Unlike the figure/table binaries (which sweep parameters to reproduce the
+//! paper), this suite pins a single deterministic workload and reports a
+//! small set of tracked metrics. Comparing two commits means running the bin
+//! once on each, on the same machine, and diffing the `metrics` object.
+//!
+//! # Workload
+//!
+//! A seeded `social_network` graph under constant-probability IC weights,
+//! sized so seed selection — not sampling — dominates (small RRR sets, many
+//! of them). Three phases:
+//!
+//! 1. **Sampling** — bulk-generate θ RRR sets on a rayon pool.
+//! 2. **Selection** — `select_seeds` (EfficientIMM kernel) at budget k,
+//!    median of three runs.
+//! 3. **Serving** — freeze a `SketchIndex`; measure Top-K latency on a
+//!    *fresh* `QueryEngine` per trial (so every trial pays the full greedy
+//!    cost, which is what the lazy-greedy selection optimizes), and
+//!    uncached `Spread` latency on a shared engine.
+//!
+//! # Output schema (`BENCH_4.json`)
+//!
+//! ```json
+//! {
+//!   "bench": "perf_suite",            // constant tag
+//!   "schema_version": 1,              // bump on layout changes
+//!   "smoke": false,                   // true when --smoke shrank the run
+//!   "workload": {
+//!     "nodes": 60000, "edges": 623940,   // graph size actually built
+//!     "theta": 60000,                    // RRR sets sampled
+//!     "k": 64,                           // selection / Top-K budget
+//!     "threads": 2,                      // rayon pool width
+//!     "model": "independent-cascade",
+//!     "edge_probability": 0.02,
+//!     "rng_seed": 4242
+//!   },
+//!   "metrics": {
+//!     "sampling_sets_per_sec": 1.0e6,   // θ / sampling wall time
+//!     "selection_ms": 12.5,             // median select_seeds wall, ms
+//!     "topk_p50_ms": 9.1,               // median cold Top-K latency, ms
+//!     "spread_p50_us": 40.2,            // median uncached Spread, µs
+//!     "rrr_memory_bytes": 123456        // CoverageStats::memory_bytes
+//!   }
+//! }
+//! ```
+//!
+//! All timings are wall-clock medians over the trial counts below; the
+//! memory figure is the collection's own heap accounting (the peak-RSS
+//! *estimate* — the sets dominate the process footprint at this scale).
+//!
+//! # Flags
+//!
+//! * `--smoke` — shrink every dimension so the run finishes in well under a
+//!   second; used by CI to prove the bin runs and its JSON parses.
+//! * `--out PATH` — write the JSON somewhere other than `./BENCH_4.json`.
+//!
+//! After writing, the bin reads the file back and re-parses it, so a run
+//! that exits 0 has by construction produced valid JSON.
+
+use efficient_imm::balance::Schedule;
+use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
+use efficient_imm::{select_seeds, Algorithm, ExecutionConfig};
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, CsrGraph, EdgeWeights};
+use imm_rrr::AdaptivePolicy;
+use imm_service::{Query, QueryEngine, QueryResponse, SketchIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Fixed base seed of the workload (graph + query streams).
+const RNG_SEED: u64 = 4242;
+
+struct Workload {
+    nodes: usize,
+    theta: usize,
+    k: usize,
+    threads: usize,
+    edge_probability: f32,
+    selection_trials: usize,
+    topk_trials: usize,
+    spread_trials: usize,
+}
+
+impl Workload {
+    fn full() -> Self {
+        Workload {
+            nodes: 60_000,
+            theta: 60_000,
+            k: 64,
+            threads: 2,
+            edge_probability: 0.02,
+            selection_trials: 3,
+            topk_trials: 9,
+            spread_trials: 501,
+        }
+    }
+
+    fn smoke() -> Self {
+        Workload {
+            nodes: 1_500,
+            theta: 1_000,
+            k: 8,
+            threads: 2,
+            edge_probability: 0.05,
+            selection_trials: 1,
+            topk_trials: 3,
+            spread_trials: 21,
+        }
+    }
+}
+
+/// Median of raw f64 samples (callers pass odd trial counts).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(value) if !value.starts_with("--") => value.clone(),
+            _ => {
+                eprintln!("error: --out requires a path operand");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_4.json".to_string(),
+    };
+    let w = if smoke { Workload::smoke() } else { Workload::full() };
+
+    let mut rng = SmallRng::seed_from_u64(RNG_SEED);
+    let graph = CsrGraph::from_edge_list(&generators::social_network(w.nodes, 8, 0.3, &mut rng));
+    let weights = EdgeWeights::constant(&graph, w.edge_probability);
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(w.threads).build().expect("pool builds");
+    let sampling = SamplingConfig {
+        model: DiffusionModel::IndependentCascade,
+        rng_seed: RNG_SEED,
+        policy: AdaptivePolicy::default(),
+        schedule: Schedule::Dynamic { chunk: 32 },
+        threads: w.threads,
+        fused_counter: None,
+    };
+
+    // Phase 1: sampling throughput.
+    let t0 = Instant::now();
+    let out = generate_rrr_sets(&graph, &weights, w.theta, 0, &sampling, &pool);
+    let sampling_secs = t0.elapsed().as_secs_f64();
+    let collection = out.sets;
+    let stats = collection.coverage_stats();
+    eprintln!(
+        "[perf-suite] sampled θ = {} in {sampling_secs:.3}s (avg set size {:.2})",
+        collection.len(),
+        stats.avg_size
+    );
+
+    // Phase 2: batch selection kernel.
+    let exec = ExecutionConfig::new(Algorithm::Efficient, w.threads);
+    let mut selection_ms: Vec<f64> = (0..w.selection_trials)
+        .map(|_| {
+            let t = Instant::now();
+            let selection = select_seeds(&collection, w.k, &exec, &pool, None);
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(selection.seeds.len(), w.k);
+            ms
+        })
+        .collect();
+    let selection_ms = median(&mut selection_ms);
+    eprintln!("[perf-suite] selection k = {}: {selection_ms:.2} ms", w.k);
+
+    // Phase 3: serving. A fresh engine per Top-K trial measures the cold
+    // greedy path end to end; the spread loop measures the steady state of
+    // the coverage-marking path (uncached, so every call does real work).
+    let index =
+        Arc::new(SketchIndex::build(&graph, collection, "perf-suite").expect("index builds"));
+    let mut topk_ms: Vec<f64> = (0..w.topk_trials)
+        .map(|_| {
+            let engine = QueryEngine::new(Arc::clone(&index));
+            let t = Instant::now();
+            let response = engine.execute(&Query::TopK { k: w.k });
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            match response {
+                QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
+                other => panic!("unexpected {other:?}"),
+            }
+            ms
+        })
+        .collect();
+    let topk_p50_ms = median(&mut topk_ms);
+    eprintln!("[perf-suite] cold TopK p50: {topk_p50_ms:.2} ms");
+
+    let engine = QueryEngine::new(Arc::clone(&index));
+    let mut query_rng = SmallRng::seed_from_u64(RNG_SEED ^ 0xC0FFEE);
+    let mut spread_us: Vec<f64> = (0..w.spread_trials)
+        .map(|_| {
+            let seeds: Vec<u32> = (0..3).map(|_| query_rng.gen_range(0..w.nodes as u32)).collect();
+            let query = Query::Spread { seeds };
+            let t = Instant::now();
+            let _ = engine.execute_uncached(&query);
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let spread_p50_us = median(&mut spread_us);
+    eprintln!("[perf-suite] uncached Spread p50: {spread_p50_us:.1} µs");
+
+    let report = serde_json::json!({
+        "bench": "perf_suite",
+        "schema_version": 1,
+        "smoke": smoke,
+        "workload": {
+            "nodes": graph.num_nodes(),
+            "edges": graph.num_edges(),
+            "theta": w.theta,
+            "k": w.k,
+            "threads": w.threads,
+            "model": "independent-cascade",
+            "edge_probability": w.edge_probability,
+            "rng_seed": RNG_SEED,
+        },
+        "metrics": {
+            "sampling_sets_per_sec": w.theta as f64 / sampling_secs.max(1e-9),
+            "selection_ms": selection_ms,
+            "topk_p50_ms": topk_p50_ms,
+            "spread_p50_us": spread_p50_us,
+            "rrr_memory_bytes": stats.memory_bytes,
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &rendered).expect("write BENCH json");
+
+    // Self-check: the written file must parse back as JSON with the tracked
+    // metric keys present — this is the contract `ci.sh --smoke` relies on.
+    let reread = std::fs::read_to_string(&out_path).expect("reread BENCH json");
+    let parsed: serde_json::Value = serde_json::from_str(&reread).expect("BENCH json parses");
+    for key in ["sampling_sets_per_sec", "selection_ms", "topk_p50_ms", "spread_p50_us"] {
+        assert!(parsed["metrics"][key].as_f64().is_some(), "metric {key} missing from {out_path}");
+    }
+    println!("{rendered}");
+    println!("perf suite OK: {out_path}");
+}

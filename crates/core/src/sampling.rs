@@ -27,9 +27,7 @@ use crate::stats::WorkProfile;
 use crate::NodeId;
 use imm_diffusion::DiffusionModel;
 use imm_graph::{CsrGraph, EdgeWeights};
-use imm_rrr::{
-    AdaptivePolicy, EdgeFootprint, NoTrace, ProbeTrace, RrrCollection, RrrSet, SetProvenance,
-};
+use imm_rrr::{AdaptivePolicy, EdgeFootprint, NoTrace, ProbeTrace, RrrCollection, SetProvenance};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -108,17 +106,41 @@ pub fn generate_rrr_set_traced<R: Rng + ?Sized, T: ProbeTrace>(
     marker: &mut VisitMarker,
     trace: &mut T,
 ) -> Vec<NodeId> {
+    let mut set = Vec::with_capacity(16);
+    generate_rrr_set_into(graph, weights, model, root, rng, marker, trace, &mut set);
+    set
+}
+
+/// Allocation-free form of [`generate_rrr_set_traced`]: the reached vertices
+/// are **appended** to `out` (visitation order, root first) and the number
+/// of appended members is returned. Bulk samplers point `out` at a growing
+/// per-worker arena so generating a set costs no allocator round-trip.
+///
+/// The RNG draw sequence is identical to the owned-vector form — the BFS
+/// frontier is the appended segment itself, walked by cursor.
+#[allow(clippy::too_many_arguments)]
+pub fn generate_rrr_set_into<R: Rng + ?Sized, T: ProbeTrace>(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    model: DiffusionModel,
+    root: NodeId,
+    rng: &mut R,
+    marker: &mut VisitMarker,
+    trace: &mut T,
+    out: &mut Vec<NodeId>,
+) -> usize {
     marker.next_epoch();
     match model {
         DiffusionModel::IndependentCascade => {
-            ic_reverse_bfs(graph, weights, root, rng, marker, trace)
+            ic_reverse_bfs(graph, weights, root, rng, marker, trace, out)
         }
         DiffusionModel::LinearThreshold => {
-            lt_reverse_walk(graph, weights, root, rng, marker, trace)
+            lt_reverse_walk(graph, weights, root, rng, marker, trace, out)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ic_reverse_bfs<R: Rng + ?Sized, T: ProbeTrace>(
     graph: &CsrGraph,
     weights: &EdgeWeights,
@@ -126,14 +148,19 @@ fn ic_reverse_bfs<R: Rng + ?Sized, T: ProbeTrace>(
     rng: &mut R,
     marker: &mut VisitMarker,
     trace: &mut T,
-) -> Vec<NodeId> {
-    let mut set = Vec::with_capacity(16);
-    let mut queue = std::collections::VecDeque::with_capacity(16);
+    out: &mut Vec<NodeId>,
+) -> usize {
+    // The appended segment doubles as the BFS frontier: `cursor` walks it in
+    // append order, which is exactly the push-back/pop-front order a queue
+    // would produce — same traversal, same RNG draws, no queue allocation.
+    let start = out.len();
     marker.visit(root);
-    set.push(root);
-    queue.push_back(root);
+    out.push(root);
+    let mut cursor = start;
 
-    while let Some(v) = queue.pop_front() {
+    while cursor < out.len() {
+        let v = out[cursor];
+        cursor += 1;
         for (u, eid) in graph.in_neighbors_with_edge_ids(v) {
             // An edge is probed (one RNG draw) only when its source is still
             // unvisited — exactly the edges the trace must capture.
@@ -141,15 +168,15 @@ fn ic_reverse_bfs<R: Rng + ?Sized, T: ProbeTrace>(
                 trace.record_edge(u, v);
                 if rng.gen::<f32>() < weights.weight(eid) {
                     marker.visit(u);
-                    set.push(u);
-                    queue.push_back(u);
+                    out.push(u);
                 }
             }
         }
     }
-    set
+    out.len() - start
 }
 
+#[allow(clippy::too_many_arguments)]
 fn lt_reverse_walk<R: Rng + ?Sized, T: ProbeTrace>(
     graph: &CsrGraph,
     weights: &EdgeWeights,
@@ -157,10 +184,11 @@ fn lt_reverse_walk<R: Rng + ?Sized, T: ProbeTrace>(
     rng: &mut R,
     marker: &mut VisitMarker,
     trace: &mut T,
-) -> Vec<NodeId> {
-    let mut set = Vec::with_capacity(8);
+    out: &mut Vec<NodeId>,
+) -> usize {
+    let start = out.len();
     marker.visit(root);
-    set.push(root);
+    out.push(root);
     let mut current = root;
 
     loop {
@@ -185,13 +213,13 @@ fn lt_reverse_walk<R: Rng + ?Sized, T: ProbeTrace>(
                     // Already in the set: the live-edge path closed a cycle.
                     break;
                 }
-                set.push(u);
+                out.push(u);
                 current = u;
             }
             None => break,
         }
     }
-    set
+    out.len() - start
 }
 
 /// Generate the RRR set with global index `set_index` of the deterministic
@@ -210,12 +238,36 @@ pub fn generate_indexed_rrr_set(
     set_index: usize,
     marker: &mut VisitMarker,
 ) -> (Vec<NodeId>, SetProvenance) {
+    let mut vertices = Vec::with_capacity(16);
+    let record = generate_indexed_rrr_set_into(
+        graph,
+        weights,
+        model,
+        base_seed,
+        set_index,
+        marker,
+        &mut vertices,
+    );
+    (vertices, record)
+}
+
+/// Allocation-free form of [`generate_indexed_rrr_set`]: appends the members
+/// to `out` and returns the set's provenance (the appended length is
+/// `out.len()`'s growth).
+pub fn generate_indexed_rrr_set_into(
+    graph: &CsrGraph,
+    weights: &EdgeWeights,
+    model: DiffusionModel,
+    base_seed: u64,
+    set_index: usize,
+    marker: &mut VisitMarker,
+    out: &mut Vec<NodeId>,
+) -> SetProvenance {
     let mut rng = rng_for_set(base_seed, set_index);
     let root = rng.gen_range(0..graph.num_nodes() as u32);
     let mut footprint = EdgeFootprint::new();
-    let vertices =
-        generate_rrr_set_traced(graph, weights, model, root, &mut rng, marker, &mut footprint);
-    (vertices, SetProvenance { root, footprint })
+    generate_rrr_set_into(graph, weights, model, root, &mut rng, marker, &mut footprint, out);
+    SetProvenance { root, footprint }
 }
 
 /// Result of a bulk sampling call.
@@ -283,6 +335,22 @@ pub fn generate_rrr_sets_traced(
     generate_rrr_sets_impl(graph, weights, count, start_index, config, pool, true)
 }
 
+/// One worker slot's accumulated output: a flat vertex arena holding every
+/// **list-bound** set the slot generated (each segment already sorted), the
+/// directory locating each segment by its global job index, the bitmaps of
+/// the slot's heavy sets (built in the worker while the set was hot — their
+/// members never enter an arena), and per-set provenance when tracing.
+#[derive(Debug, Default)]
+struct SlotOutput {
+    arena: Vec<NodeId>,
+    /// `(job, start, len)` into `arena` — list sets only.
+    lists: Vec<(usize, u32, u32)>,
+    /// `(job, bitmap)` — bitmap-bound (heavy) sets.
+    bitmaps: Vec<(usize, imm_rrr::BitSet)>,
+    /// `(job, record)` in generation order, recorded only when tracing.
+    provenance: Vec<(usize, SetProvenance)>,
+}
+
 fn generate_rrr_sets_impl(
     graph: &CsrGraph,
     weights: &EdgeWeights,
@@ -294,71 +362,134 @@ fn generate_rrr_sets_impl(
 ) -> SamplingOutput {
     let threads = config.threads.max(1);
     let num_nodes = graph.num_nodes();
-    type Produced = (usize, RrrSet, Option<SetProvenance>);
-    let per_worker_sets: Vec<Mutex<Vec<Produced>>> =
-        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let slots: Vec<Mutex<SlotOutput>> =
+        (0..threads).map(|_| Mutex::new(SlotOutput::default())).collect();
+    // Epoch-stamped visit markers are O(|V|) to build, so chunks check one
+    // out of a shared pool instead of allocating their own.
+    let markers: Mutex<Vec<VisitMarker>> = Mutex::new(Vec::new());
     let per_worker_ops: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
     let atomic_ops = AtomicU64::new(0);
 
     run_jobs(pool, threads, count, config.schedule, |worker, range| {
-        let mut marker = VisitMarker::new(num_nodes);
+        let mut marker = markers.lock().pop().unwrap_or_else(|| VisitMarker::new(num_nodes));
+        // Chunk-local arena: every list-bound set of the chunk is appended
+        // here, sorted in place, and spliced into the slot arena in one bulk
+        // copy under the lock. A bitmap-bound (heavy) set is scattered into
+        // its side-table bitmap right away — while it is hot — and its
+        // segment rolled back, so the biggest sets are never copied through
+        // the arenas at all. No per-set allocation for list sets.
+        let mut buf: Vec<NodeId> = Vec::with_capacity(16 * range.len());
+        let mut entries: Vec<(usize, u32, u32)> = Vec::with_capacity(range.len());
+        let mut heavy: Vec<(usize, imm_rrr::BitSet)> = Vec::new();
+        let mut records: Vec<(usize, SetProvenance)> = Vec::new();
         let mut local_ops = 0u64;
-        let mut local: Vec<Produced> = Vec::with_capacity(range.len());
         for job in range.iter() {
             let set_index = start_index + job;
-            let (vertices, provenance) = if trace {
-                let (vertices, provenance) = generate_indexed_rrr_set(
+            let start = buf.len();
+            if trace {
+                let record = generate_indexed_rrr_set_into(
                     graph,
                     weights,
                     config.model,
                     config.rng_seed,
                     set_index,
                     &mut marker,
+                    &mut buf,
                 );
-                (vertices, Some(provenance))
+                records.push((job, record));
             } else {
                 // Same draws as the traced path, no footprint bookkeeping.
                 let mut rng = rng_for_set(config.rng_seed, set_index);
                 let root = rng.gen_range(0..num_nodes as u32);
-                let vertices =
-                    generate_rrr_set(graph, weights, config.model, root, &mut rng, &mut marker);
-                (vertices, None)
-            };
-            local_ops += vertices.len() as u64;
+                generate_rrr_set_into(
+                    graph,
+                    weights,
+                    config.model,
+                    root,
+                    &mut rng,
+                    &mut marker,
+                    &mut NoTrace,
+                    &mut buf,
+                );
+            }
+            let len = buf.len() - start;
+            local_ops += len as u64;
             if let Some(counter) = config.fused_counter {
-                for &v in &vertices {
+                // Kernel fusion: the fresh segment increments the shared
+                // counter while it is still hot in cache.
+                for &v in &buf[start..] {
                     counter.increment(v);
                 }
-                atomic_ops.fetch_add(vertices.len() as u64, Ordering::Relaxed);
+                atomic_ops.fetch_add(len as u64, Ordering::Relaxed);
             }
-            local.push((
-                job,
-                RrrSet::from_vertices(vertices, num_nodes, &config.policy),
-                provenance,
-            ));
+            match config.policy.choose(len, num_nodes) {
+                imm_rrr::Representation::SortedList => {
+                    buf[start..].sort_unstable();
+                    entries.push((job, start as u32, len as u32));
+                }
+                imm_rrr::Representation::Bitmap => {
+                    let bs = imm_rrr::BitSet::from_iter_with_capacity(
+                        num_nodes,
+                        buf[start..].iter().map(|&v| v as usize),
+                    );
+                    heavy.push((job, bs));
+                    buf.truncate(start);
+                }
+            }
         }
         per_worker_ops[worker].fetch_add(local_ops, Ordering::Relaxed);
-        per_worker_sets[worker].lock().append(&mut local);
+        let mut slot = slots[worker].lock();
+        let base = slot.arena.len();
+        assert!(
+            base + buf.len() <= u32::MAX as usize,
+            "per-worker sampling arena exceeds the u32 offset space"
+        );
+        slot.arena.extend_from_slice(&buf);
+        slot.lists.extend(entries.iter().map(|&(job, s, l)| (job, base as u32 + s, l)));
+        slot.bitmaps.append(&mut heavy);
+        slot.provenance.append(&mut records);
+        drop(slot);
+        markers.lock().push(marker);
     });
 
-    // Scatter the per-worker batches back into global set-index order so the
-    // output is canonical for every schedule.
-    let mut slots: Vec<Option<(RrrSet, Option<SetProvenance>)>> =
-        (0..count).map(|_| None).collect();
-    for slot in per_worker_sets {
-        for (job, set, provenance) in slot.into_inner() {
-            slots[job] = Some((set, provenance));
+    // Splice the per-worker arenas into the global collection in set-index
+    // order, so the output is canonical for every thread count and schedule.
+    let mut outputs: Vec<SlotOutput> = slots.into_iter().map(|m| m.into_inner()).collect();
+    const UNFILLED: u32 = u32::MAX;
+    let mut directory: Vec<(u32, u32, u32)> = vec![(UNFILLED, 0, 0); count];
+    let mut bitmap_of: Vec<Option<imm_rrr::BitSet>> = Vec::new();
+    bitmap_of.resize_with(count, || None);
+    let mut record_of: Vec<SetProvenance> = Vec::new();
+    if trace {
+        record_of = vec![SetProvenance::default(); count];
+    }
+    for (slot_idx, output) in outputs.iter_mut().enumerate() {
+        for &(job, start, len) in &output.lists {
+            directory[job] = (slot_idx as u32, start, len);
+        }
+        for (job, bs) in output.bitmaps.drain(..) {
+            bitmap_of[job] = Some(bs);
+        }
+        if trace {
+            for &(job, record) in &output.provenance {
+                record_of[job] = record;
+            }
         }
     }
-    let mut sets = RrrCollection::with_capacity(num_nodes, count);
-    let mut provenance = trace.then(|| Vec::with_capacity(count));
-    for produced in slots {
-        let (set, set_provenance) = produced.expect("every job index is produced exactly once");
-        sets.push(set);
-        if let (Some(log), Some(record)) = (provenance.as_mut(), set_provenance) {
-            log.push(record);
+    // The slot arenas hold exactly the list-bound members, so their total is
+    // the arena reservation (bitmap sets live in the side table).
+    let list_members: usize = outputs.iter().map(|o| o.arena.len()).sum();
+    let mut sets = RrrCollection::with_arena_capacity(num_nodes, count, list_members);
+    for (job, &(slot_idx, start, len)) in directory.iter().enumerate() {
+        if let Some(bs) = bitmap_of[job].take() {
+            sets.push(imm_rrr::RrrSet::Bitmap(bs));
+        } else {
+            assert!(slot_idx != UNFILLED, "every job index is produced exactly once");
+            let members = &outputs[slot_idx as usize].arena[start as usize..(start + len) as usize];
+            sets.push_sorted_slice(members, &config.policy);
         }
     }
+    let provenance = trace.then_some(record_of);
     let work = WorkProfile {
         per_thread_ops: per_worker_ops.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
         atomic_ops: atomic_ops.load(Ordering::Relaxed),

@@ -61,10 +61,10 @@ pub fn select_seeds_efficient(
         run_jobs(pool, threads, sets.len(), schedule, |worker, range| {
             let mut ops = 0u64;
             for idx in range.iter() {
-                for v in sets.get(idx).iter() {
+                sets.get(idx).for_each(|v| {
                     counter.increment(v);
                     ops += 1;
-                }
+                });
             }
             per_thread_ops[worker].fetch_add(ops, Ordering::Relaxed);
             atomic_ops.fetch_add(ops, Ordering::Relaxed);
@@ -118,10 +118,10 @@ pub fn select_seeds_efficient(
                     if !alive[idx].load(Ordering::Relaxed) {
                         continue;
                     }
-                    for v in sets.get(idx).iter() {
+                    sets.get(idx).for_each(|v| {
                         counter.increment(v);
                         ops += 1;
-                    }
+                    });
                 }
                 per_thread_ops[worker].fetch_add(ops, Ordering::Relaxed);
                 atomic_ops.fetch_add(ops, Ordering::Relaxed);
@@ -135,10 +135,10 @@ pub fn select_seeds_efficient(
                 for pos in range.iter() {
                     let idx = covered[pos];
                     alive[idx].store(false, Ordering::Relaxed);
-                    for v in sets.get(idx).iter() {
+                    sets.get(idx).for_each(|v| {
                         counter.decrement(v);
                         ops += 1;
-                    }
+                    });
                 }
                 per_thread_ops[worker].fetch_add(ops, Ordering::Relaxed);
                 atomic_ops.fetch_add(ops, Ordering::Relaxed);

@@ -20,7 +20,7 @@ use crate::selection::SeedSelection;
 use crate::stats::WorkProfile;
 use crate::NodeId;
 use imm_graph::block_ranges;
-use imm_rrr::{RrrCollection, RrrSet};
+use imm_rrr::{RrrCollection, SetView};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -61,13 +61,13 @@ pub fn select_seeds_ripples(
                 let mut counts = local_counts[t].lock();
                 let mut ops = 0u64;
                 for set in sets.iter() {
-                    for v in set.iter() {
+                    set.for_each(|v| {
                         ops += 1;
                         let vi = v as usize;
                         if vi >= range.start && vi < range.end {
                             counts[vi - range.start] += 1;
                         }
-                    }
+                    });
                 }
                 per_thread_ops[t].fetch_add(ops, Ordering::Relaxed);
             });
@@ -127,14 +127,14 @@ pub fn select_seeds_ripples(
                         // O(log |R|) membership check).
                         probes += probe_cost(set);
                         if set.contains(seed) {
-                            for v in set.iter() {
+                            set.for_each(|v| {
                                 ops += 1;
                                 let vi = v as usize;
                                 if vi >= range.start && vi < range.end {
                                     counts[vi - range.start] =
                                         counts[vi - range.start].saturating_sub(1);
                                 }
-                            }
+                            });
                             // Every thread discovers the same covered sets;
                             // the swap claims each flag transition exactly
                             // once so the coverage count stays exact.
@@ -169,7 +169,7 @@ pub fn select_seeds_ripples(
 /// The number of probes a binary search over this set costs (⌈log₂ |R|⌉,
 /// minimum 1) — used for the work accounting the paper's memory-traversal
 /// analysis is based on.
-fn probe_cost(set: &RrrSet) -> u64 {
+fn probe_cost(set: SetView<'_>) -> u64 {
     let len = set.len().max(1) as u64;
     (64 - len.leading_zeros() as u64).max(1)
 }

@@ -150,6 +150,7 @@ impl BitSet {
 }
 
 /// Iterator over the set bits of a [`BitSet`].
+#[derive(Debug, Clone)]
 pub struct BitSetIter<'a> {
     words: &'a [u64],
     word_idx: usize,

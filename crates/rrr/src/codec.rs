@@ -12,7 +12,7 @@
 //! `decode(encode(c)) == c` including each set's representation choice.
 
 use crate::bitset::BitSet;
-use crate::collection::RrrCollection;
+use crate::collection::{RrrCollection, SetView};
 use crate::set::RrrSet;
 use crate::NodeId;
 
@@ -152,21 +152,34 @@ impl BitSet {
     }
 }
 
+impl SetView<'_> {
+    /// Append the per-set encoded form (tag byte + payload) to `out` — THE
+    /// definition of the v1/v2 per-set stream; [`RrrSet::encode`] and
+    /// [`RrrCollection::encode`] both delegate here so the compatibility
+    /// format exists in exactly one place.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SetView::Sorted(members) => {
+                out.push(TAG_SORTED);
+                out.extend_from_slice(&(members.len() as u64).to_le_bytes());
+                for v in *members {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            SetView::Bitmap(bs) => {
+                out.push(TAG_BITMAP);
+                bs.encode(out);
+            }
+        }
+    }
+}
+
 impl RrrSet {
     /// Append the encoded form (tag byte + payload) to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            RrrSet::Sorted(list) => {
-                out.push(TAG_SORTED);
-                out.extend_from_slice(&(list.len() as u64).to_le_bytes());
-                for v in list {
-                    out.extend_from_slice(&v.to_le_bytes());
-                }
-            }
-            RrrSet::Bitmap(bs) => {
-                out.push(TAG_BITMAP);
-                bs.encode(out);
-            }
+            RrrSet::Sorted(list) => SetView::Sorted(list).encode(out),
+            RrrSet::Bitmap(bs) => SetView::Bitmap(bs).encode(out),
         }
     }
 
@@ -205,14 +218,152 @@ impl RrrSet {
     }
 }
 
+/// Tag byte marking a sorted-list set in the bulk **arena** encoding.
+const ARENA_TAG_SORTED: u8 = 0;
+/// Tag byte marking a bitmap-side-table set in the bulk **arena** encoding.
+const ARENA_TAG_BITMAP: u8 = 1;
+
 impl RrrCollection {
     /// Append the encoded form (`num_nodes`, set count, sets) to `out`.
+    ///
+    /// This is the **legacy per-set layout** (one tag byte + payload per
+    /// set), kept byte-identical across the arena refactor so v1/v2
+    /// snapshots and any external consumer of the old stream still decode.
+    /// New bulk writers use [`RrrCollection::encode_arena`].
     pub fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
         out.extend_from_slice(&(self.len() as u64).to_le_bytes());
         for set in self {
             set.encode(out);
         }
+    }
+
+    /// Append the **bulk arena encoding** to `out` — the snapshot-v3 layout.
+    ///
+    /// Instead of tagging and framing every set, the live arena (the list
+    /// sets' members) is written as one contiguous vertex section, followed
+    /// by the per-set lengths and representation flags, then the bitmap
+    /// side table as raw words:
+    ///
+    /// ```text
+    /// num_nodes  u64
+    /// count      u64            set count
+    /// arena_len  u64            total members of LIST sets
+    /// arena      arena_len ×u32 every list set's sorted members, back to back
+    /// lens       count × u32    per-set member counts (prefix-summed on load)
+    /// flags      count × u8     0 = sorted slice, 1 = bitmap side-table set
+    /// bitmaps    per flagged set, ⌈num_nodes/64⌉ × u64 raw words, in set order
+    /// ```
+    ///
+    /// A bitmap set costs exactly its `num_nodes/8` word bytes — the same
+    /// as the per-set v1/v2 stream, minus the per-set capacity framing —
+    /// and list sets lose their tag/length framing entirely.
+    pub fn encode_arena(&self, out: &mut Vec<u8>) {
+        let arena_len: usize = self.iter().filter(|s| s.bitmap().is_none()).map(|s| s.len()).sum();
+        out.reserve(24 + arena_len * 4 + self.len() * 5);
+        out.extend_from_slice(&(self.num_nodes() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(arena_len as u64).to_le_bytes());
+        for set in self {
+            if let SetView::Sorted(members) = set {
+                for v in members {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        for set in self {
+            out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+        }
+        for set in self {
+            out.push(match set.bitmap() {
+                None => ARENA_TAG_SORTED,
+                Some(_) => ARENA_TAG_BITMAP,
+            });
+        }
+        for set in self {
+            if let Some(bs) = set.bitmap() {
+                for w in bs.words() {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decode one collection from the bulk arena encoding (the inverse of
+    /// [`RrrCollection::encode_arena`]), validating every slice against the
+    /// vertex space, strict ordering, and each bitmap's word payload before
+    /// anything becomes a set.
+    pub fn decode_arena(reader: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let num_nodes = usize::try_from(reader.read_u64()?)
+            .map_err(|_| CodecError::InvalidValue("num_nodes overflow"))?;
+        if u32::try_from(num_nodes).is_err() {
+            return Err(CodecError::InvalidValue("num_nodes exceeds the u32 vertex-id space"));
+        }
+        // Every set still costs ≥ its length field + flag byte.
+        let count = reader.read_len(5)?;
+        let arena_len = reader.read_len(4)?;
+        // The contiguous sections are consumed in bulk — one length-checked
+        // borrow each, then a fixed-width conversion pass.
+        let arena: Vec<NodeId> = reader
+            .read_bytes(arena_len * 4)?
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        let lens: Vec<u32> = reader
+            .read_bytes(count * 4)?
+            .chunks_exact(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        let mut flags: Vec<u8> = Vec::with_capacity(count);
+        let mut list_total = 0u64;
+        for &len in &lens {
+            let flag = reader.read_u8()?;
+            if flag != ARENA_TAG_SORTED && flag != ARENA_TAG_BITMAP {
+                return Err(CodecError::InvalidTag(flag));
+            }
+            if flag == ARENA_TAG_SORTED {
+                list_total += len as u64;
+            }
+            flags.push(flag);
+        }
+        if list_total != arena_len as u64 {
+            return Err(CodecError::InvalidValue("arena length disagrees with the set lengths"));
+        }
+        let words_per_bitmap = num_nodes.div_ceil(64);
+        // The decoded buffer *is* the collection's arena (zero-copy adopt):
+        // validation walks its slices by prefix sum, then each list set's
+        // span is registered over the adopted storage.
+        let mut collection = RrrCollection::adopt_arena(num_nodes, arena, count);
+        let mut cursor = 0usize;
+        for (i, &flag) in flags.iter().enumerate() {
+            if flag == ARENA_TAG_SORTED {
+                let len = lens[i] as usize;
+                collection.push_adopted_span(cursor, len).map_err(CodecError::InvalidValue)?;
+                cursor += len;
+            } else {
+                let words: Vec<u64> = reader
+                    .read_bytes(words_per_bitmap * 8)?
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+                    .collect();
+                if let Some(last) = words.last() {
+                    let tail_bits = num_nodes % 64;
+                    if tail_bits != 0 && *last >> tail_bits != 0 {
+                        return Err(CodecError::InvalidValue(
+                            "bitmap has bits beyond its capacity",
+                        ));
+                    }
+                }
+                let bs = BitSet::from_words(num_nodes, words);
+                if bs.len() as u64 != lens[i] as u64 {
+                    return Err(CodecError::InvalidValue(
+                        "bitmap population disagrees with its set length",
+                    ));
+                }
+                collection.push(RrrSet::Bitmap(bs));
+            }
+        }
+        Ok(collection)
     }
 
     /// Encode into a fresh byte vector.
@@ -380,6 +531,93 @@ mod tests {
         assert!(matches!(RrrCollection::from_bytes(&out), Err(CodecError::InvalidValue(_))));
     }
 
+    /// Encode with the arena codec into fresh bytes.
+    fn arena_bytes(c: &RrrCollection) -> Vec<u8> {
+        let mut out = Vec::new();
+        c.encode_arena(&mut out);
+        out
+    }
+
+    /// Decode arena bytes, requiring full consumption.
+    fn arena_from_bytes(bytes: &[u8]) -> Result<RrrCollection, CodecError> {
+        let mut reader = ByteReader::new(bytes);
+        let c = RrrCollection::decode_arena(&mut reader)?;
+        if !reader.is_exhausted() {
+            return Err(CodecError::InvalidValue("trailing bytes after collection"));
+        }
+        Ok(c)
+    }
+
+    #[test]
+    fn arena_codec_round_trips_exactly() {
+        let original = sample_collection();
+        let decoded = arena_from_bytes(&arena_bytes(&original)).unwrap();
+        assert_eq!(decoded, original);
+        assert_eq!(decoded.num_nodes(), original.num_nodes());
+    }
+
+    #[test]
+    fn arena_codec_detects_truncation_at_every_length() {
+        let bytes = arena_bytes(&sample_collection());
+        for cut in 0..bytes.len() {
+            assert!(
+                arena_from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_codec_rejects_inconsistent_lengths_and_unsorted_slices() {
+        // Sum of lengths disagrees with the arena section.
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes()); // num_nodes
+        out.extend_from_slice(&1u64.to_le_bytes()); // one set
+        out.extend_from_slice(&2u64.to_le_bytes()); // two arena entries
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&3u32.to_le_bytes()); // len = 3 != 2
+        out.push(0);
+        assert!(matches!(arena_from_bytes(&out), Err(CodecError::InvalidValue(_))));
+
+        // Unsorted slice.
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&2u64.to_le_bytes());
+        out.extend_from_slice(&5u32.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.push(0);
+        assert_eq!(
+            arena_from_bytes(&out),
+            Err(CodecError::InvalidValue("arena set is not strictly increasing"))
+        );
+
+        // Member outside the vertex space.
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&9u32.to_le_bytes()); // 9 >= 8
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.push(0);
+        assert_eq!(
+            arena_from_bytes(&out),
+            Err(CodecError::InvalidValue("set member outside the vertex space"))
+        );
+
+        // Unknown representation flag.
+        let mut out = Vec::new();
+        out.extend_from_slice(&8u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.push(9);
+        assert_eq!(arena_from_bytes(&out), Err(CodecError::InvalidTag(9)));
+    }
+
     proptest! {
         #[test]
         fn arbitrary_collections_round_trip(
@@ -401,6 +639,65 @@ mod tests {
             }
             let decoded = RrrCollection::from_bytes(&c.to_bytes()).unwrap();
             prop_assert_eq!(decoded, c);
+        }
+
+        /// The satellite property: a collection driven through arbitrary
+        /// `replace` sequences (and the compactions they trigger) must
+        /// (a) equal, set-for-set, a model collection with the same legacy
+        /// per-set semantics, and (b) round-trip through **both** codecs —
+        /// the legacy per-set stream and the bulk arena stream.
+        #[test]
+        fn replaced_collections_match_legacy_semantics_and_round_trip(
+            initial in proptest::collection::vec(
+                (proptest::collection::hash_set(0u32..400, 0..80), any::<bool>()),
+                1..16,
+            ),
+            replacements in proptest::collection::vec(
+                (any::<prop::sample::Index>(),
+                 proptest::collection::hash_set(0u32..400, 0..80),
+                 any::<bool>()),
+                0..24,
+            ),
+        ) {
+            let n = 400usize;
+            let policy_of = |bitmap: bool| if bitmap {
+                AdaptivePolicy::always_bitmap()
+            } else {
+                AdaptivePolicy::always_sorted()
+            };
+            // The arena collection under test, and a shadow model holding
+            // each set as its own RrrSet value (the legacy semantics).
+            let mut arena = RrrCollection::new(n);
+            let mut model: Vec<RrrSet> = Vec::new();
+            for (vertices, bitmap) in &initial {
+                let raw: Vec<u32> = vertices.iter().copied().collect();
+                arena.push_vertices(raw.clone(), &policy_of(*bitmap));
+                model.push(RrrSet::from_vertices(raw, n, &policy_of(*bitmap)));
+            }
+            for (idx, vertices, bitmap) in &replacements {
+                let slot = idx.index(model.len());
+                let raw: Vec<u32> = vertices.iter().copied().collect();
+                let set = RrrSet::from_vertices(raw, n, &policy_of(*bitmap));
+                arena.replace(slot, set.clone());
+                model[slot] = set;
+            }
+            // Set-for-set equality with the legacy semantics.
+            prop_assert_eq!(arena.len(), model.len());
+            for (i, expected) in model.iter().enumerate() {
+                let view = arena.get(i);
+                prop_assert_eq!(view.representation(), expected.representation(), "set {}", i);
+                prop_assert_eq!(view.to_vec(), expected.to_vec(), "set {}", i);
+            }
+            // Both codecs round-trip the tombstoned layout.
+            let legacy = RrrCollection::from_bytes(&arena.to_bytes()).unwrap();
+            prop_assert_eq!(&legacy, &arena);
+            let bulk = arena_from_bytes(&arena_bytes(&arena)).unwrap();
+            prop_assert_eq!(&bulk, &arena);
+            // And an explicit compaction changes nothing observable.
+            let mut compacted = arena.clone();
+            compacted.compact();
+            prop_assert_eq!(compacted.dead_entries(), 0);
+            prop_assert_eq!(&compacted, &arena);
         }
     }
 }

@@ -1,11 +1,69 @@
-//! A collection of sampled RRR sets plus the statistics the paper reports.
+//! The arena-backed collection of sampled RRR sets.
+//!
+//! The θ sets are the hottest data structure in the whole pipeline: sampling
+//! writes them once, then counting, selection and index building stream over
+//! every member again and again. Storing each set as its own heap allocation
+//! (the layout this module replaced) costs an allocator round-trip per set
+//! and scatters the member lists across the heap, so the streaming passes
+//! pointer-chase instead of prefetch. The arena layout fixes both:
+//!
+//! * **One flat vertex arena** (`Vec<NodeId>`) holds every sorted-list set's
+//!   members back to back, CSR-style — the same offsets-into-a-flat-array
+//!   scheme `imm-graph::CsrGraph` uses for adjacency.
+//! * **A directory of spans** (`start`, `len` — `u32` offsets) locates set
+//!   `i`'s slice; [`RrrCollection::get`] hands out borrowed [`SetView`]s
+//!   whose list form is a plain `&[NodeId]` slice.
+//! * **The adaptive bitmap representation is preserved as a side table**: a
+//!   set the [`AdaptivePolicy`] marks heavy lives *only* as a [`BitSet`] in
+//!   the side table (`O(1)` membership, memory proportional to the graph —
+//!   the paper's §IV-C trade-off is unchanged), while the arena never pays
+//!   for its members.
+//! * **`replace` rewrites in place when the new list fits** and otherwise
+//!   appends at the arena tail, tombstoning the old span; a compaction pass
+//!   runs amortized (only once the dead space outweighs the live data), so
+//!   incremental refresh (`imm-service::dynamic`) stays O(resampled work).
 //!
 //! Table I of the paper characterizes each dataset by the *average* and
 //! *maximum* fraction of graph vertices covered by a single RRR set; those
 //! numbers come straight out of [`RrrCollection::coverage_stats`].
 
+use crate::bitset::{BitSet, BitSetIter};
 use crate::set::{AdaptivePolicy, Representation, RrrSet};
 use crate::NodeId;
+
+/// Sentinel in a span's `bitmap` field: the set has no side-table entry.
+const NO_BITMAP: u32 = u32::MAX;
+
+/// Dead arena entries tolerated before a `replace` may trigger compaction
+/// (tiny collections never bother).
+const COMPACTION_MIN_DEAD: usize = 1024;
+
+/// Directory entry locating one set (12 bytes per set).
+///
+/// For a sorted-list set, `start..start+len` is its arena slice. For a
+/// bitmap set the arena holds nothing (`len` still records the member count
+/// for the statistics paths) and `bitmap` points into the side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SetSpan {
+    /// First member's offset in the vertex arena (list sets).
+    start: u32,
+    /// Member count.
+    len: u32,
+    /// Bitmap side-table slot, or [`NO_BITMAP`].
+    bitmap: u32,
+}
+
+impl SetSpan {
+    /// Arena entries this span occupies (0 for bitmap sets).
+    #[inline]
+    fn arena_len(&self) -> usize {
+        if self.bitmap == NO_BITMAP {
+            self.len as usize
+        } else {
+            0
+        }
+    }
+}
 
 /// Coverage and size statistics over a set of RRR sets (the paper's Table I
 /// columns, plus memory accounting used for the Twitter7 OOM discussion).
@@ -21,28 +79,185 @@ pub struct CoverageStats {
     pub avg_coverage: f64,
     /// Maximum fraction of graph vertices covered by one set.
     pub max_coverage: f64,
-    /// Total heap bytes used by the stored sets.
+    /// Total heap bytes of the collection: vertex arena (tombstoned space
+    /// included — it stays resident until compaction), span directory and
+    /// bitmap side table.
     pub memory_bytes: usize,
     /// How many sets are stored as bitmaps (vs. sorted lists).
     pub bitmap_sets: usize,
 }
 
-/// The θ sampled RRR sets.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// A borrowed view of one RRR set: either its flat member slice out of the
+/// arena, or its bitmap side-table entry — the borrowed mirror of
+/// [`RrrSet`].
+///
+/// List sets iterate as sequential memory and test membership by binary
+/// search (`O(log |R|)`); bitmap sets test membership with a single bit
+/// probe (`O(1)`) — exactly the adaptive trade-off the paper describes.
+#[derive(Debug, Clone, Copy)]
+pub enum SetView<'a> {
+    /// Sorted member slice backed by the arena.
+    Sorted(&'a [NodeId]),
+    /// Bitmap over all graph vertices, from the side table.
+    Bitmap(&'a BitSet),
+}
+
+impl<'a> SetView<'a> {
+    /// The sorted member slice, when the set is list-represented.
+    #[inline]
+    pub fn members(&self) -> Option<&'a [NodeId]> {
+        match self {
+            SetView::Sorted(slice) => Some(slice),
+            SetView::Bitmap(_) => None,
+        }
+    }
+
+    /// The bitmap, when the set is bitmap-represented.
+    #[inline]
+    pub fn bitmap(&self) -> Option<&'a BitSet> {
+        match self {
+            SetView::Sorted(_) => None,
+            SetView::Bitmap(b) => Some(b),
+        }
+    }
+
+    /// Number of vertices in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            SetView::Sorted(slice) => slice.len(),
+            SetView::Bitmap(b) => b.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which representation the set uses.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        match self {
+            SetView::Sorted(_) => Representation::SortedList,
+            SetView::Bitmap(_) => Representation::Bitmap,
+        }
+    }
+
+    /// Membership test: binary search for list sets, bit probe for bitmaps.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        match self {
+            SetView::Sorted(slice) => slice.binary_search(&v).is_ok(),
+            SetView::Bitmap(b) => b.contains(v as usize),
+        }
+    }
+
+    /// Iterate over the member vertices in increasing order. The returned
+    /// iterator is a concrete enum (no boxing): a copied slice walk for list
+    /// sets, a word scan for bitmaps.
+    #[inline]
+    pub fn iter(&self) -> SetIter<'a> {
+        match self {
+            SetView::Sorted(slice) => SetIter::Slice(slice.iter().copied()),
+            SetView::Bitmap(b) => SetIter::Bits(b.iter()),
+        }
+    }
+
+    /// Internal iteration over the members: the representation is matched
+    /// **once per set**, then the whole slice (or bitmap word scan) runs as
+    /// a tight monomorphic loop — the form the counting kernels hot-loop on.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(NodeId)) {
+        match self {
+            SetView::Sorted(slice) => {
+                for &v in *slice {
+                    f(v);
+                }
+            }
+            SetView::Bitmap(b) => {
+                for i in b.iter() {
+                    f(i as NodeId);
+                }
+            }
+        }
+    }
+
+    /// Collect the members into a vector (increasing order).
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// Materialize an owned [`RrrSet`] with the same representation.
+    pub fn to_set(&self) -> RrrSet {
+        match self {
+            SetView::Sorted(slice) => RrrSet::Sorted(slice.to_vec()),
+            SetView::Bitmap(b) => RrrSet::Bitmap((*b).clone()),
+        }
+    }
+}
+
+/// Iterator over one set's members (the concrete type behind
+/// [`SetView::iter`]).
+#[derive(Debug, Clone)]
+pub enum SetIter<'a> {
+    /// Sequential walk of an arena slice.
+    Slice(std::iter::Copied<std::slice::Iter<'a, NodeId>>),
+    /// Set-bit scan of a side-table bitmap.
+    Bits(BitSetIter<'a>),
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            SetIter::Slice(it) => it.next(),
+            SetIter::Bits(it) => it.next().map(|i| i as NodeId),
+        }
+    }
+}
+
+/// The θ sampled RRR sets, stored in one flat vertex arena plus a bitmap
+/// side table for heavy sets.
+#[derive(Debug, Clone, Default)]
 pub struct RrrCollection {
-    sets: Vec<RrrSet>,
+    /// Every list set's sorted members, back to back (plus tombstoned
+    /// segments awaiting compaction).
+    arena: Vec<NodeId>,
+    /// Per-set directory into the arena and the bitmap side table.
+    spans: Vec<SetSpan>,
+    /// Bitmap side table for heavy sets.
+    bitmaps: Vec<BitSet>,
+    /// Recycled side-table slots (freed by `replace`).
+    free_bitmaps: Vec<u32>,
+    /// Vertex-space size of the underlying graph.
     num_nodes: usize,
+    /// Arena entries tombstoned by `replace`, reclaimed by compaction.
+    dead: usize,
 }
 
 impl RrrCollection {
     /// Empty collection for a graph of `num_nodes` vertices.
     pub fn new(num_nodes: usize) -> Self {
-        RrrCollection { sets: Vec::new(), num_nodes }
+        RrrCollection { num_nodes, ..Default::default() }
     }
 
-    /// Empty collection with reserved capacity.
+    /// Empty collection with a reserved set-directory capacity.
     pub fn with_capacity(num_nodes: usize, cap: usize) -> Self {
-        RrrCollection { sets: Vec::with_capacity(cap), num_nodes }
+        let mut c = Self::new(num_nodes);
+        c.spans.reserve(cap);
+        c
+    }
+
+    /// Empty collection with both directory and arena capacity reserved
+    /// (bulk builders know the total member count up front).
+    pub fn with_arena_capacity(num_nodes: usize, cap: usize, arena_cap: usize) -> Self {
+        let mut c = Self::with_capacity(num_nodes, cap);
+        c.arena.reserve(arena_cap);
+        c
     }
 
     /// Number of vertices of the underlying graph.
@@ -54,70 +269,297 @@ impl RrrCollection {
     /// Number of stored RRR sets (θ′ so far).
     #[inline]
     pub fn len(&self) -> usize {
-        self.sets.len()
+        self.spans.len()
     }
 
     /// Whether the collection is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
+        self.spans.is_empty()
     }
 
-    /// Append one RRR set.
-    #[inline]
+    /// The arena offset a segment of `added` more entries would start at,
+    /// panicking before the `u32` span fields can overflow.
+    fn next_start(&self, added: usize) -> u32 {
+        let start = self.arena.len();
+        assert!(
+            start + added <= u32::MAX as usize,
+            "RRR vertex arena exceeds the u32 offset space ({start} + {added} entries)"
+        );
+        start as u32
+    }
+
+    /// Claim a bitmap side-table slot (recycling freed ones).
+    fn alloc_bitmap(&mut self, bitmap: BitSet) -> u32 {
+        if let Some(slot) = self.free_bitmaps.pop() {
+            self.bitmaps[slot as usize] = bitmap;
+            slot
+        } else {
+            assert!(self.bitmaps.len() < NO_BITMAP as usize, "bitmap side table overflow");
+            self.bitmaps.push(bitmap);
+            (self.bitmaps.len() - 1) as u32
+        }
+    }
+
+    /// Append a bitmap set to the side table (the arena stays untouched).
+    fn push_bitmap(&mut self, bitmap: BitSet) {
+        let start = self.next_start(0);
+        let len = bitmap.len() as u32;
+        let slot = self.alloc_bitmap(bitmap);
+        self.spans.push(SetSpan { start, len, bitmap: slot });
+    }
+
+    /// Append a list set given its **sorted, duplicate-free** members.
+    fn push_list(&mut self, members: &[NodeId]) {
+        let start = self.next_start(members.len());
+        self.arena.extend_from_slice(members);
+        self.spans.push(SetSpan { start, len: members.len() as u32, bitmap: NO_BITMAP });
+    }
+
+    /// Append one RRR set (the [`RrrSet`] build-time value is ingested: a
+    /// sorted list is spliced into the arena, a bitmap moves into the side
+    /// table).
     pub fn push(&mut self, set: RrrSet) {
-        self.sets.push(set);
+        match set {
+            RrrSet::Sorted(list) => self.push_list(&list),
+            RrrSet::Bitmap(bs) => self.push_bitmap(bs),
+        }
     }
 
-    /// Append a raw vertex list, applying the adaptive representation policy.
-    pub fn push_vertices(&mut self, vertices: Vec<NodeId>, policy: &AdaptivePolicy) {
-        self.sets.push(RrrSet::from_vertices(vertices, self.num_nodes, policy));
+    /// Append a raw vertex list (unsorted, duplicate-free), applying the
+    /// adaptive representation policy. A list-bound set is sorted in place
+    /// and spliced into the arena — no intermediate per-set allocation
+    /// survives; a bitmap-bound one never touches the arena at all.
+    pub fn push_vertices(&mut self, mut vertices: Vec<NodeId>, policy: &AdaptivePolicy) {
+        match policy.choose(vertices.len(), self.num_nodes) {
+            Representation::SortedList => {
+                vertices.sort_unstable();
+                self.push_list(&vertices);
+            }
+            Representation::Bitmap => {
+                let bs = BitSet::from_iter_with_capacity(
+                    self.num_nodes,
+                    vertices.iter().map(|&v| v as usize),
+                );
+                self.push_bitmap(bs);
+            }
+        }
+    }
+
+    /// Append a **sorted** member slice, applying the adaptive policy.
+    /// This is the zero-copy entry point bulk samplers use to splice
+    /// per-worker arenas into the global collection.
+    pub fn push_sorted_slice(&mut self, members: &[NodeId], policy: &AdaptivePolicy) {
+        self.push_known_representation(members, policy.choose(members.len(), self.num_nodes));
+    }
+
+    /// Append a **sorted** member slice with an explicit representation
+    /// (deserializers replay the stored choice instead of re-deciding).
+    pub fn push_known_representation(
+        &mut self,
+        members: &[NodeId],
+        representation: Representation,
+    ) {
+        match representation {
+            Representation::SortedList => self.push_list(members),
+            Representation::Bitmap => {
+                let bs = BitSet::from_iter_with_capacity(
+                    self.num_nodes,
+                    members.iter().map(|&v| v as usize),
+                );
+                self.push_bitmap(bs);
+            }
+        }
+    }
+
+    /// Adopt an already validated arena wholesale (zero-copy decode path):
+    /// the buffer becomes the collection's arena, and the caller registers
+    /// each list set's span with [`RrrCollection::push_adopted_span`].
+    pub(crate) fn adopt_arena(num_nodes: usize, arena: Vec<NodeId>, set_cap: usize) -> Self {
+        let mut c = Self::with_capacity(num_nodes, set_cap);
+        c.arena = arena;
+        c
+    }
+
+    /// Validate and register a list set over an adopted arena segment: the
+    /// slice must be in bounds, strictly increasing, and within the vertex
+    /// space. On success the span is pushed without copying any members.
+    pub(crate) fn push_adopted_span(
+        &mut self,
+        start: usize,
+        len: usize,
+    ) -> Result<(), &'static str> {
+        let end = start
+            .checked_add(len)
+            .filter(|&e| e <= self.arena.len())
+            .ok_or("arena length disagrees with the set lengths")?;
+        let members = &self.arena[start..end];
+        if !members.windows(2).all(|w| w[0] < w[1]) {
+            return Err("arena set is not strictly increasing");
+        }
+        if members.last().is_some_and(|&v| (v as usize) >= self.num_nodes) {
+            return Err("set member outside the vertex space");
+        }
+        self.spans.push(SetSpan { start: start as u32, len: len as u32, bitmap: NO_BITMAP });
+        Ok(())
     }
 
     /// Append every set from `other` (used to merge per-thread partitions).
-    pub fn extend_from(&mut self, other: RrrCollection) {
+    /// The live arena is spliced over in bulk; `other`'s bitmap side table
+    /// is moved, not rebuilt.
+    pub fn extend_from(&mut self, mut other: RrrCollection) {
         debug_assert_eq!(self.num_nodes, other.num_nodes);
-        self.sets.extend(other.sets);
+        if other.dead == 0 {
+            // Fast path: one bulk copy, spans rebased by a constant offset.
+            let offset = self.next_start(other.arena.len());
+            self.arena.extend_from_slice(&other.arena);
+            for span in &other.spans {
+                let bitmap = if span.bitmap == NO_BITMAP {
+                    NO_BITMAP
+                } else {
+                    let taken =
+                        std::mem::replace(&mut other.bitmaps[span.bitmap as usize], BitSet::new(0));
+                    self.alloc_bitmap(taken)
+                };
+                self.spans.push(SetSpan { start: span.start + offset, len: span.len, bitmap });
+            }
+        } else {
+            for i in 0..other.len() {
+                let span = other.spans[i];
+                if span.bitmap == NO_BITMAP {
+                    let src = span.start as usize..(span.start + span.len) as usize;
+                    let start = self.next_start(span.len as usize);
+                    self.arena.extend_from_slice(&other.arena[src]);
+                    self.spans.push(SetSpan { start, len: span.len, bitmap: NO_BITMAP });
+                } else {
+                    let taken =
+                        std::mem::replace(&mut other.bitmaps[span.bitmap as usize], BitSet::new(0));
+                    self.push_bitmap(taken);
+                }
+            }
+        }
     }
 
     /// Access a set by index.
     #[inline]
-    pub fn get(&self, idx: usize) -> &RrrSet {
-        &self.sets[idx]
+    pub fn get(&self, idx: usize) -> SetView<'_> {
+        let span = self.spans[idx];
+        if span.bitmap == NO_BITMAP {
+            SetView::Sorted(&self.arena[span.start as usize..(span.start + span.len) as usize])
+        } else {
+            SetView::Bitmap(&self.bitmaps[span.bitmap as usize])
+        }
     }
 
     /// Replace the set at `idx` (incremental refresh swaps resampled sets in
     /// place; the collection length never changes).
-    #[inline]
+    ///
+    /// A list replacement that fits rewrites the arena slot in place; a
+    /// larger one is appended at the arena tail. Either way the old
+    /// segment's leftover is tombstoned, and once the dead space outweighs
+    /// the live data the arena is compacted — amortized O(1) per
+    /// replacement. Bitmap slots are recycled through a free list.
     pub fn replace(&mut self, idx: usize, set: RrrSet) {
-        self.sets[idx] = set;
+        let old = self.spans[idx];
+        let old_arena = old.arena_len();
+        match set {
+            RrrSet::Sorted(members) => {
+                let new_len = members.len();
+                if new_len <= old_arena {
+                    let dst = old.start as usize..old.start as usize + new_len;
+                    self.arena[dst].copy_from_slice(&members);
+                    self.dead += old_arena - new_len;
+                } else {
+                    let start = self.next_start(new_len);
+                    self.arena.extend_from_slice(&members);
+                    self.dead += old_arena;
+                    self.spans[idx].start = start;
+                }
+                self.spans[idx].len = new_len as u32;
+                if old.bitmap != NO_BITMAP {
+                    self.bitmaps[old.bitmap as usize] = BitSet::new(0);
+                    self.free_bitmaps.push(old.bitmap);
+                    self.spans[idx].bitmap = NO_BITMAP;
+                }
+            }
+            RrrSet::Bitmap(bs) => {
+                self.dead += old_arena;
+                self.spans[idx].len = bs.len() as u32;
+                if old.bitmap == NO_BITMAP {
+                    let slot = self.alloc_bitmap(bs);
+                    self.spans[idx].bitmap = slot;
+                } else {
+                    self.bitmaps[old.bitmap as usize] = bs;
+                }
+            }
+        }
+        self.maybe_compact();
     }
 
-    /// Slice of all sets.
+    /// Arena entries currently tombstoned (exposed for tests and accounting).
     #[inline]
-    pub fn sets(&self) -> &[RrrSet] {
-        &self.sets
+    pub fn dead_entries(&self) -> usize {
+        self.dead
     }
 
-    /// Iterate over the sets.
-    pub fn iter(&self) -> std::slice::Iter<'_, RrrSet> {
-        self.sets.iter()
+    /// Compact once the dead space outweighs the live data.
+    fn maybe_compact(&mut self) {
+        if self.dead >= COMPACTION_MIN_DEAD && self.dead * 2 > self.arena.len() {
+            self.compact();
+        }
+    }
+
+    /// Rebuild the arena with every live segment packed in set order.
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let live = self.arena.len() - self.dead;
+        let mut packed = Vec::with_capacity(live);
+        for span in &mut self.spans {
+            if span.bitmap != NO_BITMAP {
+                span.start = packed.len() as u32;
+                continue;
+            }
+            let src = span.start as usize..(span.start + span.len) as usize;
+            span.start = packed.len() as u32;
+            packed.extend_from_slice(&self.arena[src]);
+        }
+        self.arena = packed;
+        self.dead = 0;
+    }
+
+    /// Iterate over the sets as borrowed [`SetView`]s.
+    pub fn iter(&self) -> SetViews<'_> {
+        SetViews { collection: self, next: 0 }
     }
 
     /// Drop all sets, keeping the graph size (used when the martingale loop
     /// has to restart sampling with a larger θ in some IMM variants).
     pub fn clear(&mut self) {
-        self.sets.clear();
+        self.arena.clear();
+        self.spans.clear();
+        self.bitmaps.clear();
+        self.free_bitmaps.clear();
+        self.dead = 0;
     }
 
-    /// Total heap bytes of all stored sets.
+    /// Total heap bytes held by the collection: the vertex arena (live
+    /// **and** tombstoned entries — both are resident until compaction), the
+    /// span directory, and the bitmap side table. Vec over-allocation slack
+    /// is excluded so the figure is a function of the logical contents, not
+    /// of the build path.
     pub fn memory_bytes(&self) -> usize {
-        self.sets.iter().map(|s| s.memory_bytes()).sum()
+        self.arena.len() * std::mem::size_of::<NodeId>()
+            + self.spans.len() * std::mem::size_of::<SetSpan>()
+            + self.free_bitmaps.len() * std::mem::size_of::<u32>()
+            + self.bitmaps.len() * std::mem::size_of::<BitSet>()
+            + self.bitmaps.iter().map(|b| b.memory_bytes()).sum::<usize>()
     }
 
     /// Coverage/size statistics (paper Table I).
     pub fn coverage_stats(&self) -> CoverageStats {
-        let count = self.sets.len();
+        let count = self.spans.len();
         if count == 0 || self.num_nodes == 0 {
             return CoverageStats {
                 count,
@@ -125,20 +567,18 @@ impl RrrCollection {
                 max_size: 0,
                 avg_coverage: 0.0,
                 max_coverage: 0.0,
-                memory_bytes: 0,
+                memory_bytes: self.memory_bytes(),
                 bitmap_sets: 0,
             };
         }
         let mut total = 0usize;
         let mut max_size = 0usize;
         let mut bitmap_sets = 0usize;
-        for s in self {
-            let len = s.len();
+        for span in &self.spans {
+            let len = span.len as usize;
             total += len;
             max_size = max_size.max(len);
-            if s.representation() == Representation::Bitmap {
-                bitmap_sets += 1;
-            }
+            bitmap_sets += usize::from(span.bitmap != NO_BITMAP);
         }
         let n = self.num_nodes as f64;
         CoverageStats {
@@ -155,11 +595,11 @@ impl RrrCollection {
     /// Fraction of sets that contain at least one vertex from `seeds` — the
     /// unbiased estimator of `σ(seeds) / n` that IMM's theory is built on.
     pub fn coverage_fraction(&self, seeds: &[NodeId]) -> f64 {
-        if self.sets.is_empty() {
+        if self.spans.is_empty() {
             return 0.0;
         }
-        let covered = self.sets.iter().filter(|s| seeds.iter().any(|&v| s.contains(v))).count();
-        covered as f64 / self.sets.len() as f64
+        let covered = self.iter().filter(|s| seeds.iter().any(|&v| s.contains(v))).count();
+        covered as f64 / self.spans.len() as f64
     }
 
     /// Estimated influence spread of `seeds`: `n * coverage_fraction`.
@@ -168,23 +608,69 @@ impl RrrCollection {
     }
 }
 
+/// Logical equality: same vertex space, same sets (members **and**
+/// representation), regardless of arena layout — a freshly built collection
+/// and one that went through `replace`/compaction compare equal when their
+/// sets do.
+impl PartialEq for RrrCollection {
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_nodes != other.num_nodes || self.len() != other.len() {
+            return false;
+        }
+        (0..self.len()).all(|i| match (self.get(i), other.get(i)) {
+            (SetView::Sorted(a), SetView::Sorted(b)) => a == b,
+            (SetView::Bitmap(a), SetView::Bitmap(b)) => a == b,
+            _ => false,
+        })
+    }
+}
+
+/// Iterator over the sets of a collection as [`SetView`]s.
+#[derive(Debug, Clone)]
+pub struct SetViews<'a> {
+    collection: &'a RrrCollection,
+    next: usize,
+}
+
+impl<'a> Iterator for SetViews<'a> {
+    type Item = SetView<'a>;
+
+    fn next(&mut self) -> Option<SetView<'a>> {
+        if self.next >= self.collection.len() {
+            return None;
+        }
+        let view = self.collection.get(self.next);
+        self.next += 1;
+        Some(view)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.collection.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SetViews<'_> {}
+
+/// Borrowed iteration (`for set in &collection`), so consumers that only
+/// read the sets — index builders, stats code — never clone them.
+impl<'a> IntoIterator for &'a RrrCollection {
+    type Item = SetView<'a>;
+    type IntoIter = SetViews<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Owned iteration materializes each set back into an [`RrrSet`] value.
 impl IntoIterator for RrrCollection {
     type Item = RrrSet;
     type IntoIter = std::vec::IntoIter<RrrSet>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.sets.into_iter()
-    }
-}
-
-/// Borrowed iteration (`for set in &collection`), so consumers that only
-/// read the sets — index builders, stats code — never clone them.
-impl<'a> IntoIterator for &'a RrrCollection {
-    type Item = &'a RrrSet;
-    type IntoIter = std::slice::Iter<'a, RrrSet>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.sets.iter()
+        let sets: Vec<RrrSet> = self.iter().map(|v| v.to_set()).collect();
+        sets.into_iter()
     }
 }
 
@@ -208,6 +694,7 @@ mod tests {
         c.push_vertices(vec![4], &AdaptivePolicy::default());
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(0).len(), 3);
+        assert_eq!(c.get(0).members(), Some([1, 2, 3].as_slice()));
     }
 
     #[test]
@@ -249,6 +736,36 @@ mod tests {
         let b = collection_with(vec![vec![1], vec![2]], 5);
         a.extend_from(b);
         assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).to_vec(), vec![1]);
+        assert_eq!(a.get(2).to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn extend_from_moves_bitmap_side_table_entries() {
+        let mut a = RrrCollection::new(64);
+        a.push_vertices(vec![1, 2], &AdaptivePolicy::always_sorted());
+        let mut b = RrrCollection::new(64);
+        b.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
+        b.push_vertices(vec![5], &AdaptivePolicy::always_sorted());
+        a.extend_from(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(1).representation(), Representation::Bitmap);
+        assert!(a.get(1).contains(39));
+        assert!(!a.get(1).contains(41));
+        assert_eq!(a.get(2).representation(), Representation::SortedList);
+    }
+
+    #[test]
+    fn extend_from_a_tombstoned_source_keeps_only_live_data() {
+        let mut src = collection_with(vec![vec![0, 1, 2, 3], vec![4, 5]], 10);
+        src.replace(0, RrrSet::sorted(vec![7]));
+        assert!(src.dead_entries() > 0);
+        let mut dst = collection_with(vec![vec![9]], 10);
+        dst.extend_from(src);
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.get(1).to_vec(), vec![7]);
+        assert_eq!(dst.get(2).to_vec(), vec![4, 5]);
+        assert_eq!(dst.dead_entries(), 0, "tombstones never cross an extend_from");
     }
 
     #[test]
@@ -279,8 +796,105 @@ mod tests {
     }
 
     #[test]
+    fn replace_shrinking_tombstones_and_growing_appends() {
+        let mut c = collection_with(vec![vec![0, 1, 2], vec![3]], 5);
+        c.replace(0, RrrSet::sorted(vec![4]));
+        assert_eq!(c.get(0).to_vec(), vec![4]);
+        assert_eq!(c.dead_entries(), 2, "shrinking tombstones the leftover");
+        c.replace(1, RrrSet::sorted(vec![0, 1, 2, 3]));
+        assert_eq!(c.get(1).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(c.dead_entries(), 3, "growing tombstones the whole old span");
+        // Untouched set is unaffected.
+        assert_eq!(c.get(0).to_vec(), vec![4]);
+    }
+
+    #[test]
+    fn replace_swaps_representations_both_ways() {
+        let mut c = RrrCollection::new(64);
+        c.push_vertices(vec![1, 2], &AdaptivePolicy::always_sorted());
+        c.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
+        // Sorted -> bitmap.
+        c.replace(
+            0,
+            RrrSet::from_vertices((10..50).collect(), 64, &AdaptivePolicy::always_bitmap()),
+        );
+        assert_eq!(c.get(0).representation(), Representation::Bitmap);
+        assert!(c.get(0).contains(49));
+        assert_eq!(c.get(0).to_vec(), (10..50).collect::<Vec<_>>());
+        // Bitmap -> sorted frees the side-table slot for reuse.
+        c.replace(1, RrrSet::sorted(vec![7]));
+        assert_eq!(c.get(1).representation(), Representation::SortedList);
+        assert_eq!(c.get(1).to_vec(), vec![7]);
+        c.push_vertices((0..64).collect(), &AdaptivePolicy::always_bitmap());
+        assert_eq!(c.coverage_stats().bitmap_sets, 2);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space_and_preserves_contents() {
+        let n = 100usize;
+        let mut c = RrrCollection::new(n);
+        for i in 0..50u32 {
+            c.push(RrrSet::sorted((0..60).map(|j| (i + j) % 100).collect::<Vec<_>>()));
+        }
+        // Shrink every set: dead space grows past the live size and the
+        // amortized compaction must kick in at some point.
+        for i in 0..50usize {
+            c.replace(i, RrrSet::sorted(vec![i as NodeId]));
+        }
+        assert!(
+            c.dead_entries() < COMPACTION_MIN_DEAD || c.dead_entries() * 2 <= c.arena.len(),
+            "compaction bounded the dead space (dead = {}, arena = {})",
+            c.dead_entries(),
+            c.arena.len()
+        );
+        assert!(c.arena.len() < 3000, "at least one compaction must have run");
+        for i in 0..50usize {
+            assert_eq!(c.get(i).to_vec(), vec![i as NodeId]);
+        }
+        // Explicit compaction packs fully and changes nothing logically.
+        let before = c.clone();
+        c.compact();
+        assert_eq!(c.dead_entries(), 0);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn equality_is_layout_independent() {
+        let mut a = collection_with(vec![vec![0, 1, 2], vec![3, 4]], 10);
+        let b = collection_with(vec![vec![5], vec![3, 4]], 10);
+        a.replace(0, RrrSet::sorted(vec![5]));
+        assert_eq!(a, b, "tombstoned layout must compare equal to a fresh build");
+        a.compact();
+        assert_eq!(a, b);
+        // Representation is part of equality.
+        let mut c = RrrCollection::new(10);
+        c.push_vertices(vec![5], &AdaptivePolicy::always_bitmap());
+        c.push_vertices(vec![3, 4], &AdaptivePolicy::always_sorted());
+        assert_ne!(a, c);
+    }
+
+    #[test]
     fn into_iterator_yields_all_sets() {
         let c = collection_with(vec![vec![0], vec![1], vec![2]], 5);
         assert_eq!(c.into_iter().count(), 3);
+    }
+
+    #[test]
+    fn push_sorted_slice_matches_push_vertices() {
+        let mut a = RrrCollection::new(1000);
+        let mut b = RrrCollection::new(1000);
+        a.push_vertices(vec![9, 3, 7], &AdaptivePolicy::default());
+        b.push_sorted_slice(&[3, 7, 9], &AdaptivePolicy::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bitmap_sets_never_touch_the_arena() {
+        let mut c = RrrCollection::new(64);
+        c.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
+        assert_eq!(c.arena.len(), 0, "heavy sets pay only their side-table bitmap");
+        assert_eq!(c.get(0).len(), 40);
+        c.push_vertices(vec![1, 2], &AdaptivePolicy::always_sorted());
+        assert_eq!(c.arena.len(), 2);
     }
 }

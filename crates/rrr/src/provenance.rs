@@ -125,7 +125,7 @@ impl ProbeTrace for EdgeFootprint {
 
 /// Provenance of one sampled RRR set: the root it was grown from and the
 /// footprint of the edges its traversal probed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SetProvenance {
     /// The uniformly drawn root vertex of the reverse traversal.
     pub root: NodeId,

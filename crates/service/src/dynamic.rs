@@ -369,9 +369,7 @@ impl SketchIndex {
         let mut fresh: Vec<Vec<SetId>> = vec![Vec::new(); n];
         for (sid, new_set, _) in &changed {
             is_changed[*sid] = true;
-            for v in self.sets.get(*sid).iter() {
-                removed[v as usize] += 1;
-            }
+            self.sets.get(*sid).for_each(|v| removed[v as usize] += 1);
             for v in new_set.iter() {
                 added[v as usize] += 1;
                 fresh[v as usize].push(*sid as SetId);

@@ -6,18 +6,28 @@
 //! budget-`k` selection), so the engine keeps one shared greedy prefix —
 //! counters, alive flags, selected seeds — and only ever *extends* it.
 //! Asking for `k` and later `k+5` computes five new rounds, not `k+5`;
-//! nothing is resampled, ever. The greedy rounds replicate the selection
-//! kernels' semantics exactly (ties toward the smaller vertex id, zero-count
-//! rounds still emit a seed), so the served seeds are byte-identical to a
-//! fresh `run_imm`/`select_seeds` pass over the same collection.
+//! nothing is resampled, ever.
+//!
+//! Each greedy round runs **lazy greedy (CELF)** instead of a full counter
+//! rescan: a max-heap holds one `(count upper bound, vertex)` entry per
+//! vertex. Counts only fall as sets are retired, so a popped entry whose
+//! stored count still matches the live counter *is* the round's argmax —
+//! every other entry's bound, and hence its live count, is no larger. Stale
+//! entries are revalidated (reinserted with the live count) on the spot.
+//! The comparator breaks ties toward the smaller vertex id and zero-count
+//! rounds still emit a seed, so the served seeds stay byte-identical to a
+//! fresh `run_imm`/`select_seeds` pass over the same collection — a round
+//! costs O(revalidations · log n) instead of O(n).
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::dynamic::{DynamicError, RefreshStats};
 use crate::index::SketchIndex;
 use crate::query::{Query, QueryKey, QueryResponse};
 use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
-use imm_rrr::NodeId;
+use imm_rrr::{BitSet, NodeId};
 use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Default response-cache capacity of a new engine.
@@ -36,15 +46,38 @@ struct GreedyState {
     covered_after: Vec<usize>,
     /// The greedy prefix selected so far.
     seeds: Vec<NodeId>,
+    /// The CELF frontier: exactly one entry per vertex, holding a lazy
+    /// upper bound on its live count. `(count, Reverse(vertex))` orders the
+    /// max-heap by count, then toward the smaller vertex id.
+    frontier: BinaryHeap<(u64, Reverse<NodeId>)>,
 }
 
 impl GreedyState {
     fn new(index: &SketchIndex) -> Self {
+        let counts = index.degree_vector();
+        let frontier = counts.iter().enumerate().map(|(v, &c)| (c, Reverse(v as NodeId))).collect();
         GreedyState {
-            counts: index.degree_vector(),
+            counts,
             alive: vec![true; index.num_sets()],
             covered_after: Vec::new(),
             seeds: Vec::new(),
+            frontier,
+        }
+    }
+
+    /// Pop the round's argmax off the CELF frontier: revalidate stale
+    /// entries until the top entry's bound matches its live count. Ties
+    /// resolve toward the smaller vertex id via the comparator — identical
+    /// to the selection kernels' reduction order.
+    fn pop_argmax(&mut self) -> (NodeId, u64) {
+        loop {
+            let (stored, Reverse(v)) = self.frontier.pop().expect("one entry per vertex");
+            let live = self.counts[v as usize];
+            if stored == live {
+                return (v, live);
+            }
+            debug_assert!(live < stored, "counts only fall as sets retire");
+            self.frontier.push((live, Reverse(v)));
         }
     }
 
@@ -53,37 +86,36 @@ impl GreedyState {
     fn extend_to(&mut self, index: &SketchIndex, k: usize) {
         let n = index.num_nodes();
         while self.seeds.len() < k.min(n) {
-            // Argmax with ties toward the smaller vertex id — identical to
-            // the selection kernels' reduction order.
-            let mut best = 0usize;
-            let mut best_count = self.counts[0];
-            for (v, &c) in self.counts.iter().enumerate().skip(1) {
-                if c > best_count {
-                    best = v;
-                    best_count = c;
-                }
-            }
-            self.seeds.push(best as NodeId);
+            let (best, best_count) = self.pop_argmax();
+            self.seeds.push(best);
             let covered_so_far = self.covered_after.last().copied().unwrap_or(0);
             if best_count == 0 {
                 // No alive set contains any vertex; later seeds are emitted
-                // deterministically with zero gain (kernel behaviour).
+                // deterministically with zero gain (kernel behaviour: the
+                // all-zero argmax is the smallest vertex id). The selected
+                // vertex stays a candidate, exactly like the kernels'.
                 self.covered_after.push(covered_so_far);
+                self.frontier.push((0, Reverse(best)));
                 continue;
             }
             // Retire the covered sets: the postings list gives them directly
-            // (the kernel rescans all sets; same result, less work).
+            // (the kernel rescans all sets; same result, less work), and the
+            // flat arena slices stream the counter decrements.
             let mut covered = covered_so_far;
-            for &sid in index.postings(best as NodeId) {
+            for &sid in index.postings(best) {
                 if self.alive[sid as usize] {
                     self.alive[sid as usize] = false;
                     covered += 1;
-                    for v in index.sets().get(sid as usize).iter() {
+                    index.sets().get(sid as usize).for_each(|v| {
                         self.counts[v as usize] -= 1;
-                    }
+                    });
                 }
             }
             self.covered_after.push(covered);
+            // Re-admit the selected vertex with its post-retirement count
+            // (zero: every alive set containing it was just retired), so it
+            // remains selectable in all-zero rounds.
+            self.frontier.push((self.counts[best as usize], Reverse(best)));
         }
     }
 }
@@ -98,6 +130,10 @@ pub struct QueryEngine {
     index: Arc<SketchIndex>,
     greedy: Mutex<GreedyState>,
     cache: QueryCache,
+    /// Pool of cleared coverage-marking bitsets (capacity θ). Spread and
+    /// marginal queries check one out instead of allocating a fresh
+    /// θ-sized buffer per call; concurrent batch workers each pop their own.
+    scratch: Mutex<Vec<BitSet>>,
 }
 
 impl QueryEngine {
@@ -109,7 +145,33 @@ impl QueryEngine {
     /// Engine with an explicit cache capacity (0 disables caching).
     pub fn with_cache_capacity(index: Arc<SketchIndex>, capacity: usize) -> Self {
         let greedy = Mutex::new(GreedyState::new(&index));
-        QueryEngine { index, greedy, cache: QueryCache::new(capacity) }
+        QueryEngine {
+            index,
+            greedy,
+            cache: QueryCache::new(capacity),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a cleared θ-capacity marking bitset out of the scratch pool
+    /// (allocating only when the pool is empty or the index size moved).
+    fn acquire_scratch(&self) -> BitSet {
+        let theta = self.index.num_sets();
+        let mut pool = self.scratch.lock();
+        while let Some(bs) = pool.pop() {
+            if bs.capacity() == theta {
+                return bs;
+            }
+            // Stale capacity (index was swapped): let it drop.
+        }
+        drop(pool);
+        BitSet::new(theta)
+    }
+
+    /// Return a scratch bitset to the pool, cleared for the next query.
+    fn release_scratch(&self, mut marks: BitSet) {
+        marks.clear();
+        self.scratch.lock().push(marks);
     }
 
     /// The index this engine serves.
@@ -202,7 +264,7 @@ impl QueryEngine {
     }
 
     /// Count the sets covered by `seeds`, marking them in `marks`.
-    fn mark_covered(&self, seeds: &[NodeId], marks: &mut [bool]) -> usize {
+    fn mark_covered(&self, seeds: &[NodeId], marks: &mut BitSet) -> usize {
         let n = self.index.num_nodes();
         let mut covered = 0usize;
         for &seed in seeds {
@@ -210,10 +272,7 @@ impl QueryEngine {
                 continue; // out-of-range seeds cover nothing
             }
             for &sid in self.index.postings(seed) {
-                if !marks[sid as usize] {
-                    marks[sid as usize] = true;
-                    covered += 1;
-                }
+                covered += usize::from(marks.insert(sid as usize));
             }
         }
         covered
@@ -221,8 +280,9 @@ impl QueryEngine {
 
     fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
         let theta = self.index.num_sets();
-        let mut marks = vec![false; theta];
+        let mut marks = self.acquire_scratch();
         let covered = self.mark_covered(seeds, &mut marks);
+        self.release_scratch(marks);
         let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
         QueryResponse::Spread {
             coverage_fraction,
@@ -232,13 +292,18 @@ impl QueryEngine {
 
     fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
         let theta = self.index.num_sets();
-        let mut marks = vec![false; theta];
+        let mut marks = self.acquire_scratch();
         self.mark_covered(seeds, &mut marks);
         let gained = if (candidate as usize) < self.index.num_nodes() {
-            self.index.postings(candidate).iter().filter(|&&sid| !marks[sid as usize]).count()
+            self.index
+                .postings(candidate)
+                .iter()
+                .filter(|&&sid| !marks.contains(sid as usize))
+                .count()
         } else {
             0
         };
+        self.release_scratch(marks);
         let gain_fraction = if theta == 0 { 0.0 } else { gained as f64 / theta as f64 };
         QueryResponse::Marginal {
             gain_fraction,

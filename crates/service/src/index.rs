@@ -121,16 +121,22 @@ impl SketchIndex {
             return Err(IndexError::TooManySets(collection.len()));
         }
 
-        // Two passes over the borrowed sets: occurrence counts, then the
-        // CSR-style postings fill.
+        // Two streaming passes over the flat arena slices (one branch per
+        // set, tight loops per slice): occurrence counts, then the CSR-style
+        // postings fill.
         let mut offsets = vec![0usize; n + 1];
+        let mut bad: Option<NodeId> = None;
         for set in &collection {
-            for v in set.iter() {
-                if (v as usize) >= n {
-                    return Err(IndexError::VertexOutOfRange { vertex: v, num_nodes: n });
+            set.for_each(|v| {
+                if (v as usize) < n {
+                    offsets[v as usize + 1] += 1;
+                } else if bad.is_none() {
+                    bad = Some(v);
                 }
-                offsets[v as usize + 1] += 1;
-            }
+            });
+        }
+        if let Some(vertex) = bad {
+            return Err(IndexError::VertexOutOfRange { vertex, num_nodes: n });
         }
         for i in 0..n {
             offsets[i + 1] += offsets[i];
@@ -138,10 +144,10 @@ impl SketchIndex {
         let mut cursor = offsets.clone();
         let mut postings = vec![0 as SetId; offsets[n]];
         for (sid, set) in collection.iter().enumerate() {
-            for v in set.iter() {
+            set.for_each(|v| {
                 postings[cursor[v as usize]] = sid as SetId;
                 cursor[v as usize] += 1;
-            }
+            });
         }
 
         Ok(SketchIndex {

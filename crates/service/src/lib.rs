@@ -67,7 +67,7 @@ pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
 pub use query::{Query, QueryKey, QueryResponse};
 pub use snapshot::{
     load_collection, load_collection_from_path, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
-    SNAPSHOT_VERSION_V1,
+    SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

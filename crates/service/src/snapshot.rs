@@ -11,10 +11,10 @@
 //!
 //! ```text
 //! [0..8)   magic  "IMMSKTCH"
-//! [8..12)  format version (1 or 2; writers emit 2)
+//! [8..12)  format version (1, 2 or 3; writers emit 3)
 //! [12..20) FNV-1a 64 checksum of the payload
 //! [20..)   payload: num_edges u64, label (u32 length + UTF-8 bytes),
-//!          then the RRR collection in the `imm_rrr::codec` encoding
+//!          then the RRR collection (per-version encoding, below)
 //! ```
 //!
 //! Version 2 appends the **provenance section** after the collection — a
@@ -23,8 +23,15 @@
 //! the **delta log** of every [`imm_graph::GraphDelta`] applied since the
 //! initial sample. A v2 snapshot of a dynamic index therefore stays
 //! refreshable after a round trip, and the delta log lets `update-index`
-//! reconstruct the current graph revision from the original source. Version
-//! 1 files (no provenance) still load; they come back as static indexes.
+//! reconstruct the current graph revision from the original source.
+//!
+//! Version 3 changes only the collection encoding: instead of the v1/v2
+//! per-set stream (one tag byte + framed payload per set), the collection is
+//! written with [`imm_rrr::RrrCollection::encode_arena`] — the whole vertex
+//! arena as one contiguous section, then the per-set lengths and
+//! representation flags, then each heavy set's bitmap as raw words (no
+//! per-set capacity framing). The provenance section is unchanged. Version 1
+//! and 2 files still load (v1 comes back static).
 //!
 //! Only the collection, metadata and provenance are stored; the inverted
 //! postings are rebuilt on load (a deterministic single pass, far cheaper
@@ -42,9 +49,11 @@ use std::path::Path;
 /// The magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IMMSKTCH";
 /// The snapshot format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 /// The legacy (pre-provenance) format version this build still reads.
 pub const SNAPSHOT_VERSION_V1: u32 = 1;
+/// The legacy per-set-encoded dynamic format this build still reads.
+pub const SNAPSHOT_VERSION_V2: u32 = 2;
 
 /// Errors produced while saving or loading a snapshot.
 #[derive(Debug)]
@@ -79,7 +88,7 @@ impl std::fmt::Display for SnapshotError {
                 write!(
                     f,
                     "unsupported snapshot version {v} (this build reads \
-                     {SNAPSHOT_VERSION_V1} and {SNAPSHOT_VERSION})"
+                     {SNAPSHOT_VERSION_V1}, {SNAPSHOT_VERSION_V2} and {SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
@@ -263,7 +272,7 @@ fn encode_payload(index: &SketchIndex) -> Vec<u8> {
     payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
     payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
     payload.extend_from_slice(meta.label.as_bytes());
-    index.sets().encode(&mut payload);
+    index.sets().encode_arena(&mut payload);
     match index.provenance() {
         None => payload.push(0),
         Some(provenance) => {
@@ -284,8 +293,12 @@ fn decode_payload(
     let label_len = reader.read_u32()? as usize;
     let label = String::from_utf8(reader.read_bytes(label_len)?.to_vec())
         .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("label is not UTF-8")))?;
-    let collection = RrrCollection::decode(&mut reader)?;
-    let provenance = if version >= SNAPSHOT_VERSION {
+    let collection = if version >= SNAPSHOT_VERSION {
+        RrrCollection::decode_arena(&mut reader)?
+    } else {
+        RrrCollection::decode(&mut reader)?
+    };
+    let provenance = if version >= SNAPSHOT_VERSION_V2 {
         match reader.read_u8()? {
             0 => None,
             1 => Some(decode_provenance(&mut reader, collection.len(), collection.num_nodes())?),
@@ -359,7 +372,7 @@ fn load_verified(
         return Err(SnapshotError::BadMagic(found));
     }
     let version = header.read_u32()?;
-    if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
+    if ![SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2, SNAPSHOT_VERSION_V1].contains(&version) {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let expected = header.read_u64()?;
@@ -449,6 +462,30 @@ mod tests {
         assert_eq!(provenance, index.provenance().unwrap());
         assert_eq!(provenance.delta_log.len(), 1);
         assert_eq!(provenance.sets.len(), loaded.num_sets());
+    }
+
+    /// A dynamic **v2** file — legacy per-set collection encoding plus a
+    /// provenance section — keeps loading with its provenance intact.
+    #[test]
+    fn v2_dynamic_snapshots_still_load() {
+        let index = dynamic_index();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(index.meta().num_edges as u64).to_le_bytes());
+        payload.extend_from_slice(&(index.meta().label.len() as u32).to_le_bytes());
+        payload.extend_from_slice(index.meta().label.as_bytes());
+        index.sets().encode(&mut payload); // v2 wrote the per-set stream
+        payload.push(1);
+        encode_provenance(index.provenance().unwrap(), &mut payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_V2.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, index);
+        assert!(loaded.is_dynamic());
+        assert_eq!(loaded.provenance(), index.provenance());
     }
 
     #[test]

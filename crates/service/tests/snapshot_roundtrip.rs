@@ -1,16 +1,17 @@
 //! Property tests of the snapshot format: arbitrary collections of mixed
 //! list/bitmap representation must survive save → load bit-exactly, and
 //! corrupted or truncated files must fail with a descriptive error instead
-//! of loading garbage. Format v2 adds the provenance section (sampling spec,
-//! per-set records, delta log); the corruption suite covers it byte by byte,
-//! and v1 files must keep loading as static indexes.
+//! of loading garbage. Format v2 added the provenance section (sampling
+//! spec, per-set records, delta log); format v3 switched the collection to
+//! the bulk arena encoding. The corruption suite covers the current format
+//! byte by byte, and v1/v2 files must keep loading.
 
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, CsrGraph, EdgeWeights, GraphDelta};
 use imm_rrr::{AdaptivePolicy, RrrCollection};
 use imm_service::{
     IndexMeta, SampleSpec, SketchIndex, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
-    SNAPSHOT_VERSION_V1,
+    SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -35,6 +36,17 @@ fn index_from(raw_sets: &[Vec<u32>], bitmap_choices: &[bool], label: &str) -> Sk
     .expect("members are within range")
 }
 
+/// FNV-1a 64 (mirrors the snapshot writer's checksum) for hand-assembled
+/// compatibility files.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn snapshot_bytes(index: &SketchIndex) -> Vec<u8> {
     let mut out = Vec::new();
     index.save(&mut out).unwrap();
@@ -54,13 +66,13 @@ fn dynamic_index(seed: u64) -> (SketchIndex, CsrGraph, EdgeWeights) {
     (index, graph, weights)
 }
 
-/// Byte offset where the provenance section starts (header + v1-equivalent
-/// payload + the presence flag).
+/// Byte offset where the provenance section starts in a v3 file (header +
+/// metadata + bulk arena collection + the presence flag).
 fn provenance_offset(index: &SketchIndex) -> usize {
     let header = SNAPSHOT_MAGIC.len() + 4 + 8;
     let meta = index.meta();
     let mut collection_bytes = Vec::new();
-    index.sets().encode(&mut collection_bytes);
+    index.sets().encode_arena(&mut collection_bytes);
     header + 8 + 4 + meta.label.len() + collection_bytes.len() + 1
 }
 
@@ -175,14 +187,6 @@ proptest! {
 /// (not the container hash) must reject inconsistent provenance.
 #[test]
 fn provenance_decode_validates_structure_even_with_a_fixed_checksum() {
-    fn fnv1a64(bytes: &[u8]) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &b in bytes {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
-    }
     let (index, _, _) = dynamic_index(11);
     let good = snapshot_bytes(&index);
     let header = SNAPSHOT_MAGIC.len() + 4 + 8;
@@ -214,7 +218,7 @@ fn wrong_version_fields_are_rejected_and_both_real_versions_load() {
     let good = snapshot_bytes(&index);
 
     // Versions this build does not know: rejected before any payload work.
-    for bogus in [0u32, 3, 7, u32::MAX] {
+    for bogus in [0u32, 4, 7, u32::MAX] {
         let mut bytes = good.clone();
         bytes[8..12].copy_from_slice(&bogus.to_le_bytes());
         assert!(
@@ -226,23 +230,41 @@ fn wrong_version_fields_are_rejected_and_both_real_versions_load() {
         );
     }
 
-    // The writer emits v2, and v2 loads.
+    // The writer emits v3, and v3 loads.
     assert_eq!(u32::from_le_bytes(good[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
     assert!(SketchIndex::load(&mut good.as_slice()).is_ok());
+}
+
+/// v2 → load compatibility: a provenance-free v2 file (legacy per-set
+/// collection encoding, presence flag 0) keeps loading. Dynamic v2 files are
+/// covered by the unit suite next to the codec, which can reach the private
+/// provenance encoder.
+#[test]
+fn v2_snapshot_files_keep_loading() {
+    let index =
+        index_from(&[vec![1, 5, 9], vec![2, 3], (0..150).collect()], &[false, false, true], "v2");
+    let meta = index.meta();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
+    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(meta.label.as_bytes());
+    index.sets().encode(&mut payload); // v2 used the per-set encoding
+    payload.push(0); // no provenance
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION_V2.to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+    assert_eq!(loaded, index);
+    assert!(!loaded.is_dynamic());
 }
 
 /// v1 → load compatibility: a file written by the previous format (no
 /// provenance section) keeps loading, as a static index.
 #[test]
 fn v1_snapshot_files_keep_loading() {
-    fn fnv1a64(bytes: &[u8]) -> u64 {
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for &b in bytes {
-            hash ^= b as u64;
-            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        hash
-    }
     let index =
         index_from(&[vec![1, 5, 9], vec![2, 3], (0..150).collect()], &[false, false, true], "v1");
     // Assemble the file exactly as the v1 writer did: header with version 1,
@@ -262,7 +284,7 @@ fn v1_snapshot_files_keep_loading() {
     let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
     assert_eq!(loaded, index);
     assert!(!loaded.is_dynamic(), "v1 files carry no provenance");
-    // Re-saving upgrades the container to v2 losslessly.
+    // Re-saving upgrades the container to v3 losslessly.
     let resaved = snapshot_bytes(&loaded);
     assert_eq!(u32::from_le_bytes(resaved[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
     assert_eq!(SketchIndex::load(&mut resaved.as_slice()).unwrap(), loaded);
