@@ -34,9 +34,17 @@ cargo test -q
 echo "==> workspace tests (all crates, PROPTEST_CASES=32)"
 PROPTEST_CASES=32 cargo test --workspace -q
 
-echo "==> service test guard: no #[ignore] in crates/service/tests"
-if grep -rn '#\[ignore' crates/service/tests; then
-  echo "error: #[ignore]d tests are not allowed in crates/service/tests" >&2
+# The shard differential/parity suite is the correctness anchor of sharded
+# serving (byte-identical answers to the single-index engine for every shard
+# count × thread count, including after apply_delta). It already ran in the
+# workspace sweep above; this explicit pinned-budget invocation documents the
+# contract and keeps it enforced even if the sweep's scope ever changes.
+echo "==> shard parity suite (PROPTEST_CASES=32)"
+PROPTEST_CASES=32 cargo test -q -p imm-shard
+
+echo "==> test guard: no #[ignore] in crates/service/tests or crates/shard/tests"
+if grep -rn '#\[ignore' crates/service/tests crates/shard/tests; then
+  echo "error: #[ignore]d tests are not allowed in the service/shard suites" >&2
   exit 1
 fi
 

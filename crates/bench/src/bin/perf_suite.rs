@@ -1,5 +1,5 @@
 //! The machine-readable performance baseline: one fixed sampling +
-//! selection + query-serving workload, timed and written as `BENCH_4.json`
+//! selection + query-serving workload, timed and written as `BENCH_5.json`
 //! so later PRs can prove they did not regress the hot paths.
 //!
 //! Unlike the figure/table binaries (which sweep parameters to reproduce the
@@ -11,7 +11,7 @@
 //!
 //! A seeded `social_network` graph under constant-probability IC weights,
 //! sized so seed selection — not sampling — dominates (small RRR sets, many
-//! of them). Three phases:
+//! of them). Four phases:
 //!
 //! 1. **Sampling** — bulk-generate θ RRR sets on a rayon pool.
 //! 2. **Selection** — `select_seeds` (EfficientIMM kernel) at budget k,
@@ -20,19 +20,26 @@
 //!    *fresh* `QueryEngine` per trial (so every trial pays the full greedy
 //!    cost, which is what the lazy-greedy selection optimizes), and
 //!    uncached `Spread` latency on a shared engine.
+//! 4. **Sharded serving** — partition the same index into each tracked
+//!    shard count and measure the scatter/gather path: cold Top-K on a
+//!    fresh `ShardedEngine` per trial and uncached Spread on a shared one.
+//!    The single-index numbers of phase 3 stay in the report, so the
+//!    serving trajectory and the sharding overhead/crossover are both
+//!    visible in one file.
 //!
-//! # Output schema (`BENCH_4.json`)
+//! # Output schema (`BENCH_5.json`)
 //!
 //! ```json
 //! {
 //!   "bench": "perf_suite",            // constant tag
-//!   "schema_version": 1,              // bump on layout changes
+//!   "schema_version": 2,              // bump on layout changes
 //!   "smoke": false,                   // true when --smoke shrank the run
 //!   "workload": {
 //!     "nodes": 60000, "edges": 623940,   // graph size actually built
 //!     "theta": 60000,                    // RRR sets sampled
 //!     "k": 64,                           // selection / Top-K budget
 //!     "threads": 2,                      // rayon pool width
+//!     "shard_counts": [1, 2, 4],         // sharded-serving sweep
 //!     "model": "independent-cascade",
 //!     "edge_probability": 0.02,
 //!     "rng_seed": 4242
@@ -42,7 +49,12 @@
 //!     "selection_ms": 12.5,             // median select_seeds wall, ms
 //!     "topk_p50_ms": 9.1,               // median cold Top-K latency, ms
 //!     "spread_p50_us": 40.2,            // median uncached Spread, µs
-//!     "rrr_memory_bytes": 123456        // CoverageStats::memory_bytes
+//!     "rrr_memory_bytes": 123456,       // CoverageStats::memory_bytes
+//!     "sharded_serving": [              // one entry per shard count
+//!       {"shards": 1, "topk_p50_ms": 9.5, "spread_p50_us": 41.0},
+//!       {"shards": 2, "topk_p50_ms": 8.0, "spread_p50_us": 35.1},
+//!       {"shards": 4, "topk_p50_ms": 7.2, "spread_p50_us": 33.8}
+//!     ]
 //!   }
 //! }
 //! ```
@@ -55,7 +67,7 @@
 //!
 //! * `--smoke` — shrink every dimension so the run finishes in well under a
 //!   second; used by CI to prove the bin runs and its JSON parses.
-//! * `--out PATH` — write the JSON somewhere other than `./BENCH_4.json`.
+//! * `--out PATH` — write the JSON somewhere other than `./BENCH_5.json`.
 //!
 //! After writing, the bin reads the file back and re-parses it, so a run
 //! that exits 0 has by construction produced valid JSON.
@@ -67,6 +79,7 @@ use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, CsrGraph, EdgeWeights};
 use imm_rrr::AdaptivePolicy;
 use imm_service::{Query, QueryEngine, QueryResponse, SketchIndex};
+use imm_shard::{ShardedEngine, ShardedIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -80,6 +93,7 @@ struct Workload {
     theta: usize,
     k: usize,
     threads: usize,
+    shard_counts: Vec<usize>,
     edge_probability: f32,
     selection_trials: usize,
     topk_trials: usize,
@@ -93,6 +107,7 @@ impl Workload {
             theta: 60_000,
             k: 64,
             threads: 2,
+            shard_counts: vec![1, 2, 4],
             edge_probability: 0.02,
             selection_trials: 3,
             topk_trials: 9,
@@ -106,6 +121,7 @@ impl Workload {
             theta: 1_000,
             k: 8,
             threads: 2,
+            shard_counts: vec![1, 2],
             edge_probability: 0.05,
             selection_trials: 1,
             topk_trials: 3,
@@ -131,7 +147,7 @@ fn main() {
                 std::process::exit(2);
             }
         },
-        None => "BENCH_4.json".to_string(),
+        None => "BENCH_5.json".to_string(),
     };
     let w = if smoke { Workload::smoke() } else { Workload::full() };
 
@@ -183,7 +199,7 @@ fn main() {
         .map(|_| {
             let engine = QueryEngine::new(Arc::clone(&index));
             let t = Instant::now();
-            let response = engine.execute(&Query::TopK { k: w.k });
+            let response = engine.execute(&Query::top_k(w.k));
             let ms = t.elapsed().as_secs_f64() * 1e3;
             match response {
                 QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
@@ -209,9 +225,55 @@ fn main() {
     let spread_p50_us = median(&mut spread_us);
     eprintln!("[perf-suite] uncached Spread p50: {spread_p50_us:.1} µs");
 
+    // Phase 4: sharded scatter/gather serving, one sweep entry per shard
+    // count. Cold Top-K uses a fresh ShardedEngine per trial (the full
+    // merged-bound greedy); Spread reuses one engine uncached.
+    let mut sharded_serving = Vec::with_capacity(w.shard_counts.len());
+    for &shards in &w.shard_counts {
+        let sharded =
+            Arc::new(ShardedIndex::from_index((*index).clone(), shards).expect("index partitions"));
+        let mut topk_ms: Vec<f64> = (0..w.topk_trials)
+            .map(|_| {
+                let engine = ShardedEngine::new(Arc::clone(&sharded));
+                let t = Instant::now();
+                let response = engine.execute(&Query::top_k(w.k));
+                let ms = t.elapsed().as_secs_f64() * 1e3;
+                match response {
+                    QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
+                    other => panic!("unexpected {other:?}"),
+                }
+                ms
+            })
+            .collect();
+        let sharded_topk_p50_ms = median(&mut topk_ms);
+
+        let engine = ShardedEngine::new(Arc::clone(&sharded));
+        let mut shard_query_rng = SmallRng::seed_from_u64(RNG_SEED ^ 0x5A5A);
+        let mut spread_us: Vec<f64> = (0..w.spread_trials)
+            .map(|_| {
+                let seeds: Vec<u32> =
+                    (0..3).map(|_| shard_query_rng.gen_range(0..w.nodes as u32)).collect();
+                let query = Query::Spread { seeds };
+                let t = Instant::now();
+                let _ = engine.execute_uncached(&query);
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        let sharded_spread_p50_us = median(&mut spread_us);
+        eprintln!(
+            "[perf-suite] {shards} shards: cold TopK p50 {sharded_topk_p50_ms:.2} ms, \
+             uncached Spread p50 {sharded_spread_p50_us:.1} µs"
+        );
+        sharded_serving.push(serde_json::json!({
+            "shards": shards,
+            "topk_p50_ms": sharded_topk_p50_ms,
+            "spread_p50_us": sharded_spread_p50_us,
+        }));
+    }
+
     let report = serde_json::json!({
         "bench": "perf_suite",
-        "schema_version": 1,
+        "schema_version": 2,
         "smoke": smoke,
         "workload": {
             "nodes": graph.num_nodes(),
@@ -219,6 +281,7 @@ fn main() {
             "theta": w.theta,
             "k": w.k,
             "threads": w.threads,
+            "shard_counts": w.shard_counts.clone(),
             "model": "independent-cascade",
             "edge_probability": w.edge_probability,
             "rng_seed": RNG_SEED,
@@ -229,6 +292,7 @@ fn main() {
             "topk_p50_ms": topk_p50_ms,
             "spread_p50_us": spread_p50_us,
             "rrr_memory_bytes": stats.memory_bytes,
+            "sharded_serving": sharded_serving,
         },
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -240,6 +304,12 @@ fn main() {
     let parsed: serde_json::Value = serde_json::from_str(&reread).expect("BENCH json parses");
     for key in ["sampling_sets_per_sec", "selection_ms", "topk_p50_ms", "spread_p50_us"] {
         assert!(parsed["metrics"][key].as_f64().is_some(), "metric {key} missing from {out_path}");
+    }
+    let sweep = parsed["metrics"]["sharded_serving"].as_array().expect("sharded sweep present");
+    assert_eq!(sweep.len(), w.shard_counts.len(), "one sweep entry per shard count");
+    for entry in sweep {
+        assert!(entry["topk_p50_ms"].as_f64().is_some(), "sharded topk metric missing");
+        assert!(entry["spread_p50_us"].as_f64().is_some(), "sharded spread metric missing");
     }
     println!("{rendered}");
     println!("perf suite OK: {out_path}");

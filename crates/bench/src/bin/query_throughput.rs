@@ -40,7 +40,7 @@ fn build_workload(
     let mut pool: Vec<Query> = Vec::with_capacity(pool_size);
     for i in 0..pool_size {
         let query = match i % 3 {
-            0 => Query::TopK { k: 1 + i % k.max(1) },
+            0 => Query::top_k(1 + i % k.max(1)),
             1 => {
                 let len = 1 + rng.gen_range(0usize..4);
                 let seeds = (0..len).map(|_| rng.gen_range(0..num_nodes as u32)).collect();

@@ -22,23 +22,31 @@ USAGE:
   efficient-imm build-index (--graph <FILE> | --dataset <NAME>) --output <FILE>
                             [--model ic|lt] [--k <K>] [--epsilon <E>]
                             [--threads <T>] [--seed <S>]
-  efficient-imm query       --index <FILE> [--top-k <K1,K2,..>]
+  efficient-imm query       (--index <FILE> | --shard-files <F0,F1,..>)
+                            [--top-k <K1,K2,..>] [--audience <V1,V2,..>]
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
-                            [--threads <T>]
+                            [--shards <N>] [--threads <T>]
   efficient-imm update-index --index <FILE> (--graph <FILE> | --dataset <NAME>)
                             --delta <FILE> [--output <FILE>]
+  efficient-imm split-index --index <FILE> --shards <N> --output <PREFIX>
   efficient-imm help
 
 `build-index` samples RRR sets once (the expensive phase) and freezes them
 into a reusable sketch-index snapshot; `query` serves top-k / spread /
 marginal-gain requests from that snapshot without resampling, and `stats
---index` reads coverage statistics from it. `update-index` refreshes a
-snapshot against a batch of edge mutations (delta file lines: `+ src dst w`,
-`- src dst`, `~ src dst w`, `#` comments), resampling only the RRR sets the
-mutations touch; pass the *original* graph source — the snapshot's delta log
-replays every earlier batch to reconstruct the current revision. The
---dataset name refers to the built-in SNAP analogues (com-Amazon, com-DBLP,
-com-YouTube, as-Skitter, web-Google, soc-Pokec, com-LJ, twitter7).";
+--index` reads coverage statistics from it. `query --shards N` partitions
+the loaded index into N set-range shards served scatter/gather (identical
+answers, distributed counting); `--audience` restricts top-k coverage to
+the RRR sets touching the given vertex slice. `split-index` writes one
+`<PREFIX>.shard-<i>` snapshot file per shard, and `query --shard-files`
+reassembles such files (in any order) and serves from the reassembled
+shards. `update-index` refreshes a snapshot against a batch of edge
+mutations (delta file lines: `+ src dst w`, `- src dst`, `~ src dst w`, `#`
+comments), resampling only the RRR sets the mutations touch; pass the
+*original* graph source — the snapshot's delta log replays every earlier
+batch to reconstruct the current revision. The --dataset name refers to the
+built-in SNAP analogues (com-Amazon, com-DBLP, com-YouTube, as-Skitter,
+web-Google, soc-Pokec, com-LJ, twitter7).";
 
 /// Which graph source a command reads.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,19 +127,43 @@ pub struct UpdateIndexArgs {
     pub output: Option<String>,
 }
 
+/// Which stored form a `query` serves from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexSource {
+    /// One whole-index snapshot file.
+    Snapshot(String),
+    /// Per-shard snapshot files written by `split-index` (any order).
+    ShardFiles(Vec<String>),
+}
+
 /// Parsed `query` options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryArgs {
-    /// Sketch-index snapshot to serve from.
-    pub index: String,
+    /// Where the served index comes from.
+    pub source: IndexSource,
     /// Top-k budgets to answer (one query per entry).
     pub top_k: Vec<usize>,
+    /// Optional audience slice restricting the top-k queries.
+    pub audience: Option<Vec<u32>>,
     /// Seed set for a spread estimate.
     pub spread: Option<Vec<u32>>,
     /// Seed set and candidate for a marginal-gain estimate.
     pub marginal: Option<(Vec<u32>, u32)>,
+    /// Shard count for scatter/gather serving (1 = single index).
+    pub shards: usize,
     /// Worker threads for the query batch.
     pub threads: usize,
+}
+
+/// Parsed `split-index` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitIndexArgs {
+    /// Sketch-index snapshot to split.
+    pub index: String,
+    /// How many shard files to produce.
+    pub shards: usize,
+    /// Output prefix; files are written as `<PREFIX>.shard-<i>`.
+    pub output: String,
 }
 
 /// A fully parsed command.
@@ -149,6 +181,8 @@ pub enum Command {
     BuildIndex(BuildIndexArgs),
     /// `update-index`
     UpdateIndex(UpdateIndexArgs),
+    /// `split-index`
+    SplitIndex(SplitIndexArgs),
     /// `query`
     Query(QueryArgs),
     /// `help`
@@ -229,7 +263,23 @@ fn parse_vertex_list(raw: &str) -> Result<Vec<u32>, String> {
 
 fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
     let flags = Flags::parse(args)?;
-    let index = flags.get("--index").ok_or("query requires --index")?.to_string();
+    let source = match (flags.get("--index"), flags.get("--shard-files")) {
+        (Some(path), None) => IndexSource::Snapshot(path.to_string()),
+        (None, Some(list)) => IndexSource::ShardFiles(
+            list.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect(),
+        ),
+        (Some(_), Some(_)) => return Err("pass either --index or --shard-files, not both".into()),
+        (None, None) => return Err("query requires --index or --shard-files".into()),
+    };
+    let shards = flags.get_parsed("--shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if matches!(source, IndexSource::ShardFiles(_)) && flags.get("--shards").is_some() {
+        // The files already carry the split layout; a second count would be
+        // silently ignored, so reject the combination outright.
+        return Err("--shard-files fixes the shard count; drop --shards".into());
+    }
     let top_k = match flags.get("--top-k") {
         None => Vec::new(),
         Some(raw) => raw
@@ -239,6 +289,10 @@ fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
             })
             .collect::<Result<Vec<usize>, String>>()?,
     };
+    let audience = flags.get("--audience").map(parse_vertex_list).transpose()?;
+    if audience.is_some() && top_k.is_empty() {
+        return Err("--audience restricts top-k queries; pass --top-k too".into());
+    }
     let spread = flags.get("--spread").map(parse_vertex_list).transpose()?;
     let marginal = match flags.get("--marginal") {
         None => None,
@@ -259,10 +313,12 @@ fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
         return Err("query needs at least one of --top-k, --spread, --marginal".into());
     }
     Ok(QueryArgs {
-        index,
+        source,
         top_k,
+        audience,
         spread,
         marginal,
+        shards,
         threads: flags.get_parsed("--threads", 4usize)?,
     })
 }
@@ -319,6 +375,18 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 source: flags.source()?,
                 delta: flags.get("--delta").ok_or("update-index requires --delta")?.to_string(),
                 output: flags.get("--output").map(|s| s.to_string()),
+            }))
+        }
+        "split-index" => {
+            let flags = Flags::parse(rest)?;
+            let shards = flags.get_parsed("--shards", 0usize)?;
+            if shards == 0 {
+                return Err("split-index requires --shards >= 1".into());
+            }
+            Ok(Command::SplitIndex(SplitIndexArgs {
+                index: flags.get("--index").ok_or("split-index requires --index")?.to_string(),
+                shards,
+                output: flags.get("--output").ok_or("split-index requires --output")?.to_string(),
             }))
         }
         "query" => Ok(Command::Query(parse_query(rest)?)),
@@ -515,10 +583,14 @@ mod tests {
             "g.sketch",
             "--top-k",
             "3,5",
+            "--audience",
+            "7,8",
             "--spread",
             "1,2,3",
             "--marginal",
             "1,2:9",
+            "--shards",
+            "4",
             "--threads",
             "2",
         ]))
@@ -526,18 +598,45 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Query(QueryArgs {
-                index: "g.sketch".into(),
+                source: IndexSource::Snapshot("g.sketch".into()),
                 top_k: vec![3, 5],
+                audience: Some(vec![7, 8]),
                 spread: Some(vec![1, 2, 3]),
                 marginal: Some((vec![1, 2], 9)),
+                shards: 4,
                 threads: 2,
             })
         );
     }
 
     #[test]
+    fn parses_query_over_shard_files() {
+        let cmd = parse(&sv(&["query", "--shard-files", "p.shard-1, p.shard-0", "--top-k", "3"]))
+            .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query(QueryArgs {
+                source: IndexSource::ShardFiles(vec!["p.shard-1".into(), "p.shard-0".into()]),
+                top_k: vec![3],
+                audience: None,
+                spread: None,
+                marginal: None,
+                shards: 1,
+                threads: 4,
+            })
+        );
+        // The files fix the shard layout: an explicit count is rejected.
+        assert!(parse(&sv(&["query", "--shard-files", "a,b", "--shards", "2", "--top-k", "1"]))
+            .is_err());
+        // Both sources at once are rejected too.
+        assert!(
+            parse(&sv(&["query", "--index", "i", "--shard-files", "a,b", "--top-k", "1"])).is_err()
+        );
+    }
+
+    #[test]
     fn query_rejects_bad_or_missing_requests() {
-        assert!(parse(&sv(&["query", "--top-k", "3"])).is_err(), "--index is required");
+        assert!(parse(&sv(&["query", "--top-k", "3"])).is_err(), "a source is required");
         assert!(
             parse(&sv(&["query", "--index", "i"])).is_err(),
             "at least one query kind is required"
@@ -546,5 +645,39 @@ mod tests {
         assert!(parse(&sv(&["query", "--index", "i", "--spread", "1,x"])).is_err());
         assert!(parse(&sv(&["query", "--index", "i", "--marginal", "1,2"])).is_err());
         assert!(parse(&sv(&["query", "--index", "i", "--marginal", "1,2:x"])).is_err());
+        assert!(parse(&sv(&["query", "--index", "i", "--top-k", "3", "--shards", "0"])).is_err());
+        assert!(
+            parse(&sv(&["query", "--index", "i", "--audience", "1", "--spread", "2"])).is_err(),
+            "--audience without --top-k is rejected"
+        );
+        assert!(parse(&sv(&["query", "--index", "i", "--top-k", "3", "--audience", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_split_index() {
+        let cmd = parse(&sv(&[
+            "split-index",
+            "--index",
+            "g.sketch",
+            "--shards",
+            "4",
+            "--output",
+            "g-split",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::SplitIndex(SplitIndexArgs {
+                index: "g.sketch".into(),
+                shards: 4,
+                output: "g-split".into(),
+            })
+        );
+        assert!(parse(&sv(&["split-index", "--index", "g", "--output", "p"])).is_err());
+        assert!(parse(&sv(&["split-index", "--shards", "2", "--output", "p"])).is_err());
+        assert!(parse(&sv(&["split-index", "--index", "g", "--shards", "2"])).is_err());
+        assert!(
+            parse(&sv(&["split-index", "--index", "g", "--shards", "0", "--output", "p"])).is_err()
+        );
     }
 }

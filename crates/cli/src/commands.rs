@@ -1,8 +1,8 @@
 //! Command implementations for the `efficient-imm` CLI.
 
 use crate::args::{
-    BuildIndexArgs, Command, GenerateArgs, GraphSource, QueryArgs, RunArgs, StatsArgs,
-    UpdateIndexArgs, USAGE,
+    BuildIndexArgs, Command, GenerateArgs, GraphSource, IndexSource, QueryArgs, RunArgs,
+    SplitIndexArgs, StatsArgs, UpdateIndexArgs, USAGE,
 };
 use efficient_imm::balance::Schedule;
 use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
@@ -10,8 +10,9 @@ use efficient_imm::{run_imm, Algorithm, ExecutionConfig, ImmParams, ImmResult};
 use imm_bench::datasets::{find, Scale};
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, GraphDelta, WeightModel};
-use imm_rrr::AdaptivePolicy;
+use imm_rrr::{AdaptivePolicy, BitSet};
 use imm_service::{Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
+use imm_shard::{ShardedEngine, ShardedIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -33,6 +34,7 @@ pub fn execute(command: Command) -> Result<(), CliError> {
         Command::Stats(args) => stats(&args),
         Command::BuildIndex(args) => build_index(&args),
         Command::UpdateIndex(args) => update_index(&args),
+        Command::SplitIndex(args) => split_index(&args),
         Command::Query(args) => query(&args),
     }
 }
@@ -282,11 +284,12 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
 fn response_json(query: &Query, response: &QueryResponse) -> serde_json::Value {
     match (query, response) {
         (
-            Query::TopK { k },
+            Query::TopK { k, audience },
             QueryResponse::TopK { seeds, coverage_fraction, estimated_influence },
         ) => serde_json::json!({
             "query": "top-k",
             "k": k,
+            "audience_vertices": audience.as_ref().map(|a| a.len()),
             "seeds": seeds,
             "coverage_fraction": coverage_fraction,
             "estimated_influence": estimated_influence,
@@ -312,13 +315,101 @@ fn response_json(query: &Query, response: &QueryResponse) -> serde_json::Value {
     }
 }
 
-/// Serve queries from a saved sketch index — no graph, no sampling.
-fn query(args: &QueryArgs) -> Result<(), CliError> {
+/// Split a snapshot into per-shard snapshot files (`<PREFIX>.shard-<i>`),
+/// each independently verifiable and reassemblable by `query --shard-files`.
+fn split_index(args: &SplitIndexArgs) -> Result<(), CliError> {
     let index = SketchIndex::load_from_path(&args.index)
         .map_err(|e| format!("cannot load {}: {e}", args.index))?;
-    let engine = QueryEngine::new(Arc::new(index));
+    let (theta, nodes) = (index.num_sets(), index.num_nodes());
+    let sharded = ShardedIndex::from_index(index, args.shards)
+        .map_err(|e| format!("cannot shard {}: {e}", args.index))?;
+    let sets_per_shard: Vec<usize> = sharded.segments().iter().map(|s| s.len()).collect();
+    let paths =
+        imm_shard::write_sharded_files(&sharded, &args.output).map_err(|e| e.to_string())?;
+    let json = serde_json::json!({
+        "snapshot": args.index,
+        "theta": theta,
+        "nodes": nodes,
+        "shards": paths.len(),
+        "files": paths.iter().map(|p| p.to_string_lossy().into_owned()).collect::<Vec<_>>(),
+        "sets_per_shard": sets_per_shard,
+    });
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    Ok(())
+}
 
-    let mut queries: Vec<Query> = args.top_k.iter().map(|&k| Query::TopK { k }).collect();
+/// The engine behind `query`: single-index or sharded scatter/gather —
+/// both answer the same vocabulary with byte-identical responses.
+enum ServingEngine {
+    Single(QueryEngine),
+    Sharded(ShardedEngine),
+}
+
+impl ServingEngine {
+    fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
+        match self {
+            ServingEngine::Single(e) => e.execute_batch(queries, threads),
+            ServingEngine::Sharded(e) => e.execute_batch(queries, threads),
+        }
+    }
+
+    fn describe(&self) -> (String, usize, usize, usize) {
+        match self {
+            ServingEngine::Single(e) => {
+                (e.index().meta().label.clone(), e.index().num_sets(), e.index().num_nodes(), 1)
+            }
+            ServingEngine::Sharded(e) => (
+                e.index().meta().label.clone(),
+                e.index().num_sets(),
+                e.index().num_nodes(),
+                e.index().num_shards(),
+            ),
+        }
+    }
+}
+
+/// Serve queries from a saved sketch index — no graph, no sampling. With
+/// `--shards N` the loaded index is partitioned into N set-range shards and
+/// served scatter/gather; with `--shard-files` the split files themselves
+/// are reassembled (their layout becomes the shard layout).
+fn query(args: &QueryArgs) -> Result<(), CliError> {
+    let (engine, source_label) = match &args.source {
+        IndexSource::Snapshot(path) => {
+            let index = SketchIndex::load_from_path(path)
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            let engine = if args.shards > 1 {
+                let sharded = ShardedIndex::from_index(index, args.shards)
+                    .map_err(|e| format!("cannot shard {path}: {e}"))?;
+                ServingEngine::Sharded(ShardedEngine::new(Arc::new(sharded)))
+            } else {
+                ServingEngine::Single(QueryEngine::new(Arc::new(index)))
+            };
+            (engine, path.clone())
+        }
+        IndexSource::ShardFiles(paths) => {
+            let sharded = imm_shard::load_shard_files(paths)
+                .map_err(|e| format!("cannot assemble shard files: {e}"))?;
+            (ServingEngine::Sharded(ShardedEngine::new(Arc::new(sharded))), paths.join(","))
+        }
+    };
+
+    let (_, _, num_nodes, _) = engine.describe();
+    let audience = args.audience.as_ref().map(|vertices| {
+        // Out-of-range audience vertices select no sets; dropping them here
+        // keeps the bitmap sized to the vertex space.
+        BitSet::from_iter_with_capacity(
+            num_nodes,
+            vertices.iter().map(|&v| v as usize).filter(|&v| v < num_nodes),
+        )
+    });
+    let mut queries: Vec<Query> = args
+        .top_k
+        .iter()
+        .map(|&k| match &audience {
+            None => Query::top_k(k),
+            Some(a) => Query::audience_top_k(k, a.clone()),
+        })
+        .collect();
     if let Some(seeds) = &args.spread {
         queries.push(Query::Spread { seeds: seeds.clone() });
     }
@@ -330,12 +421,13 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
     let responses = engine.execute_batch(&queries, args.threads);
     let wall = start.elapsed().as_secs_f64();
 
-    let meta = engine.index().meta();
+    let (label, theta, nodes, shards) = engine.describe();
     let json = serde_json::json!({
-        "index": args.index,
-        "source": meta.label,
-        "theta": engine.index().num_sets(),
-        "nodes": engine.index().num_nodes(),
+        "index": source_label,
+        "source": label,
+        "theta": theta,
+        "nodes": nodes,
+        "shards": shards,
         "threads": args.threads,
         "wall_seconds": wall,
         "responses": queries
@@ -536,10 +628,12 @@ mod tests {
         assert!(snapshot_path.exists());
 
         execute(Command::Query(QueryArgs {
-            index: snapshot_path.to_string_lossy().into_owned(),
+            source: IndexSource::Snapshot(snapshot_path.to_string_lossy().into_owned()),
             top_k: vec![2, 4],
+            audience: Some(vec![0, 1, 2, 3, 4, 5, 6, 7]),
             spread: Some(vec![0, 1]),
             marginal: Some((vec![0], 1)),
+            shards: 1,
             threads: 2,
         }))
         .unwrap();
@@ -551,6 +645,78 @@ mod tests {
         }))
         .unwrap();
         std::fs::remove_file(&snapshot_path).ok();
+    }
+
+    #[test]
+    fn split_index_then_query_serves_from_shard_files() {
+        let snapshot_path = temp_path("cli_split.sketch");
+        let prefix = temp_path("cli_split_out").to_string_lossy().into_owned();
+        execute(Command::BuildIndex(BuildIndexArgs {
+            run: RunArgs {
+                source: GraphSource::Dataset("com-DBLP".into()),
+                model: DiffusionModel::IndependentCascade,
+                algorithm: Algorithm::Efficient,
+                k: 3,
+                epsilon: 0.5,
+                threads: 2,
+                seed: 23,
+                output: None,
+            },
+            output: snapshot_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+
+        execute(Command::SplitIndex(SplitIndexArgs {
+            index: snapshot_path.to_string_lossy().into_owned(),
+            shards: 3,
+            output: prefix.clone(),
+        }))
+        .unwrap();
+        let shard_files: Vec<String> = (0..3).map(|i| format!("{prefix}.shard-{i}")).collect();
+        for f in &shard_files {
+            assert!(std::path::Path::new(f).exists(), "{f} was not written");
+        }
+
+        // Serve from the reassembled shard files (reversed order on purpose)
+        // and from the whole snapshot partitioned in memory.
+        execute(Command::Query(QueryArgs {
+            source: IndexSource::ShardFiles(shard_files.iter().rev().cloned().collect()),
+            top_k: vec![2, 3],
+            audience: None,
+            spread: Some(vec![0, 1]),
+            marginal: None,
+            shards: 1,
+            threads: 2,
+        }))
+        .unwrap();
+        execute(Command::Query(QueryArgs {
+            source: IndexSource::Snapshot(snapshot_path.to_string_lossy().into_owned()),
+            top_k: vec![2, 3],
+            audience: None,
+            spread: None,
+            marginal: None,
+            shards: 4,
+            threads: 2,
+        }))
+        .unwrap();
+
+        // A missing shard file is reported cleanly.
+        let err = execute(Command::Query(QueryArgs {
+            source: IndexSource::ShardFiles(shard_files[..2].to_vec()),
+            top_k: vec![1],
+            audience: None,
+            spread: None,
+            marginal: None,
+            shards: 1,
+            threads: 1,
+        }))
+        .unwrap_err();
+        assert!(err.contains("shard"), "unexpected error: {err}");
+
+        std::fs::remove_file(&snapshot_path).ok();
+        for f in shard_files {
+            std::fs::remove_file(f).ok();
+        }
     }
 
     #[test]
@@ -609,10 +775,12 @@ mod tests {
 
         // The refreshed snapshot still serves queries.
         execute(Command::Query(QueryArgs {
-            index: snapshot_path.to_string_lossy().into_owned(),
+            source: IndexSource::Snapshot(snapshot_path.to_string_lossy().into_owned()),
             top_k: vec![2],
+            audience: None,
             spread: Some(vec![0, 5]),
             marginal: None,
+            shards: 1,
             threads: 1,
         }))
         .unwrap();
@@ -661,10 +829,12 @@ mod tests {
     #[test]
     fn query_on_a_missing_snapshot_is_reported() {
         let err = execute(Command::Query(QueryArgs {
-            index: "/nonexistent/q.sketch".into(),
+            source: IndexSource::Snapshot("/nonexistent/q.sketch".into()),
             top_k: vec![1],
+            audience: None,
             spread: None,
             marginal: None,
+            shards: 1,
             threads: 1,
         }))
         .unwrap_err();

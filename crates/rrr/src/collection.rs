@@ -608,6 +608,108 @@ impl RrrCollection {
     }
 }
 
+/// A borrowed view of a **contiguous set range** of a collection — the
+/// substrate of index sharding: a shard is exactly `collection.slice(start,
+/// len)`, i.e. a span-directory slice over the shared arena. Nothing is
+/// copied; `get` hands out the same zero-copy [`SetView`]s the full
+/// collection does, with set ids local to the range.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionSlice<'a> {
+    collection: &'a RrrCollection,
+    start: usize,
+    len: usize,
+}
+
+impl<'a> CollectionSlice<'a> {
+    /// Number of sets in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Global id of the range's first set.
+    #[inline]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of vertices of the underlying graph.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.collection.num_nodes()
+    }
+
+    /// Access a set by its **local** index in `[0, len)`.
+    #[inline]
+    pub fn get(&self, local: usize) -> SetView<'a> {
+        assert!(local < self.len, "local set {local} out of slice length {}", self.len);
+        self.collection.get(self.start + local)
+    }
+
+    /// Iterate over the range's sets as borrowed [`SetView`]s, in local order.
+    pub fn iter(&self) -> SliceViews<'a> {
+        SliceViews { slice: *self, next: 0 }
+    }
+}
+
+/// Iterator over the sets of a [`CollectionSlice`].
+#[derive(Debug, Clone)]
+pub struct SliceViews<'a> {
+    slice: CollectionSlice<'a>,
+    next: usize,
+}
+
+impl<'a> Iterator for SliceViews<'a> {
+    type Item = SetView<'a>;
+
+    fn next(&mut self) -> Option<SetView<'a>> {
+        if self.next >= self.slice.len() {
+            return None;
+        }
+        let view = self.slice.get(self.next);
+        self.next += 1;
+        Some(view)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.slice.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SliceViews<'_> {}
+
+impl<'a> IntoIterator for CollectionSlice<'a> {
+    type Item = SetView<'a>;
+    type IntoIter = SliceViews<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl RrrCollection {
+    /// Borrow the contiguous set range `[start, start + len)` as a
+    /// [`CollectionSlice`].
+    ///
+    /// # Panics
+    /// Panics if the range reaches past the collection.
+    pub fn slice(&self, start: usize, len: usize) -> CollectionSlice<'_> {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "slice [{start}, {start} + {len}) out of bounds for {} sets",
+            self.len()
+        );
+        CollectionSlice { collection: self, start, len }
+    }
+}
+
 /// Logical equality: same vertex space, same sets (members **and**
 /// representation), regardless of arena layout — a freshly built collection
 /// and one that went through `replace`/compaction compare equal when their
@@ -886,6 +988,37 @@ mod tests {
         a.push_vertices(vec![9, 3, 7], &AdaptivePolicy::default());
         b.push_sorted_slice(&[3, 7, 9], &AdaptivePolicy::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slices_view_the_arena_without_copying() {
+        let mut c = RrrCollection::new(64);
+        c.push(RrrSet::sorted(vec![0, 1]));
+        c.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
+        c.push(RrrSet::sorted(vec![5, 9]));
+        c.push(RrrSet::sorted(vec![7]));
+
+        let slice = c.slice(1, 2);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.start(), 1);
+        assert_eq!(slice.num_nodes(), 64);
+        assert_eq!(slice.get(0).representation(), Representation::Bitmap);
+        assert_eq!(slice.get(1).to_vec(), vec![5, 9]);
+        let sizes: Vec<usize> = slice.iter().map(|v| v.len()).collect();
+        assert_eq!(sizes, vec![40, 2]);
+        // The sorted view borrows the very arena slice the collection holds.
+        assert_eq!(
+            slice.get(1).members().unwrap().as_ptr(),
+            c.get(2).members().unwrap().as_ptr(),
+            "slice views must not copy members"
+        );
+
+        // Empty and full ranges are fine; overruns panic.
+        assert!(c.slice(4, 0).is_empty());
+        assert_eq!(c.slice(0, 4).iter().count(), 4);
+        assert!(std::panic::catch_unwind(|| c.slice(3, 2)).is_err());
+        let full = c.slice(0, 4);
+        assert!(std::panic::catch_unwind(move || full.get(4)).is_err());
     }
 
     #[test]

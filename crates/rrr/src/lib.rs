@@ -34,7 +34,9 @@ pub mod set;
 
 pub use bitset::BitSet;
 pub use codec::{ByteReader, CodecError};
-pub use collection::{CoverageStats, RrrCollection, SetView, SetViews};
+pub use collection::{
+    CollectionSlice, CoverageStats, RrrCollection, SetView, SetViews, SliceViews,
+};
 pub use compressed::CompressedRrrSet;
 pub use provenance::{EdgeFootprint, NoTrace, ProbeTrace, SetProvenance, FOOTPRINT_WORDS};
 pub use set::{AdaptivePolicy, Representation, RrrSet};

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn get_after_insert_hits() {
         let cache = QueryCache::new(4);
-        let key = QueryKey::TopK(3);
+        let key = QueryKey::TopK(3, None);
         assert_eq!(cache.get(&key), None);
         cache.insert(key.clone(), response(1.0));
         assert_eq!(cache.get(&key), Some(response(1.0)));
@@ -156,35 +156,35 @@ mod tests {
     #[test]
     fn least_recently_used_entry_is_evicted() {
         let cache = QueryCache::new(2);
-        cache.insert(QueryKey::TopK(1), response(1.0));
-        cache.insert(QueryKey::TopK(2), response(2.0));
+        cache.insert(QueryKey::TopK(1, None), response(1.0));
+        cache.insert(QueryKey::TopK(2, None), response(2.0));
         // Touch 1 so 2 becomes the LRU entry.
-        assert!(cache.get(&QueryKey::TopK(1)).is_some());
-        cache.insert(QueryKey::TopK(3), response(3.0));
-        assert!(cache.get(&QueryKey::TopK(1)).is_some());
-        assert_eq!(cache.get(&QueryKey::TopK(2)), None, "LRU entry must be gone");
-        assert!(cache.get(&QueryKey::TopK(3)).is_some());
+        assert!(cache.get(&QueryKey::TopK(1, None)).is_some());
+        cache.insert(QueryKey::TopK(3, None), response(3.0));
+        assert!(cache.get(&QueryKey::TopK(1, None)).is_some());
+        assert_eq!(cache.get(&QueryKey::TopK(2, None)), None, "LRU entry must be gone");
+        assert!(cache.get(&QueryKey::TopK(3, None)).is_some());
         assert_eq!(cache.stats().entries, 2);
     }
 
     #[test]
     fn reinserting_an_existing_key_does_not_evict() {
         let cache = QueryCache::new(2);
-        cache.insert(QueryKey::TopK(1), response(1.0));
-        cache.insert(QueryKey::TopK(2), response(2.0));
-        cache.insert(QueryKey::TopK(2), response(2.5));
+        cache.insert(QueryKey::TopK(1, None), response(1.0));
+        cache.insert(QueryKey::TopK(2, None), response(2.0));
+        cache.insert(QueryKey::TopK(2, None), response(2.5));
         assert_eq!(cache.stats().entries, 2);
-        assert!(cache.get(&QueryKey::TopK(1)).is_some());
-        assert_eq!(cache.get(&QueryKey::TopK(2)), Some(response(2.5)));
+        assert!(cache.get(&QueryKey::TopK(1, None)).is_some());
+        assert_eq!(cache.get(&QueryKey::TopK(2, None)), Some(response(2.5)));
     }
 
     #[test]
     fn clear_drops_entries_but_keeps_counters() {
         let cache = QueryCache::new(4);
-        cache.insert(QueryKey::TopK(1), response(1.0));
-        assert!(cache.get(&QueryKey::TopK(1)).is_some());
+        cache.insert(QueryKey::TopK(1, None), response(1.0));
+        assert!(cache.get(&QueryKey::TopK(1, None)).is_some());
         cache.clear();
-        assert_eq!(cache.get(&QueryKey::TopK(1)), None, "cleared entry must not be served");
+        assert_eq!(cache.get(&QueryKey::TopK(1, None)), None, "cleared entry must not be served");
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!((stats.hits, stats.misses), (1, 1));
@@ -193,8 +193,8 @@ mod tests {
     #[test]
     fn zero_capacity_disables_storage() {
         let cache = QueryCache::new(0);
-        cache.insert(QueryKey::TopK(1), response(1.0));
-        assert_eq!(cache.get(&QueryKey::TopK(1)), None);
+        cache.insert(QueryKey::TopK(1, None), response(1.0));
+        assert_eq!(cache.get(&QueryKey::TopK(1, None)), None);
         assert_eq!(cache.stats().entries, 0);
     }
 }

@@ -38,7 +38,7 @@ use efficient_imm::sampling::{
 };
 use imm_diffusion::DiffusionModel;
 use imm_graph::{CsrGraph, DeltaError, EdgeWeights, GraphDelta, WeightModel};
-use imm_rrr::{AdaptivePolicy, RrrCollection, RrrSet, SetProvenance};
+use imm_rrr::{AdaptivePolicy, NodeId, RrrCollection, RrrSet, SetProvenance};
 use parking_lot::Mutex;
 
 /// How a dynamic index was sampled — everything needed to regenerate any of
@@ -164,6 +164,85 @@ impl From<DeltaError> for DynamicError {
     }
 }
 
+/// Which sets does `delta` invalidate? — THE shared predicate of every
+/// refresh path (single-index and shard-routed alike), so the two can never
+/// drift: sets containing a touched edge's destination (exact superset of
+/// the affected sets), footprint-pruned for per-edge-frozen weight models
+/// (see the module docs for why degree-normalized models must not prune).
+///
+/// `postings_of(v, sink)` must call `sink(set_id)` for every set containing
+/// `v` — the single index walks its global postings, a sharded index walks
+/// each shard's local postings rebased by its range start.
+pub fn invalidated_sets(
+    delta: &GraphDelta,
+    weights: &EdgeWeights,
+    provenance: &SketchProvenance,
+    num_sets: usize,
+    mut postings_of: impl FnMut(NodeId, &mut dyn FnMut(usize)),
+) -> Vec<usize> {
+    let per_edge_frozen = matches!(weights.model(), WeightModel::Constant | WeightModel::IcUniform);
+    let mut invalid = vec![false; num_sets];
+    for &(_, dst, _) in delta.insertions() {
+        postings_of(dst, &mut |sid| invalid[sid] = true);
+    }
+    let prunable =
+        delta.deletions().iter().copied().chain(delta.reweights().iter().map(|&(s, d, _)| (s, d)));
+    for (src, dst) in prunable {
+        postings_of(dst, &mut |sid| {
+            if !per_edge_frozen || provenance.sets[sid].footprint.may_contain(src, dst) {
+                invalid[sid] = true;
+            }
+        });
+    }
+    invalid.iter().enumerate().filter(|&(_, &flag)| flag).map(|(i, _)| i).collect()
+}
+
+/// Resample the sets at `ids` from their original RNG streams
+/// `(spec.rng_seed, id)` on the mutated graph — exactly what a from-scratch
+/// rebuild would produce at those indices. Chunked across worker threads;
+/// the output is deterministic (sorted by id, every id owns its stream).
+/// Shared by `SketchIndex::apply_delta` and the shard-routed refresh.
+pub fn resample_sets(
+    spec: SampleSpec,
+    ids: &[usize],
+    new_graph: &CsrGraph,
+    new_weights: &EdgeWeights,
+    num_nodes: usize,
+) -> Vec<(usize, RrrSet, SetProvenance)> {
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let collected: Mutex<Vec<(usize, RrrSet, SetProvenance)>> =
+        Mutex::new(Vec::with_capacity(ids.len()));
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(ids.len());
+    let chunk_size = ids.len().div_ceil(workers);
+    rayon::scope(|scope| {
+        for chunk in ids.chunks(chunk_size) {
+            let collected = &collected;
+            scope.spawn(move |_| {
+                let mut marker = VisitMarker::new(num_nodes);
+                let mut local = Vec::with_capacity(chunk.len());
+                for &sid in chunk {
+                    let (vertices, record) = generate_indexed_rrr_set(
+                        new_graph,
+                        new_weights,
+                        spec.model,
+                        spec.rng_seed,
+                        sid,
+                        &mut marker,
+                    );
+                    let set = RrrSet::from_vertices(vertices, num_nodes, &spec.policy);
+                    local.push((sid, set, record));
+                }
+                collected.lock().append(&mut local);
+            });
+        }
+    });
+    let mut changed = collected.into_inner();
+    changed.sort_unstable_by_key(|(sid, _, _)| *sid);
+    changed
+}
+
 impl SketchIndex {
     /// Sample `theta` RRR sets over `graph` + `weights` and freeze them into
     /// a dynamic (provenance-carrying) index.
@@ -263,75 +342,19 @@ impl SketchIndex {
         }
         let (new_graph, new_weights) = delta.apply(graph, weights)?;
 
-        // Invalidation: sets containing a touched destination, footprint-
-        // pruned where the weight model allows it (see the module docs).
-        let per_edge_frozen =
-            matches!(weights.model(), WeightModel::Constant | WeightModel::IcUniform);
-        let mut invalid = vec![false; self.num_sets()];
-        for &(_, dst, _) in delta.insertions() {
-            for &sid in self.postings(dst) {
-                invalid[sid as usize] = true;
-            }
-        }
-        let prunable = delta
-            .deletions()
-            .iter()
-            .copied()
-            .chain(delta.reweights().iter().map(|&(s, d, _)| (s, d)));
-        for (src, dst) in prunable {
-            for &sid in self.postings(dst) {
-                if !per_edge_frozen || provenance.sets[sid as usize].footprint.may_contain(src, dst)
-                {
-                    invalid[sid as usize] = true;
-                }
-            }
-        }
-        let invalid_ids: Vec<usize> =
-            invalid.iter().enumerate().filter(|&(_, &flag)| flag).map(|(i, _)| i).collect();
-
-        // Resample the invalidated indices on the mutated graph, each from
-        // its original RNG stream. Chunked across rayon workers; the output
-        // is deterministic because every set index owns its stream.
-        let spec = provenance.spec;
-        let num_nodes = self.num_nodes();
-        let changed: Vec<(usize, RrrSet, SetProvenance)> = if invalid_ids.is_empty() {
-            Vec::new()
-        } else {
-            let collected: Mutex<Vec<(usize, RrrSet, SetProvenance)>> =
-                Mutex::new(Vec::with_capacity(invalid_ids.len()));
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(invalid_ids.len());
-            let chunk_size = invalid_ids.len().div_ceil(workers);
-            rayon::scope(|scope| {
-                for chunk in invalid_ids.chunks(chunk_size) {
-                    let collected = &collected;
-                    let new_graph = &new_graph;
-                    let new_weights = &new_weights;
-                    scope.spawn(move |_| {
-                        let mut marker = VisitMarker::new(num_nodes);
-                        let mut local = Vec::with_capacity(chunk.len());
-                        for &sid in chunk {
-                            let (vertices, record) = generate_indexed_rrr_set(
-                                new_graph,
-                                new_weights,
-                                spec.model,
-                                spec.rng_seed,
-                                sid,
-                                &mut marker,
-                            );
-                            let set = RrrSet::from_vertices(vertices, num_nodes, &spec.policy);
-                            local.push((sid, set, record));
-                        }
-                        collected.lock().append(&mut local);
-                    });
+        let invalid_ids =
+            invalidated_sets(delta, weights, provenance, self.num_sets(), |v, sink| {
+                for &sid in self.postings(v) {
+                    sink(sid as usize);
                 }
             });
-            let mut changed = collected.into_inner();
-            changed.sort_unstable_by_key(|(sid, _, _)| *sid);
-            changed
-        };
+        let changed = resample_sets(
+            provenance.spec,
+            &invalid_ids,
+            &new_graph,
+            &new_weights,
+            self.num_nodes(),
+        );
 
         let stats = RefreshStats {
             total_sets: self.num_sets(),

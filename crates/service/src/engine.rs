@@ -33,6 +33,49 @@ use std::sync::Arc;
 /// Default response-cache capacity of a new engine.
 pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
+/// Memoize one query through a response cache: consult it under the query's
+/// normalized key, compute on a miss, insert, return. The shared serving
+/// wrapper of every engine (single-index and sharded).
+pub fn serve_cached(
+    cache: &QueryCache,
+    query: &Query,
+    compute: impl FnOnce() -> QueryResponse,
+) -> QueryResponse {
+    let key = QueryKey::from_query(query);
+    if let Some(hit) = cache.get(&key) {
+        return hit;
+    }
+    let response = compute();
+    cache.insert(key, response.clone());
+    response
+}
+
+/// Fan a batch of queries across `threads` workers, preserving input order
+/// in the returned responses. The shared batch executor of every engine.
+pub fn serve_batch(
+    queries: &[Query],
+    threads: usize,
+    serve: impl Fn(&Query) -> QueryResponse + Sync,
+) -> Vec<QueryResponse> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(queries.len());
+    let chunk = queries.len().div_ceil(threads);
+    let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+    rayon::scope(|s| {
+        for (q_chunk, r_chunk) in queries.chunks(chunk).zip(responses.chunks_mut(chunk)) {
+            let serve = &serve;
+            s.spawn(move |_| {
+                for (query, slot) in q_chunk.iter().zip(r_chunk.iter_mut()) {
+                    *slot = Some(serve(query));
+                }
+            });
+        }
+    });
+    responses.into_iter().map(|r| r.expect("every slot is filled by its worker")).collect()
+}
+
 /// The resumable greedy selection state (the shared prefix).
 #[derive(Debug)]
 struct GreedyState {
@@ -63,6 +106,21 @@ impl GreedyState {
             seeds: Vec::new(),
             frontier,
         }
+    }
+
+    /// Greedy state restricted to the `eligible` sets (targeted-audience
+    /// Top-K). Counters are built from the eligible sets only and every other
+    /// set starts retired, so the shared [`GreedyState::extend_to`] loop runs
+    /// the masked selection unchanged.
+    fn masked(index: &SketchIndex, eligible: &BitSet) -> Self {
+        let mut counts = vec![0u64; index.num_nodes()];
+        let mut alive = vec![false; index.num_sets()];
+        for sid in eligible.iter() {
+            alive[sid] = true;
+            index.sets().get(sid).for_each(|v| counts[v as usize] += 1);
+        }
+        let frontier = counts.iter().enumerate().map(|(v, &c)| (c, Reverse(v as NodeId))).collect();
+        GreedyState { counts, alive, covered_after: Vec::new(), seeds: Vec::new(), frontier }
     }
 
     /// Pop the round's argmax off the CELF frontier: revalidate stale
@@ -208,19 +266,14 @@ impl QueryEngine {
 
     /// Answer one query, consulting the response cache first.
     pub fn execute(&self, query: &Query) -> QueryResponse {
-        let key = QueryKey::from_query(query);
-        if let Some(hit) = self.cache.get(&key) {
-            return hit;
-        }
-        let response = self.execute_uncached(query);
-        self.cache.insert(key, response.clone());
-        response
+        serve_cached(&self.cache, query, || self.execute_uncached(query))
     }
 
     /// Answer one query without touching the cache.
     pub fn execute_uncached(&self, query: &Query) -> QueryResponse {
         match query {
-            Query::TopK { k } => self.top_k(*k),
+            Query::TopK { k, audience: None } => self.top_k(*k),
+            Query::TopK { k, audience: Some(audience) } => self.masked_top_k(*k, audience),
             Query::Spread { seeds } => self.spread(seeds),
             Query::Marginal { seeds, candidate } => self.marginal(seeds, *candidate),
         }
@@ -229,22 +282,7 @@ impl QueryEngine {
     /// Fan a batch of queries across `threads` workers, preserving input
     /// order in the returned responses.
     pub fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
-        if queries.is_empty() {
-            return Vec::new();
-        }
-        let threads = threads.max(1).min(queries.len());
-        let chunk = queries.len().div_ceil(threads);
-        let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
-        rayon::scope(|s| {
-            for (q_chunk, r_chunk) in queries.chunks(chunk).zip(responses.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (query, slot) in q_chunk.iter().zip(r_chunk.iter_mut()) {
-                        *slot = Some(self.execute(query));
-                    }
-                });
-            }
-        });
-        responses.into_iter().map(|r| r.expect("every slot is filled by its worker")).collect()
+        serve_batch(queries, threads, |query| self.execute(query))
     }
 
     fn top_k(&self, k: usize) -> QueryResponse {
@@ -254,13 +292,38 @@ impl QueryEngine {
         let seeds = state.seeds[..take].to_vec();
         let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
         drop(state);
-        let theta = self.index.num_sets();
-        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
-        QueryResponse::TopK {
-            seeds,
-            coverage_fraction,
-            estimated_influence: self.index.num_nodes() as f64 * coverage_fraction,
+        self.topk_response(seeds, covered)
+    }
+
+    /// Targeted-audience Top-K: greedy max coverage over the sets containing
+    /// at least one audience vertex (see [`Query::TopK`] for the estimator's
+    /// semantics). Each distinct audience runs its own transient greedy (the
+    /// shared prefix belongs to the unrestricted selection); repeats are
+    /// served by the response cache.
+    fn masked_top_k(&self, k: usize, audience: &BitSet) -> QueryResponse {
+        let n = self.index.num_nodes();
+        let mut eligible = BitSet::new(self.index.num_sets());
+        for v in audience.iter() {
+            if v < n {
+                for &sid in self.index.postings(v as NodeId) {
+                    eligible.insert(sid as usize);
+                }
+            }
         }
+        let mut state = GreedyState::masked(&self.index, &eligible);
+        state.extend_to(&self.index, k);
+        let take = k.min(n);
+        let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
+        self.topk_response(state.seeds[..take].to_vec(), covered)
+    }
+
+    fn topk_response(&self, seeds: Vec<NodeId>, covered: usize) -> QueryResponse {
+        QueryResponse::top_k_from_tallies(
+            seeds,
+            covered,
+            self.index.num_sets(),
+            self.index.num_nodes(),
+        )
     }
 
     /// Count the sets covered by `seeds`, marking them in `marks`.
@@ -279,19 +342,13 @@ impl QueryEngine {
     }
 
     fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
-        let theta = self.index.num_sets();
         let mut marks = self.acquire_scratch();
         let covered = self.mark_covered(seeds, &mut marks);
         self.release_scratch(marks);
-        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
-        QueryResponse::Spread {
-            coverage_fraction,
-            estimate: self.index.num_nodes() as f64 * coverage_fraction,
-        }
+        QueryResponse::spread_from_tallies(covered, self.index.num_sets(), self.index.num_nodes())
     }
 
     fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
-        let theta = self.index.num_sets();
         let mut marks = self.acquire_scratch();
         self.mark_covered(seeds, &mut marks);
         let gained = if (candidate as usize) < self.index.num_nodes() {
@@ -304,11 +361,7 @@ impl QueryEngine {
             0
         };
         self.release_scratch(marks);
-        let gain_fraction = if theta == 0 { 0.0 } else { gained as f64 / theta as f64 };
-        QueryResponse::Marginal {
-            gain_fraction,
-            gain: self.index.num_nodes() as f64 * gain_fraction,
-        }
+        QueryResponse::marginal_from_tallies(gained, self.index.num_sets(), self.index.num_nodes())
     }
 }
 
@@ -337,7 +390,7 @@ mod tests {
         let engine = figure3();
         // Counts [2,4,2,2,3,1]: seed 1 (4 sets), then 2 (ties 3, smaller id
         // wins; 2 more sets), then 3 (the last two sets).
-        match engine.execute(&Query::TopK { k: 3 }) {
+        match engine.execute(&Query::top_k(3)) {
             QueryResponse::TopK { seeds, coverage_fraction, estimated_influence } => {
                 assert_eq!(seeds, vec![1, 2, 3]);
                 assert!((coverage_fraction - 1.0).abs() < 1e-12);
@@ -350,9 +403,9 @@ mod tests {
     #[test]
     fn growing_the_budget_reuses_the_prefix() {
         let engine = figure3();
-        let one = engine.execute(&Query::TopK { k: 1 });
-        let three = engine.execute(&Query::TopK { k: 3 });
-        let fresh = figure3().execute(&Query::TopK { k: 3 });
+        let one = engine.execute(&Query::top_k(1));
+        let three = engine.execute(&Query::top_k(3));
+        let fresh = figure3().execute(&Query::top_k(3));
         assert_eq!(three, fresh, "incremental extension must equal a fresh selection");
         match (one, three) {
             (
@@ -369,8 +422,8 @@ mod tests {
     #[test]
     fn shrinking_the_budget_reads_the_prefix_without_new_rounds() {
         let engine = figure3();
-        let three = engine.execute(&Query::TopK { k: 3 });
-        let two = engine.execute(&Query::TopK { k: 2 });
+        let three = engine.execute(&Query::top_k(3));
+        let two = engine.execute(&Query::top_k(2));
         match (three, two) {
             (
                 QueryResponse::TopK { seeds: s3, .. },
@@ -444,7 +497,7 @@ mod tests {
         // Two sets over 4 vertices; after vertices 0 and 2 everything is
         // covered and further rounds emit vertex 0 (kernel behaviour).
         let engine = engine_over(4, &[&[0], &[2]]);
-        match engine.execute(&Query::TopK { k: 4 }) {
+        match engine.execute(&Query::top_k(4)) {
             QueryResponse::TopK { seeds, coverage_fraction, .. } => {
                 assert_eq!(seeds, vec![0, 2, 0, 0]);
                 assert!((coverage_fraction - 1.0).abs() < 1e-12);
@@ -456,7 +509,7 @@ mod tests {
     #[test]
     fn budget_is_clamped_to_the_vertex_count() {
         let engine = engine_over(3, &[&[0, 1], &[2]]);
-        match engine.execute(&Query::TopK { k: 10 }) {
+        match engine.execute(&Query::top_k(10)) {
             QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), 3),
             other => panic!("unexpected {other:?}"),
         }
@@ -469,9 +522,55 @@ mod tests {
             engine.execute(&Query::Spread { seeds: vec![1] }),
             QueryResponse::Spread { coverage_fraction: 0.0, estimate: 0.0 }
         );
-        match engine.execute(&Query::TopK { k: 2 }) {
+        match engine.execute(&Query::top_k(2)) {
             QueryResponse::TopK { seeds, coverage_fraction, .. } => {
                 assert_eq!(seeds.len(), 2, "kernel also emits k zero-gain seeds");
+                assert_eq!(coverage_fraction, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audience_top_k_masks_coverage_to_the_slice() {
+        let engine = figure3();
+        // Audience {5}: only set 4 ({1,4,5}) touches it. Vertices 1, 4, 5
+        // tie at count 1; the smallest id wins, retiring the only eligible
+        // set, and the second round emits the deterministic zero-gain seed.
+        match engine.execute(&Query::audience_top_k(2, BitSet::from_iter_with_capacity(6, [5]))) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds, vec![1, 0]);
+                assert!((coverage_fraction - 0.125).abs() < 1e-12, "1 of 8 sets");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Audience {3}: sets 5 ({3}) and 6 ({0,3}) are eligible; vertex 3
+        // covers both in one round.
+        match engine.execute(&Query::audience_top_k(1, BitSet::from_iter_with_capacity(6, [3]))) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds, vec![3]);
+                assert!((coverage_fraction - 0.25).abs() < 1e-12, "2 of 8 sets");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_audience_equals_the_unrestricted_selection() {
+        let engine = figure3();
+        let full = BitSet::from_iter_with_capacity(6, 0..6);
+        for k in [1usize, 3, 6] {
+            assert_eq!(
+                engine.execute_uncached(&Query::audience_top_k(k, full.clone())),
+                engine.execute_uncached(&Query::top_k(k)),
+                "k = {k}"
+            );
+        }
+        // Out-of-range audience vertices select nothing extra (and don't
+        // panic): an audience entirely outside the graph masks every set out.
+        match engine.execute(&Query::audience_top_k(1, BitSet::from_iter_with_capacity(99, [98]))) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds, vec![0], "zero-gain round emits the smallest vertex");
                 assert_eq!(coverage_fraction, 0.0);
             }
             other => panic!("unexpected {other:?}"),
@@ -497,7 +596,7 @@ mod tests {
     fn batch_preserves_order_and_matches_sequential_execution() {
         let engine = figure3();
         let queries: Vec<Query> = (1..=4)
-            .map(|k| Query::TopK { k })
+            .map(Query::top_k)
             .chain((0..6).map(|v| Query::Spread { seeds: vec![v] }))
             .chain((0..6).map(|v| Query::Marginal { seeds: vec![1], candidate: v }))
             .collect();

@@ -159,6 +159,28 @@ impl SketchIndex {
         })
     }
 
+    /// Build an index over a bare collection and attach sampling provenance
+    /// in one step — the constructor shard reassembly and snapshot loading
+    /// use. With `None` the result is a static index.
+    pub fn from_collection_with_provenance(
+        collection: RrrCollection,
+        meta: IndexMeta,
+        provenance: Option<SketchProvenance>,
+    ) -> Result<Self, IndexError> {
+        let mut index = Self::from_collection(collection, meta)?;
+        if let Some(provenance) = provenance {
+            index.attach_provenance(provenance)?;
+        }
+        Ok(index)
+    }
+
+    /// Take the index apart into its owned components (collection, metadata,
+    /// provenance), dropping the inverted postings. This is how a sharded
+    /// index adopts a single-index build without cloning the arena.
+    pub fn into_parts(self) -> (RrrCollection, IndexMeta, Option<SketchProvenance>) {
+        (self.sets, self.meta, self.provenance)
+    }
+
     /// Number of vertices of the indexed vertex space.
     #[inline]
     pub fn num_nodes(&self) -> usize {

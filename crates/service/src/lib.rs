@@ -14,9 +14,11 @@
 //!   shareable across threads via `Arc`.
 //! * [`QueryEngine`] — answers [`Query::TopK`] (incremental greedy with a
 //!   shared prefix: budgets `k` then `k + 5` reuse the first `k` rounds and
-//!   never resample), [`Query::Spread`] and [`Query::Marginal`]; batches fan
-//!   out across worker threads and responses are memoized in an LRU
-//!   [`cache::QueryCache`] keyed on normalized queries.
+//!   never resample; an optional **audience** bitmap restricts coverage to
+//!   the sets touching a vertex slice), [`Query::Spread`] and
+//!   [`Query::Marginal`]; batches fan out across worker threads and
+//!   responses are memoized in an LRU [`cache::QueryCache`] keyed on
+//!   normalized queries.
 //! * [`snapshot`] — a versioned binary format (magic bytes, version field,
 //!   checksum) so an index built once can be memory-loaded by later
 //!   processes: [`SketchIndex::save`] / [`SketchIndex::load`]. Format v2
@@ -47,7 +49,7 @@
 //! let index = SketchIndex::build(&graph, result.rrr_sets.unwrap(), "docs").unwrap();
 //! let engine = QueryEngine::new(Arc::new(index));
 //! // Same collection, same greedy — the served seeds match the batch run.
-//! match engine.execute(&Query::TopK { k: 4 }) {
+//! match engine.execute(&Query::top_k(4)) {
 //!     QueryResponse::TopK { seeds, .. } => assert_eq!(seeds, result.seeds),
 //!     _ => unreachable!(),
 //! }
@@ -61,13 +63,16 @@ pub mod query;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryCache};
-pub use dynamic::{DeltaLogEntry, DynamicError, RefreshStats, SampleSpec, SketchProvenance};
-pub use engine::{QueryEngine, DEFAULT_CACHE_CAPACITY};
+pub use dynamic::{
+    invalidated_sets, resample_sets, DeltaLogEntry, DynamicError, RefreshStats, SampleSpec,
+    SketchProvenance,
+};
+pub use engine::{serve_batch, serve_cached, QueryEngine, DEFAULT_CACHE_CAPACITY};
 pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
 pub use query::{Query, QueryKey, QueryResponse};
 pub use snapshot::{
-    load_collection, load_collection_from_path, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
-    SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
+    load_collection, load_collection_from_path, load_parts, save_parts, SnapshotError,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

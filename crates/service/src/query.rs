@@ -1,15 +1,25 @@
 //! The query vocabulary of the serving subsystem and the normalized cache
 //! keys derived from it.
 
-use imm_rrr::NodeId;
+use imm_rrr::{BitSet, NodeId};
 
 /// One request against a [`SketchIndex`](crate::SketchIndex).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// The `k` most influential seeds (greedy max coverage over the index).
+    ///
+    /// With an `audience`, coverage is restricted to the **audience-relevant
+    /// sets**: the RRR sets containing at least one audience vertex (found
+    /// through the inverted postings — no set scan). Since a set's root is
+    /// always a member, every set rooted in the audience is relevant, so the
+    /// masked greedy maximizes influence routed through the audience slice;
+    /// an audience spanning every vertex selects exactly the unrestricted
+    /// seeds.
     TopK {
         /// Seed budget.
         k: usize,
+        /// Optional audience mask over the vertex space (`None` = everyone).
+        audience: Option<BitSet>,
     },
     /// Coverage-based influence estimate of an explicit seed set.
     Spread {
@@ -23,6 +33,18 @@ pub enum Query {
         /// The vertex whose additional contribution is asked for.
         candidate: NodeId,
     },
+}
+
+impl Query {
+    /// Unrestricted Top-K request (the common case).
+    pub fn top_k(k: usize) -> Self {
+        Query::TopK { k, audience: None }
+    }
+
+    /// Top-K restricted to an audience slice of the vertex space.
+    pub fn audience_top_k(k: usize, audience: BitSet) -> Self {
+        Query::TopK { k, audience: Some(audience) }
+    }
 }
 
 /// The answer to one [`Query`].
@@ -54,13 +76,49 @@ pub enum QueryResponse {
     },
 }
 
+impl QueryResponse {
+    /// Assemble a Top-K response from integer tallies. This is **the**
+    /// definition of the float derivation: every engine (single-index,
+    /// sharded) must build its responses through these constructors so the
+    /// byte-identity contract between them lives in exactly one place.
+    pub fn top_k_from_tallies(
+        seeds: Vec<NodeId>,
+        covered: usize,
+        theta: usize,
+        num_nodes: usize,
+    ) -> Self {
+        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
+        QueryResponse::TopK {
+            seeds,
+            coverage_fraction,
+            estimated_influence: num_nodes as f64 * coverage_fraction,
+        }
+    }
+
+    /// Assemble a Spread response from integer tallies (see
+    /// [`QueryResponse::top_k_from_tallies`]).
+    pub fn spread_from_tallies(covered: usize, theta: usize, num_nodes: usize) -> Self {
+        let coverage_fraction = if theta == 0 { 0.0 } else { covered as f64 / theta as f64 };
+        QueryResponse::Spread { coverage_fraction, estimate: num_nodes as f64 * coverage_fraction }
+    }
+
+    /// Assemble a Marginal response from integer tallies (see
+    /// [`QueryResponse::top_k_from_tallies`]).
+    pub fn marginal_from_tallies(gained: usize, theta: usize, num_nodes: usize) -> Self {
+        let gain_fraction = if theta == 0 { 0.0 } else { gained as f64 / theta as f64 };
+        QueryResponse::Marginal { gain_fraction, gain: num_nodes as f64 * gain_fraction }
+    }
+}
+
 /// Cache key: a [`Query`] normalized so that semantically identical requests
 /// collide. Seed lists are sorted and deduplicated — coverage is a set
-/// property, so `Spread {[3, 1, 3]}` and `Spread {[1, 3]}` share one entry.
+/// property, so `Spread {[3, 1, 3]}` and `Spread {[1, 3]}` share one entry —
+/// and an audience bitmap is normalized to its member list, so two bitmaps
+/// with equal members but different capacities share one entry too.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum QueryKey {
-    /// Normalized [`Query::TopK`].
-    TopK(usize),
+    /// Normalized [`Query::TopK`] (budget + sorted audience members).
+    TopK(usize, Option<Vec<NodeId>>),
     /// Normalized [`Query::Spread`] (sorted, deduplicated seeds).
     Spread(Vec<NodeId>),
     /// Normalized [`Query::Marginal`] (sorted, deduplicated seeds).
@@ -78,7 +136,10 @@ impl QueryKey {
     /// Normalize a query into its cache key.
     pub fn from_query(query: &Query) -> Self {
         match query {
-            Query::TopK { k } => QueryKey::TopK(*k),
+            Query::TopK { k, audience } => QueryKey::TopK(
+                *k,
+                audience.as_ref().map(|a| a.iter().map(|v| v as NodeId).collect()),
+            ),
             Query::Spread { seeds } => QueryKey::Spread(normalize_seeds(seeds)),
             Query::Marginal { seeds, candidate } => {
                 QueryKey::Marginal(normalize_seeds(seeds), *candidate)
@@ -102,13 +163,10 @@ mod tests {
     fn distinct_queries_have_distinct_keys() {
         let spread = QueryKey::from_query(&Query::Spread { seeds: vec![1] });
         let marginal = QueryKey::from_query(&Query::Marginal { seeds: vec![1], candidate: 2 });
-        let topk = QueryKey::from_query(&Query::TopK { k: 1 });
+        let topk = QueryKey::from_query(&Query::top_k(1));
         assert_ne!(spread, marginal);
         assert_ne!(spread, topk);
-        assert_ne!(
-            QueryKey::from_query(&Query::TopK { k: 1 }),
-            QueryKey::from_query(&Query::TopK { k: 2 })
-        );
+        assert_ne!(QueryKey::from_query(&Query::top_k(1)), QueryKey::from_query(&Query::top_k(2)));
     }
 
     #[test]
@@ -118,5 +176,26 @@ mod tests {
         let c = QueryKey::from_query(&Query::Marginal { seeds: vec![4, 5], candidate: 8 });
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn audience_is_normalized_to_its_members() {
+        let a = QueryKey::from_query(&Query::audience_top_k(
+            3,
+            BitSet::from_iter_with_capacity(10, [1, 4]),
+        ));
+        let b = QueryKey::from_query(&Query::audience_top_k(
+            3,
+            BitSet::from_iter_with_capacity(100, [4, 1]),
+        ));
+        assert_eq!(a, b, "equal members, different capacities: one cache entry");
+        assert_ne!(a, QueryKey::from_query(&Query::top_k(3)));
+        assert_ne!(
+            a,
+            QueryKey::from_query(&Query::audience_top_k(
+                3,
+                BitSet::from_iter_with_capacity(10, [1, 5]),
+            ))
+        );
     }
 }

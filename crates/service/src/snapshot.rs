@@ -130,8 +130,11 @@ impl From<IndexError> for SnapshotError {
     }
 }
 
-/// FNV-1a 64-bit hash of `bytes` (dependency-free integrity check).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash of `bytes` — the snapshot layer's dependency-free
+/// integrity primitive. Public so wrapping containers (the per-shard files
+/// of `imm-shard`) checksum their headers with the same primitive instead
+/// of carrying a copy that could drift.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -266,14 +269,17 @@ fn decode_provenance(
     Ok(SketchProvenance { spec, sets, delta_log })
 }
 
-fn encode_payload(index: &SketchIndex) -> Vec<u8> {
-    let meta = index.meta();
-    let mut payload = Vec::with_capacity(32 + meta.label.len() + index.sets().memory_bytes());
+fn encode_payload(
+    meta: &IndexMeta,
+    collection: &RrrCollection,
+    provenance: Option<&SketchProvenance>,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + meta.label.len() + collection.memory_bytes());
     payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
     payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
     payload.extend_from_slice(meta.label.as_bytes());
-    index.sets().encode_arena(&mut payload);
-    match index.provenance() {
+    collection.encode_arena(&mut payload);
+    match provenance {
         None => payload.push(0),
         Some(provenance) => {
             payload.push(1);
@@ -319,15 +325,40 @@ fn decode_payload(
     Ok((IndexMeta { num_edges, label }, collection, provenance))
 }
 
+/// Serialize index components into `writer` exactly as
+/// [`SketchIndex::save`] would — without requiring a built index. Shard
+/// splitters use this to write per-shard snapshots straight from a
+/// sub-collection and its provenance slice. `provenance`, when present, must
+/// be aligned with `collection` (one record per set) or the file will be
+/// rejected on load.
+pub fn save_parts(
+    meta: &IndexMeta,
+    collection: &RrrCollection,
+    provenance: Option<&SketchProvenance>,
+    writer: &mut impl Write,
+) -> Result<(), SnapshotError> {
+    let payload = encode_payload(meta, collection, provenance);
+    writer.write_all(&SNAPSHOT_MAGIC)?;
+    writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+    writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
+    writer.write_all(&payload)?;
+    Ok(())
+}
+
+/// Verify a snapshot container (magic, version, checksum) and decode its
+/// components without rebuilding the inverted postings — the counterpart of
+/// [`save_parts`]. Consumers that want a serving index should use
+/// [`SketchIndex::load`]; shard assembly uses the raw parts.
+pub fn load_parts(
+    reader: &mut impl Read,
+) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
+    load_verified(reader)
+}
+
 impl SketchIndex {
     /// Serialize this index into `writer` (header + checksummed payload).
     pub fn save(&self, writer: &mut impl Write) -> Result<(), SnapshotError> {
-        let payload = encode_payload(self);
-        writer.write_all(&SNAPSHOT_MAGIC)?;
-        writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-        writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
-        writer.write_all(&payload)?;
-        Ok(())
+        save_parts(self.meta(), self.sets(), self.provenance(), writer)
     }
 
     /// Serialize this index to a file at `path`.
@@ -344,11 +375,7 @@ impl SketchIndex {
     /// provenance-free v2 snapshots come back static.
     pub fn load(reader: &mut impl Read) -> Result<Self, SnapshotError> {
         let (meta, collection, provenance) = load_verified(reader)?;
-        let mut index = SketchIndex::from_collection(collection, meta)?;
-        if let Some(provenance) = provenance {
-            index.attach_provenance(provenance)?;
-        }
-        Ok(index)
+        Ok(SketchIndex::from_collection_with_provenance(collection, meta, provenance)?)
     }
 
     /// Read an index back from the file at `path`.

@@ -65,7 +65,7 @@ fn random_delta(graph: &CsrGraph, ops: usize, op_seed: u64) -> GraphDelta {
 }
 
 fn top_k(engine: &QueryEngine, k: usize) -> (Vec<NodeId>, f64) {
-    match engine.execute(&Query::TopK { k }) {
+    match engine.execute(&Query::top_k(k)) {
         QueryResponse::TopK { seeds, estimated_influence, .. } => (seeds, estimated_influence),
         other => panic!("unexpected {other:?}"),
     }
@@ -206,7 +206,7 @@ fn cached_top_k_is_invalidated_by_apply_delta() {
     let index = SketchIndex::sample(&graph, &weights, spec, 128, 2, "staleness").unwrap();
     let mut engine = QueryEngine::new(Arc::new(index));
 
-    let query = Query::TopK { k: 1 };
+    let query = Query::top_k(1);
     let before = engine.execute(&query);
     assert_eq!(engine.execute(&query), before, "second ask is served from the cache");
     assert_eq!(engine.cache_stats().hits, 1);

@@ -26,7 +26,7 @@ fn sampled_run(
 }
 
 fn top_k(engine: &QueryEngine, k: usize) -> (Vec<u32>, f64) {
-    match engine.execute(&Query::TopK { k }) {
+    match engine.execute(&Query::top_k(k)) {
         QueryResponse::TopK { seeds, coverage_fraction, .. } => (seeds, coverage_fraction),
         other => panic!("unexpected {other:?}"),
     }

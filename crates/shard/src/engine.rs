@@ -1,0 +1,503 @@
+//! Scatter/gather query serving over a [`ShardedIndex`].
+//!
+//! The engine answers the full `imm-service` query vocabulary with the same
+//! byte-identical results as the single-index `QueryEngine` — that parity is
+//! the crate's acceptance property — while structuring every counting pass
+//! as **scatter/gather**:
+//!
+//! * **Spread / Marginal**: each shard counts covered sets among *its own*
+//!   range using its local postings and a shard-sized marking bitset; the
+//!   gathered per-shard counts sum to exactly the single-index tally.
+//! * **Top-K**: CELF lazy greedy over **merged per-shard upper bounds**. The
+//!   frontier holds one `(bound, vertex)` entry per vertex where the bound
+//!   is the *sum* of the per-shard counts — each shard's count only falls as
+//!   its sets retire, so the sum is a valid CELF upper bound and a popped
+//!   entry that matches the merged live count is the round's argmax. A
+//!   round's retirement then scatters: every shard walks its own postings of
+//!   the selected vertex, retires its covered sets and decrements its own
+//!   counters on a worker thread; only the newly-covered tallies are
+//!   gathered. Ties break toward the smaller vertex id and zero-gain rounds
+//!   emit deterministically, exactly like the single-index CELF — so Top-K
+//!   stays lazy end to end and the seeds are byte-identical for any shard
+//!   count and any worker-thread count.
+
+use crate::index::ShardedIndex;
+use crate::segment::ShardSegment;
+use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
+use imm_rrr::{BitSet, NodeId, RrrCollection};
+use imm_service::{
+    serve_batch, serve_cached, CacheStats, DynamicError, Query, QueryCache, QueryResponse,
+    RefreshStats,
+};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// One shard's working greedy state: which of *its* sets are still alive and
+/// its contribution to every vertex's occurrence count.
+#[derive(Debug)]
+struct ShardState {
+    alive: Vec<bool>,
+    counts: Vec<u64>,
+}
+
+impl ShardState {
+    /// Fresh state over the whole shard (counts = the segment's degrees).
+    fn fresh(segment: &ShardSegment, num_nodes: usize) -> Self {
+        ShardState {
+            alive: vec![true; segment.len()],
+            counts: (0..num_nodes).map(|v| segment.degree(v as NodeId)).collect(),
+        }
+    }
+
+    /// State restricted to the shard's sets containing an audience vertex
+    /// (the shard-local mirror of the engine-side audience mask).
+    fn masked(
+        collection: &RrrCollection,
+        segment: &ShardSegment,
+        audience: &BitSet,
+        num_nodes: usize,
+    ) -> Self {
+        let mut alive = vec![false; segment.len()];
+        for v in audience.iter() {
+            if v < num_nodes {
+                for &lsid in segment.postings(v as NodeId) {
+                    alive[lsid as usize] = true;
+                }
+            }
+        }
+        let mut counts = vec![0u64; num_nodes];
+        let slice = segment.slice(collection);
+        for (lsid, live) in alive.iter().enumerate() {
+            if *live {
+                slice.get(lsid).for_each(|v| counts[v as usize] += 1);
+            }
+        }
+        ShardState { alive, counts }
+    }
+
+    /// Retire the shard's alive sets containing `best`, decrementing the
+    /// shard's counters; returns how many sets this shard newly covered.
+    fn retire(
+        &mut self,
+        collection: &RrrCollection,
+        segment: &ShardSegment,
+        best: NodeId,
+    ) -> usize {
+        let slice = segment.slice(collection);
+        let mut covered = 0usize;
+        for &lsid in segment.postings(best) {
+            let l = lsid as usize;
+            if self.alive[l] {
+                self.alive[l] = false;
+                covered += 1;
+                slice.get(l).for_each(|v| self.counts[v as usize] -= 1);
+            }
+        }
+        covered
+    }
+}
+
+/// The distributed greedy state: per-shard counters plus the merged-bound
+/// CELF frontier.
+#[derive(Debug)]
+struct ShardedGreedy {
+    shards: Vec<ShardState>,
+    /// Merged per-shard upper bounds: one entry per vertex, ordered by bound
+    /// then toward the smaller vertex id — the same comparator as the
+    /// single-index CELF frontier.
+    frontier: BinaryHeap<(u64, Reverse<NodeId>)>,
+    covered_after: Vec<usize>,
+    seeds: Vec<NodeId>,
+}
+
+impl ShardedGreedy {
+    fn from_states(num_nodes: usize, shards: Vec<ShardState>) -> Self {
+        let mut merged = vec![0u64; num_nodes];
+        for state in &shards {
+            for (v, c) in state.counts.iter().enumerate() {
+                merged[v] += c;
+            }
+        }
+        let frontier = merged.iter().enumerate().map(|(v, &c)| (c, Reverse(v as NodeId))).collect();
+        ShardedGreedy { shards, frontier, covered_after: Vec::new(), seeds: Vec::new() }
+    }
+
+    fn new(index: &ShardedIndex, threads: usize) -> Self {
+        let n = index.num_nodes();
+        let states = scatter_map(index, threads, |seg| ShardState::fresh(seg, n));
+        Self::from_states(n, states)
+    }
+
+    fn masked(index: &ShardedIndex, audience: &BitSet, threads: usize) -> Self {
+        let n = index.num_nodes();
+        let states = scatter_map(index, threads, |seg| {
+            ShardState::masked(index.collection(), seg, audience, n)
+        });
+        Self::from_states(n, states)
+    }
+
+    /// Merged live count of `v` across the shards.
+    #[inline]
+    fn live(&self, v: NodeId) -> u64 {
+        self.shards.iter().map(|s| s.counts[v as usize]).sum()
+    }
+
+    /// Pop the round's argmax: revalidate stale merged bounds against the
+    /// gathered per-shard counts until the top entry is live.
+    fn pop_argmax(&mut self) -> (NodeId, u64) {
+        loop {
+            let (stored, Reverse(v)) = self.frontier.pop().expect("one entry per vertex");
+            let live = self.live(v);
+            if stored == live {
+                return (v, live);
+            }
+            debug_assert!(live < stored, "per-shard counts only fall as sets retire");
+            self.frontier.push((live, Reverse(v)));
+        }
+    }
+
+    /// Run greedy rounds until `min(k, n)` seeds are selected; each
+    /// retirement scatters across `threads` shard workers.
+    fn extend_to(&mut self, index: &ShardedIndex, k: usize, threads: usize) {
+        let n = index.num_nodes();
+        while self.seeds.len() < k.min(n) {
+            let (best, best_count) = self.pop_argmax();
+            self.seeds.push(best);
+            let covered_so_far = self.covered_after.last().copied().unwrap_or(0);
+            if best_count == 0 {
+                // Zero-gain rounds emit deterministically (smallest id) and
+                // the vertex stays a candidate — single-index behaviour.
+                self.covered_after.push(covered_so_far);
+                self.frontier.push((0, Reverse(best)));
+                continue;
+            }
+            // Scatter: each shard retires its own covered sets; gather the
+            // newly-covered tallies.
+            let collection = index.collection();
+            let segments = index.segments();
+            let workers = threads.max(1).min(segments.len().max(1));
+            let chunk = segments.len().div_ceil(workers).max(1);
+            let mut covered_parts = vec![0usize; segments.len().div_ceil(chunk)];
+            rayon::scope(|scope| {
+                for ((segs, states), out) in segments
+                    .chunks(chunk)
+                    .zip(self.shards.chunks_mut(chunk))
+                    .zip(covered_parts.iter_mut())
+                {
+                    scope.spawn(move |_| {
+                        let mut covered = 0usize;
+                        for (seg, state) in segs.iter().zip(states.iter_mut()) {
+                            covered += state.retire(collection, seg, best);
+                        }
+                        *out = covered;
+                    });
+                }
+            });
+            self.covered_after.push(covered_so_far + covered_parts.iter().sum::<usize>());
+            // Re-admit with the post-retirement merged count (zero).
+            self.frontier.push((self.live(best), Reverse(best)));
+        }
+    }
+}
+
+/// Scatter an independent per-shard computation across `threads` workers and
+/// gather the results in shard order.
+fn scatter_map<R: Send>(
+    index: &ShardedIndex,
+    threads: usize,
+    f: impl Fn(&ShardSegment) -> R + Sync,
+) -> Vec<R> {
+    let segments = index.segments();
+    if segments.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.max(1).min(segments.len());
+    let chunk = segments.len().div_ceil(workers);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(segments.len(), || None);
+    rayon::scope(|scope| {
+        for (segs, outs) in segments.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (seg, out) in segs.iter().zip(outs.iter_mut()) {
+                    *out = Some(f(seg));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every slot is filled by its worker")).collect()
+}
+
+/// A query-serving engine over a [`ShardedIndex`], answering the same
+/// vocabulary as `imm_service::QueryEngine` with byte-identical results.
+#[derive(Debug)]
+pub struct ShardedEngine {
+    index: Arc<ShardedIndex>,
+    threads: usize,
+    greedy: Mutex<ShardedGreedy>,
+    cache: QueryCache,
+}
+
+impl ShardedEngine {
+    /// Engine with one worker per shard and the default cache capacity.
+    pub fn new(index: Arc<ShardedIndex>) -> Self {
+        let threads = index.num_shards();
+        Self::with_options(index, threads, imm_service::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Engine with explicit scatter width and cache capacity (0 disables
+    /// caching). `threads` bounds how many shard workers run concurrently;
+    /// results are identical for every value.
+    pub fn with_options(index: Arc<ShardedIndex>, threads: usize, cache_capacity: usize) -> Self {
+        let threads = threads.max(1);
+        let greedy = Mutex::new(ShardedGreedy::new(&index, threads));
+        ShardedEngine { index, threads, greedy, cache: QueryCache::new(cache_capacity) }
+    }
+
+    /// The sharded index this engine serves.
+    pub fn index(&self) -> &Arc<ShardedIndex> {
+        &self.index
+    }
+
+    /// Hit/miss counters of the response cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Refresh the served index against a graph mutation (shard-routed; see
+    /// [`ShardedIndex::apply_delta`]), then reset the distributed greedy
+    /// state and drop the response cache.
+    pub fn apply_delta(
+        &mut self,
+        graph: &CsrGraph,
+        weights: &EdgeWeights,
+        delta: &GraphDelta,
+    ) -> Result<(CsrGraph, EdgeWeights, RefreshStats), DynamicError> {
+        let index = Arc::make_mut(&mut self.index);
+        let out = index.apply_delta(graph, weights, delta)?;
+        *self.greedy.lock() = ShardedGreedy::new(&self.index, self.threads);
+        self.cache.clear();
+        Ok(out)
+    }
+
+    /// Answer one query, consulting the response cache first.
+    pub fn execute(&self, query: &Query) -> QueryResponse {
+        serve_cached(&self.cache, query, || self.execute_uncached(query))
+    }
+
+    /// Answer one query without touching the cache.
+    pub fn execute_uncached(&self, query: &Query) -> QueryResponse {
+        match query {
+            Query::TopK { k, audience: None } => self.top_k(*k),
+            Query::TopK { k, audience: Some(audience) } => self.masked_top_k(*k, audience),
+            Query::Spread { seeds } => self.spread(seeds),
+            Query::Marginal { seeds, candidate } => self.marginal(seeds, *candidate),
+        }
+    }
+
+    /// Fan a batch of queries across `threads` workers, preserving input
+    /// order in the returned responses.
+    pub fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
+        serve_batch(queries, threads, |query| self.execute(query))
+    }
+
+    fn top_k(&self, k: usize) -> QueryResponse {
+        let take = k.min(self.index.num_nodes());
+        let mut state = self.greedy.lock();
+        state.extend_to(&self.index, k, self.threads);
+        let seeds = state.seeds[..take].to_vec();
+        let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
+        drop(state);
+        self.topk_response(seeds, covered)
+    }
+
+    fn masked_top_k(&self, k: usize, audience: &BitSet) -> QueryResponse {
+        let mut state = ShardedGreedy::masked(&self.index, audience, self.threads);
+        state.extend_to(&self.index, k, self.threads);
+        let take = k.min(self.index.num_nodes());
+        let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
+        self.topk_response(state.seeds[..take].to_vec(), covered)
+    }
+
+    fn topk_response(&self, seeds: Vec<NodeId>, covered: usize) -> QueryResponse {
+        QueryResponse::top_k_from_tallies(
+            seeds,
+            covered,
+            self.index.num_sets(),
+            self.index.num_nodes(),
+        )
+    }
+
+    fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
+        let n = self.index.num_nodes();
+        let covered: usize = scatter_map(&self.index, self.threads, |seg| {
+            let mut marks = BitSet::new(seg.len());
+            let mut covered = 0usize;
+            for &seed in seeds {
+                if (seed as usize) < n {
+                    for &lsid in seg.postings(seed) {
+                        covered += usize::from(marks.insert(lsid as usize));
+                    }
+                }
+            }
+            covered
+        })
+        .iter()
+        .sum();
+        QueryResponse::spread_from_tallies(covered, self.index.num_sets(), self.index.num_nodes())
+    }
+
+    fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
+        let n = self.index.num_nodes();
+        let gained: usize = scatter_map(&self.index, self.threads, |seg| {
+            let mut marks = BitSet::new(seg.len());
+            for &seed in seeds {
+                if (seed as usize) < n {
+                    for &lsid in seg.postings(seed) {
+                        marks.insert(lsid as usize);
+                    }
+                }
+            }
+            if (candidate as usize) < n {
+                seg.postings(candidate)
+                    .iter()
+                    .filter(|&&lsid| !marks.contains(lsid as usize))
+                    .count()
+            } else {
+                0
+            }
+        })
+        .iter()
+        .sum();
+        QueryResponse::marginal_from_tallies(gained, self.index.num_sets(), self.index.num_nodes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imm_rrr::RrrSet;
+    use imm_service::IndexMeta;
+
+    fn sharded_engine(num_nodes: usize, sets: &[&[NodeId]], shards: usize) -> ShardedEngine {
+        let mut c = RrrCollection::new(num_nodes);
+        for s in sets {
+            c.push(RrrSet::sorted(s.to_vec()));
+        }
+        let index = ShardedIndex::from_parts(c, IndexMeta::default(), None, shards).unwrap();
+        ShardedEngine::new(Arc::new(index))
+    }
+
+    /// The paper's Figure 3 sets; hand-checkable greedy trajectory.
+    fn figure3(shards: usize) -> ShardedEngine {
+        sharded_engine(
+            6,
+            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
+            shards,
+        )
+    }
+
+    #[test]
+    fn top_k_follows_the_hand_computed_greedy_trajectory_for_any_shard_count() {
+        for shards in [1usize, 2, 3, 5, 8] {
+            let engine = figure3(shards);
+            match engine.execute(&Query::top_k(3)) {
+                QueryResponse::TopK { seeds, coverage_fraction, estimated_influence } => {
+                    assert_eq!(seeds, vec![1, 2, 3], "{shards} shards");
+                    assert!((coverage_fraction - 1.0).abs() < 1e-12);
+                    assert!((estimated_influence - 6.0).abs() < 1e-12);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spread_and_marginal_match_hand_computation() {
+        let engine = figure3(3);
+        match engine.execute(&Query::Spread { seeds: vec![1, 3] }) {
+            QueryResponse::Spread { coverage_fraction, estimate } => {
+                assert!((coverage_fraction - 0.75).abs() < 1e-12, "6 of 8 sets");
+                assert!((estimate - 4.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match engine.execute(&Query::Marginal { seeds: vec![1], candidate: 3 }) {
+            QueryResponse::Marginal { gain_fraction, .. } => {
+                assert!((gain_fraction - 0.25).abs() < 1e-12, "sets 5 and 6 are new");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn growing_the_budget_reuses_the_distributed_prefix() {
+        let engine = figure3(4);
+        let one = engine.execute(&Query::top_k(1));
+        let three = engine.execute(&Query::top_k(3));
+        let fresh = figure3(4).execute(&Query::top_k(3));
+        assert_eq!(three, fresh, "incremental extension must equal a fresh selection");
+        match (one, three) {
+            (QueryResponse::TopK { seeds: s1, .. }, QueryResponse::TopK { seeds: s3, .. }) => {
+                assert_eq!(s1, s3[..1].to_vec(), "smaller budget is a prefix")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audience_masks_match_the_hand_computation() {
+        let engine = figure3(3);
+        match engine.execute(&Query::audience_top_k(1, BitSet::from_iter_with_capacity(6, [3]))) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds, vec![3]);
+                assert!((coverage_fraction - 0.25).abs() < 1e-12, "sets 5 and 6");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_index_answers_zeroes() {
+        let engine = sharded_engine(5, &[], 3);
+        assert_eq!(
+            engine.execute(&Query::Spread { seeds: vec![1] }),
+            QueryResponse::Spread { coverage_fraction: 0.0, estimate: 0.0 }
+        );
+        match engine.execute(&Query::top_k(2)) {
+            QueryResponse::TopK { seeds, coverage_fraction, .. } => {
+                assert_eq!(seeds.len(), 2, "zero-gain seeds are still emitted");
+                assert_eq!(coverage_fraction, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_queries() {
+        let engine = figure3(2);
+        let q = Query::Spread { seeds: vec![1, 3] };
+        let first = engine.execute(&q);
+        assert_eq!(first, engine.execute(&q));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_matches_sequential_execution() {
+        let engine = figure3(3);
+        let queries: Vec<Query> = (1..=4)
+            .map(Query::top_k)
+            .chain((0..6).map(|v| Query::Spread { seeds: vec![v] }))
+            .collect();
+        let sequential: Vec<QueryResponse> =
+            queries.iter().map(|q| figure3(3).execute_uncached(q)).collect();
+        for threads in [1usize, 2, 4] {
+            assert_eq!(engine.execute_batch(&queries, threads), sequential, "threads={threads}");
+        }
+        assert!(engine.execute_batch(&[], 4).is_empty());
+    }
+}

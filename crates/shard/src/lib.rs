@@ -1,0 +1,70 @@
+//! # imm-shard
+//!
+//! Range-sharded sketch index with scatter/gather distributed greedy
+//! serving.
+//!
+//! `imm-service` freezes one sampled RRR collection into one index served by
+//! one process. This crate is the step past one machine's memory: the flat
+//! arena layout (one contiguous vertex array plus a span directory) makes an
+//! RRR **shard** representable as a contiguous arena range, so the index
+//! splits by set range into independent serving units — the serving-side
+//! analogue of the paper's divide-the-sketches parallel structure, where
+//! each worker counts over its own slice of the sketches and only merged
+//! bounds cross worker boundaries.
+//!
+//! * [`ShardSegment`] — one shard: a zero-copy arena slice (through
+//!   [`imm_rrr::CollectionSlice`]) plus its *own* vertex → set postings and
+//!   occurrence counts, with shard-local set ids.
+//! * [`ShardedIndex`] — N segments over one shared collection, partitioned
+//!   by near-equal contiguous set ranges; `apply_delta` routes incremental
+//!   refresh through the shard map so only shards owning a resampled set
+//!   rebuild.
+//! * [`ShardedEngine`] — answers the full query vocabulary (Top-K with
+//!   optional audience masks, spread, marginal, batches, response cache) by
+//!   scatter/gather: per-shard counting on worker threads, CELF greedy over
+//!   merged per-shard upper bounds. Results are **byte-identical** to the
+//!   single-index `QueryEngine` for every shard count and thread count —
+//!   the crate's parity suite pins this, including after `apply_delta`.
+//! * [`snapshot`] — split a v3 index snapshot into per-shard files (each a
+//!   self-verifying standard snapshot behind a small shard header) and
+//!   reassemble them, preserving the shard layout.
+//!
+//! ```
+//! use imm_diffusion::DiffusionModel;
+//! use imm_graph::{generators, CsrGraph, EdgeWeights};
+//! use imm_service::{Query, QueryResponse, SampleSpec, SketchIndex};
+//! use imm_shard::{ShardedEngine, ShardedIndex};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let graph = CsrGraph::from_edge_list(&generators::social_network(200, 5, 0.3, &mut rng));
+//! let weights = EdgeWeights::constant(&graph, 0.2);
+//! let spec = SampleSpec::new(DiffusionModel::IndependentCascade, 7);
+//! let index = SketchIndex::sample(&graph, &weights, spec, 150, 2, "docs").unwrap();
+//! // The same index, partitioned into 4 shards and served scatter/gather.
+//! let single = imm_service::QueryEngine::new(Arc::new(index.clone()));
+//! let sharded =
+//!     ShardedEngine::new(Arc::new(ShardedIndex::from_index(index, 4).unwrap()));
+//! assert_eq!(
+//!     sharded.execute(&Query::top_k(5)),
+//!     single.execute(&Query::top_k(5)),
+//! );
+//! ```
+
+pub mod engine;
+pub mod index;
+pub mod segment;
+pub mod snapshot;
+
+pub use engine::ShardedEngine;
+pub use index::ShardedIndex;
+pub use segment::{LocalSetId, ShardSegment};
+pub use snapshot::{
+    assemble, load_shard_files, read_shard, read_shard_file, split_to_bytes, write_shard_files,
+    write_sharded_files, ShardFileError, ShardPart, SHARD_MAGIC, SHARD_VERSION,
+};
+
+/// Vertex identifier (re-exported from `imm-rrr` for convenience).
+pub type NodeId = imm_rrr::NodeId;

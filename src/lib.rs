@@ -10,3 +10,4 @@ pub use imm_memsim as memsim;
 pub use imm_numa as numa;
 pub use imm_rrr as rrr;
 pub use imm_service as service;
+pub use imm_shard as shard;

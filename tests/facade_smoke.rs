@@ -2,7 +2,7 @@
 //! core types of each sub-crate must be constructible through the facade
 //! paths alone.
 
-use efficient_imm_repro::{diffusion, graph, imm, memsim, numa, rrr, service};
+use efficient_imm_repro::{diffusion, graph, imm, memsim, numa, rrr, service, shard};
 
 #[test]
 fn every_reexported_crate_path_resolves() {
@@ -13,7 +13,8 @@ fn every_reexported_crate_path_resolves() {
     let _ = numa::PlacementPolicy::Interleaved;
     let _ = memsim::HierarchyConfig::default();
     let _ = imm::Algorithm::Efficient;
-    let _ = service::Query::TopK { k: 1 };
+    let _ = service::Query::top_k(1);
+    let _ = shard::SHARD_MAGIC;
 }
 
 #[test]
@@ -70,7 +71,7 @@ fn facade_supports_build_index_then_top_k_and_spread() {
         .expect("index build");
     let engine = service::QueryEngine::new(Arc::new(index));
 
-    let top = engine.execute(&service::Query::TopK { k: 4 });
+    let top = engine.execute(&service::Query::top_k(4));
     let seeds = match &top {
         service::QueryResponse::TopK { seeds, .. } => {
             assert_eq!(seeds, &result.seeds, "served seeds must match the batch run");
@@ -85,4 +86,12 @@ fn facade_supports_build_index_then_top_k_and_spread() {
         }
         other => panic!("unexpected {other:?}"),
     }
+
+    // ...and the same index partitioned into shards serves identically
+    // through the facade's scatter/gather path.
+    let single_answer = engine.execute(&service::Query::top_k(4));
+    let sharded =
+        shard::ShardedIndex::from_index((**engine.index()).clone(), 3).expect("shardable");
+    let sharded_engine = shard::ShardedEngine::new(Arc::new(sharded));
+    assert_eq!(sharded_engine.execute(&service::Query::top_k(4)), single_answer);
 }
