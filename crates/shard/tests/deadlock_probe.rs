@@ -1,0 +1,33 @@
+//! Temporary review probe: can execute_batch of Top-K queries self-deadlock?
+
+use imm_rrr::{RrrCollection, RrrSet};
+use imm_service::{IndexMeta, Query};
+use imm_shard::{ShardedEngine, ShardedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+#[test]
+fn batch_topk_probe() {
+    // Small global pool to encourage stealing of pending batch chunks.
+    rayon::ThreadPoolBuilder::new().num_threads(2).build_global().ok();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let num_nodes = 400usize;
+    let mut c = RrrCollection::new(num_nodes);
+    for _ in 0..4000 {
+        let len = rng.gen_range(1..12);
+        let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..num_nodes as u32)).collect();
+        v.sort_unstable();
+        v.dedup();
+        c.push(RrrSet::sorted(v));
+    }
+    let index = ShardedIndex::from_parts(c, IndexMeta::default(), None, 8).unwrap();
+    for round in 0..200 {
+        let engine = ShardedEngine::with_options(Arc::new(index.clone()), 8, 0);
+        // Distinct budgets so no two chunks share a cache entry; every chunk
+        // must take the greedy mutex.
+        let queries: Vec<Query> = (1..=16).map(Query::top_k).collect();
+        let _ = engine.execute_batch(&queries, 8);
+        eprintln!("round {round} ok");
+    }
+}
