@@ -42,9 +42,16 @@ PROPTEST_CASES=32 cargo test --workspace -q
 echo "==> shard parity suite (PROPTEST_CASES=32)"
 PROPTEST_CASES=32 cargo test -q -p imm-shard
 
-echo "==> test guard: no #[ignore] in crates/service/tests or crates/shard/tests"
-if grep -rn '#\[ignore' crates/service/tests crates/shard/tests; then
-  echo "error: #[ignore]d tests are not allowed in the service/shard suites" >&2
+# The execution runtime underpins every parallel phase; its stress suite
+# (panic recovery, shutdown under churn, nested scopes, degenerate pool
+# shapes) already ran in the workspace sweep, but is re-invoked here by
+# name so a test-scoping change can never silently drop it.
+echo "==> execution runtime stress suite"
+cargo test -q -p imm-exec --test runtime_stress
+
+echo "==> test guard: no #[ignore] in crates/{service,shard,exec}/tests"
+if grep -rn '#\[ignore' crates/service/tests crates/shard/tests crates/exec/tests; then
+  echo "error: #[ignore]d tests are not allowed in the service/shard/exec suites" >&2
   exit 1
 fi
 

@@ -1,5 +1,5 @@
 //! The machine-readable performance baseline: one fixed sampling +
-//! selection + query-serving workload, timed and written as `BENCH_5.json`
+//! selection + query-serving workload, timed and written as `BENCH_6.json`
 //! so later PRs can prove they did not regress the hot paths.
 //!
 //! Unlike the figure/table binaries (which sweep parameters to reproduce the
@@ -11,8 +11,15 @@
 //!
 //! A seeded `social_network` graph under constant-probability IC weights,
 //! sized so seed selection — not sampling — dominates (small RRR sets, many
-//! of them). Four phases:
+//! of them). Five phases:
 //!
+//! 0. **Executor dispatch** — the fork-join round-trip cost on the two
+//!    execution strategies the workspace has used: *spawn-per-round*
+//!    (`std::thread::scope` creating fresh OS threads every round — what
+//!    the scatter/gather serving paid per CELF round before the persistent
+//!    runtime) vs the *persistent* process-global `imm-exec` pool
+//!    (`rayon::scope` delegating to long-lived workers). Median over many
+//!    rounds of the same trivial task fan-out.
 //! 1. **Sampling** — bulk-generate θ RRR sets on a rayon pool.
 //! 2. **Selection** — `select_seeds` (EfficientIMM kernel) at budget k,
 //!    median of three runs.
@@ -27,24 +34,29 @@
 //!    serving trajectory and the sharding overhead/crossover are both
 //!    visible in one file.
 //!
-//! # Output schema (`BENCH_5.json`)
+//! # Output schema (`BENCH_6.json`)
 //!
 //! ```json
 //! {
 //!   "bench": "perf_suite",            // constant tag
-//!   "schema_version": 2,              // bump on layout changes
+//!   "schema_version": 3,              // bump on layout changes
 //!   "smoke": false,                   // true when --smoke shrank the run
 //!   "workload": {
 //!     "nodes": 60000, "edges": 623940,   // graph size actually built
 //!     "theta": 60000,                    // RRR sets sampled
 //!     "k": 64,                           // selection / Top-K budget
-//!     "threads": 2,                      // rayon pool width
+//!     "threads": 2,                      // requested sampling width
+//!     "pool_threads": 1,                 // resolved global-pool width
 //!     "shard_counts": [1, 2, 4],         // sharded-serving sweep
 //!     "model": "independent-cascade",
 //!     "edge_probability": 0.02,
 //!     "rng_seed": 4242
 //!   },
 //!   "metrics": {
+//!     "executor": {                     // phase 0 dispatch round-trips
+//!       "spawn_per_round_us": 25.0,     //   fresh OS threads per round
+//!       "persistent_scope_us": 0.4      //   persistent imm-exec pool
+//!     },
 //!     "sampling_sets_per_sec": 1.0e6,   // θ / sampling wall time
 //!     "selection_ms": 12.5,             // median select_seeds wall, ms
 //!     "topk_p50_ms": 9.1,               // median cold Top-K latency, ms
@@ -55,7 +67,10 @@
 //!       {"shards": 2, "topk_p50_ms": 8.0, "spread_p50_us": 35.1},
 //!       {"shards": 4, "topk_p50_ms": 7.2, "spread_p50_us": 33.8}
 //!     ]
-//!   }
+//!   },
+//!   "exec_metrics": [                   // imm-exec counter snapshot at exit
+//!     {"name": "exec_scopes", "value": 12, "description": "..."}
+//!   ]
 //! }
 //! ```
 //!
@@ -67,7 +82,7 @@
 //!
 //! * `--smoke` — shrink every dimension so the run finishes in well under a
 //!   second; used by CI to prove the bin runs and its JSON parses.
-//! * `--out PATH` — write the JSON somewhere other than `./BENCH_5.json`.
+//! * `--out PATH` — write the JSON somewhere other than `./BENCH_6.json`.
 //!
 //! After writing, the bin reads the file back and re-parses it, so a run
 //! that exits 0 has by construction produced valid JSON.
@@ -98,6 +113,7 @@ struct Workload {
     selection_trials: usize,
     topk_trials: usize,
     spread_trials: usize,
+    executor_rounds: usize,
 }
 
 impl Workload {
@@ -110,8 +126,9 @@ impl Workload {
             shard_counts: vec![1, 2, 4],
             edge_probability: 0.02,
             selection_trials: 3,
-            topk_trials: 9,
+            topk_trials: 41,
             spread_trials: 501,
+            executor_rounds: 501,
         }
     }
 
@@ -126,6 +143,7 @@ impl Workload {
             selection_trials: 1,
             topk_trials: 3,
             spread_trials: 21,
+            executor_rounds: 21,
         }
     }
 }
@@ -147,7 +165,7 @@ fn main() {
                 std::process::exit(2);
             }
         },
-        None => "BENCH_5.json".to_string(),
+        None => "BENCH_6.json".to_string(),
     };
     let w = if smoke { Workload::smoke() } else { Workload::full() };
 
@@ -163,6 +181,48 @@ fn main() {
         threads: w.threads,
         fused_counter: None,
     };
+
+    // Phase 0: executor dispatch round-trips. Both sides fan out the same
+    // trivial task set and join; the only difference is who runs it —
+    // fresh OS threads every round (the pre-persistent-runtime regime) or
+    // the long-lived process-global pool.
+    let fanout = w.threads.max(2);
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    let mut spawn_us: Vec<f64> = (0..w.executor_rounds)
+        .map(|_| {
+            let t = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..fanout {
+                    s.spawn(|| counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+                }
+            });
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let spawn_per_round_us = median(&mut spawn_us);
+    let mut persistent_us: Vec<f64> = (0..w.executor_rounds)
+        .map(|_| {
+            let t = Instant::now();
+            rayon::scope(|s| {
+                for _ in 0..fanout {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    let persistent_scope_us = median(&mut persistent_us);
+    assert_eq!(
+        counter.into_inner(),
+        2 * (w.executor_rounds * fanout) as u64,
+        "every spawned task ran exactly once"
+    );
+    eprintln!(
+        "[perf-suite] executor dispatch ({fanout} tasks/round): spawn-per-round \
+         {spawn_per_round_us:.1} µs, persistent pool {persistent_scope_us:.1} µs"
+    );
 
     // Phase 1: sampling throughput.
     let t0 = Instant::now();
@@ -190,27 +250,13 @@ fn main() {
     let selection_ms = median(&mut selection_ms);
     eprintln!("[perf-suite] selection k = {}: {selection_ms:.2} ms", w.k);
 
-    // Phase 3: serving. A fresh engine per Top-K trial measures the cold
-    // greedy path end to end; the spread loop measures the steady state of
-    // the coverage-marking path (uncached, so every call does real work).
+    // Phase 3: single-index serving. The spread loop measures the steady
+    // state of the coverage-marking path (uncached, so every call does
+    // real work). Cold Top-K is measured in phase 4, interleaved trial by
+    // trial with the sharded engines, so the single/sharded comparison is
+    // paired and immune to clock-speed drift across the run.
     let index =
         Arc::new(SketchIndex::build(&graph, collection, "perf-suite").expect("index builds"));
-    let mut topk_ms: Vec<f64> = (0..w.topk_trials)
-        .map(|_| {
-            let engine = QueryEngine::new(Arc::clone(&index));
-            let t = Instant::now();
-            let response = engine.execute(&Query::top_k(w.k));
-            let ms = t.elapsed().as_secs_f64() * 1e3;
-            match response {
-                QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
-                other => panic!("unexpected {other:?}"),
-            }
-            ms
-        })
-        .collect();
-    let topk_p50_ms = median(&mut topk_ms);
-    eprintln!("[perf-suite] cold TopK p50: {topk_p50_ms:.2} ms");
-
     let engine = QueryEngine::new(Arc::clone(&index));
     let mut query_rng = SmallRng::seed_from_u64(RNG_SEED ^ 0xC0FFEE);
     let mut spread_us: Vec<f64> = (0..w.spread_trials)
@@ -226,28 +272,58 @@ fn main() {
     eprintln!("[perf-suite] uncached Spread p50: {spread_p50_us:.1} µs");
 
     // Phase 4: sharded scatter/gather serving, one sweep entry per shard
-    // count. Cold Top-K uses a fresh ShardedEngine per trial (the full
-    // merged-bound greedy); Spread reuses one engine uncached.
-    let mut sharded_serving = Vec::with_capacity(w.shard_counts.len());
-    for &shards in &w.shard_counts {
-        let sharded =
-            Arc::new(ShardedIndex::from_index((*index).clone(), shards).expect("index partitions"));
-        let mut topk_ms: Vec<f64> = (0..w.topk_trials)
-            .map(|_| {
-                let engine = ShardedEngine::new(Arc::clone(&sharded));
-                let t = Instant::now();
-                let response = engine.execute(&Query::top_k(w.k));
-                let ms = t.elapsed().as_secs_f64() * 1e3;
-                match response {
-                    QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
-                    other => panic!("unexpected {other:?}"),
+    // count. Cold Top-K uses a fresh engine per trial (the full
+    // merged-bound greedy); Spread reuses one engine uncached. Every trial
+    // round times a fresh single-index QueryEngine back to back with a
+    // fresh ShardedEngine at each shard count, rotating which
+    // configuration goes first — the paired, position-debiased design
+    // keeps both the single/sharded ratio and the cross-shard-count
+    // comparison honest on hosts whose effective clock drifts over a
+    // multi-minute run (and whose caches remember the previous
+    // measurement).
+    let time_cold_topk = |run: &dyn Fn(&Query) -> QueryResponse| -> f64 {
+        let t = Instant::now();
+        let response = run(&Query::top_k(w.k));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        match response {
+            QueryResponse::TopK { seeds, .. } => assert_eq!(seeds.len(), w.k),
+            other => panic!("unexpected {other:?}"),
+        }
+        ms
+    };
+    let shard_indexes: Vec<Arc<ShardedIndex>> = w
+        .shard_counts
+        .iter()
+        .map(|&shards| {
+            Arc::new(ShardedIndex::from_index((*index).clone(), shards).expect("index partitions"))
+        })
+        .collect();
+    let mut single_topk_ms: Vec<f64> = Vec::with_capacity(w.topk_trials);
+    let mut sharded_topk_ms: Vec<Vec<f64>> =
+        vec![Vec::with_capacity(w.topk_trials); shard_indexes.len()];
+    let config_count = shard_indexes.len() + 1;
+    for trial in 0..w.topk_trials {
+        for slot in 0..config_count {
+            match (trial + slot) % config_count {
+                0 => {
+                    let single = QueryEngine::new(Arc::clone(&index));
+                    single_topk_ms.push(time_cold_topk(&|q| single.execute(q)));
                 }
-                ms
-            })
-            .collect();
-        let sharded_topk_p50_ms = median(&mut topk_ms);
+                cfg => {
+                    let engine = ShardedEngine::new(Arc::clone(&shard_indexes[cfg - 1]));
+                    sharded_topk_ms[cfg - 1].push(time_cold_topk(&|q| engine.execute(q)));
+                }
+            }
+        }
+    }
+    let topk_p50_ms = median(&mut single_topk_ms);
+    eprintln!("[perf-suite] cold TopK p50 (single index, paired trials): {topk_p50_ms:.2} ms");
 
-        let engine = ShardedEngine::new(Arc::clone(&sharded));
+    let mut sharded_serving = Vec::with_capacity(w.shard_counts.len());
+    for (i, &shards) in w.shard_counts.iter().enumerate() {
+        let sharded_topk_p50_ms = median(&mut sharded_topk_ms[i]);
+
+        let engine = ShardedEngine::new(Arc::clone(&shard_indexes[i]));
         let mut shard_query_rng = SmallRng::seed_from_u64(RNG_SEED ^ 0x5A5A);
         let mut spread_us: Vec<f64> = (0..w.spread_trials)
             .map(|_| {
@@ -271,9 +347,20 @@ fn main() {
         }));
     }
 
+    let exec_metrics: Vec<serde_json::Value> = imm_exec::metrics::snapshot()
+        .iter()
+        .map(|m| {
+            serde_json::json!({
+                "name": m.name,
+                "value": m.value,
+                "description": m.description,
+            })
+        })
+        .collect();
+
     let report = serde_json::json!({
         "bench": "perf_suite",
-        "schema_version": 2,
+        "schema_version": 3,
         "smoke": smoke,
         "workload": {
             "nodes": graph.num_nodes(),
@@ -281,12 +368,17 @@ fn main() {
             "theta": w.theta,
             "k": w.k,
             "threads": w.threads,
+            "pool_threads": rayon::current_num_threads(),
             "shard_counts": w.shard_counts.clone(),
             "model": "independent-cascade",
             "edge_probability": w.edge_probability,
             "rng_seed": RNG_SEED,
         },
         "metrics": {
+            "executor": {
+                "spawn_per_round_us": spawn_per_round_us,
+                "persistent_scope_us": persistent_scope_us,
+            },
             "sampling_sets_per_sec": w.theta as f64 / sampling_secs.max(1e-9),
             "selection_ms": selection_ms,
             "topk_p50_ms": topk_p50_ms,
@@ -294,6 +386,7 @@ fn main() {
             "rrr_memory_bytes": stats.memory_bytes,
             "sharded_serving": sharded_serving,
         },
+        "exec_metrics": exec_metrics,
     });
     let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, &rendered).expect("write BENCH json");
@@ -311,6 +404,14 @@ fn main() {
         assert!(entry["topk_p50_ms"].as_f64().is_some(), "sharded topk metric missing");
         assert!(entry["spread_p50_us"].as_f64().is_some(), "sharded spread metric missing");
     }
+    for key in ["spawn_per_round_us", "persistent_scope_us"] {
+        assert!(
+            parsed["metrics"]["executor"][key].as_f64().is_some(),
+            "executor metric {key} missing from {out_path}"
+        );
+    }
+    let counters = parsed["exec_metrics"].as_array().expect("exec counter snapshot present");
+    assert!(!counters.is_empty(), "exec counter snapshot is empty");
     println!("{rendered}");
     println!("perf suite OK: {out_path}");
 }

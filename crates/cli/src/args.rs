@@ -18,7 +18,7 @@ USAGE:
   efficient-imm compare     (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
                             [--k <K>] [--epsilon <E>] [--threads <T>]
   efficient-imm stats       (--graph <FILE> | --dataset <NAME> | --index <FILE>)
-                            [--rrr-sets <N>]
+                            [--rrr-sets <N>] [--metrics]
   efficient-imm build-index (--graph <FILE> | --dataset <NAME>) --output <FILE>
                             [--model ic|lt] [--k <K>] [--epsilon <E>]
                             [--threads <T>] [--seed <S>]
@@ -46,7 +46,13 @@ comments), resampling only the RRR sets the mutations touch; pass the
 *original* graph source — the snapshot's delta log replays every earlier
 batch to reconstruct the current revision. The --dataset name refers to the
 built-in SNAP analogues (com-Amazon, com-DBLP, com-YouTube, as-Skitter,
-web-Google, soc-Pokec, com-LJ, twitter7).";
+web-Google, soc-Pokec, com-LJ, twitter7).
+
+Every parallel phase runs on one persistent process-wide worker pool, sized
+once at startup: --threads (where accepted) wins, then the IMM_THREADS
+environment variable, then the machine parallelism. `stats --metrics`
+appends the pool's runtime counters (tasks executed per worker kind,
+park/unpark transitions, per-worker queue depths) to the stats output.";
 
 /// Which graph source a command reads.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +108,8 @@ pub struct StatsArgs {
     pub rrr_sets: usize,
     /// Sketch-index snapshot to reuse instead of resampling.
     pub index: Option<String>,
+    /// Append the execution runtime's counters to the output.
+    pub metrics: bool,
 }
 
 /// Parsed `build-index` options.
@@ -189,6 +197,23 @@ pub enum Command {
     Help,
 }
 
+/// The thread count a parsed command requested, when it accepts one — the
+/// process-global worker pool is configured from this exactly once at
+/// startup (commands without a `--threads` flag leave the pool to its
+/// default: `IMM_THREADS`, else the machine parallelism).
+pub fn pool_threads(command: &Command) -> Option<usize> {
+    match command {
+        Command::Run(r) | Command::Compare(r) => Some(r.threads),
+        Command::BuildIndex(b) => Some(b.run.threads),
+        Command::Query(q) => Some(q.threads),
+        Command::Generate(_)
+        | Command::Stats(_)
+        | Command::UpdateIndex(_)
+        | Command::SplitIndex(_)
+        | Command::Help => None,
+    }
+}
+
 /// A flat `--flag value` map over the raw arguments.
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
@@ -248,7 +273,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         algorithm,
         k: flags.get_parsed("--k", 50usize)?,
         epsilon: flags.get_parsed("--epsilon", 0.5f64)?,
-        threads: flags.get_parsed("--threads", 4usize)?,
+        threads: flags.get_parsed("--threads", imm_exec::default_threads())?,
         seed: flags.get_parsed("--seed", 0x5EEDu64)?,
         output: flags.get("--output").map(|s| s.to_string()),
     })
@@ -319,7 +344,7 @@ fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
         spread,
         marginal,
         shards,
-        threads: flags.get_parsed("--threads", 4usize)?,
+        threads: flags.get_parsed("--threads", imm_exec::default_threads())?,
     })
 }
 
@@ -344,7 +369,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run" => Ok(Command::Run(parse_run(rest)?)),
         "compare" => Ok(Command::Compare(parse_run(rest)?)),
         "stats" => {
-            let flags = Flags::parse(rest)?;
+            // `--metrics` is the one valueless flag in the surface; strip it
+            // before the `--flag value` pairing pass.
+            let metrics = rest.iter().any(|a| a == "--metrics");
+            let rest: Vec<String> = rest.iter().filter(|a| *a != "--metrics").cloned().collect();
+            let flags = Flags::parse(&rest)?;
             let index = flags.get("--index").map(|s| s.to_string());
             if index.is_some() {
                 // A snapshot already fixes the graph and the sample; a second
@@ -355,12 +384,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         return Err(format!("pass either --index or {conflicting}, not both"));
                     }
                 }
-                return Ok(Command::Stats(StatsArgs { source: None, rrr_sets: 0, index }));
+                return Ok(Command::Stats(StatsArgs { source: None, rrr_sets: 0, index, metrics }));
             }
             Ok(Command::Stats(StatsArgs {
                 source: Some(flags.source()?),
                 rrr_sets: flags.get_parsed("--rrr-sets", 256usize)?,
                 index: None,
+                metrics,
             }))
         }
         "build-index" => {
@@ -481,6 +511,7 @@ mod tests {
                 source: Some(GraphSource::File("g.txt".into())),
                 rrr_sets: 64,
                 index: None,
+                metrics: false,
             })
         );
         let cmd = parse(&sv(&["compare", "--dataset", "com-Amazon"])).unwrap();
@@ -492,7 +523,12 @@ mod tests {
         let cmd = parse(&sv(&["stats", "--index", "g.sketch"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Stats(StatsArgs { source: None, rrr_sets: 0, index: Some("g.sketch".into()) })
+            Command::Stats(StatsArgs {
+                source: None,
+                rrr_sets: 0,
+                index: Some("g.sketch".into()),
+                metrics: false,
+            })
         );
         // With neither index nor source, stats is still an error.
         assert!(parse(&sv(&["stats", "--rrr-sets", "8"])).is_err());
@@ -501,6 +537,37 @@ mod tests {
         assert!(parse(&sv(&["stats", "--graph", "g.txt", "--index", "g.sketch"])).is_err());
         assert!(parse(&sv(&["stats", "--dataset", "com-DBLP", "--index", "g.sketch"])).is_err());
         assert!(parse(&sv(&["stats", "--index", "g.sketch", "--rrr-sets", "64"])).is_err());
+    }
+
+    #[test]
+    fn stats_accepts_the_valueless_metrics_flag_anywhere() {
+        for argv in [
+            sv(&["stats", "--graph", "g.txt", "--metrics"]),
+            sv(&["stats", "--metrics", "--graph", "g.txt"]),
+        ] {
+            match parse(&argv).unwrap() {
+                Command::Stats(s) => {
+                    assert!(s.metrics);
+                    assert_eq!(s.source, Some(GraphSource::File("g.txt".into())));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match parse(&sv(&["stats", "--index", "g.sketch", "--metrics"])).unwrap() {
+            Command::Stats(s) => assert!(s.metrics && s.index.is_some()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_threads_reflects_the_explicit_flag() {
+        let cmd = parse(&sv(&["run", "--dataset", "x", "--threads", "3"])).unwrap();
+        assert_eq!(pool_threads(&cmd), Some(3));
+        let cmd = parse(&sv(&["query", "--index", "i", "--top-k", "2", "--threads", "2"])).unwrap();
+        assert_eq!(pool_threads(&cmd), Some(2));
+        let cmd = parse(&sv(&["stats", "--graph", "g.txt"])).unwrap();
+        assert_eq!(pool_threads(&cmd), None, "stats leaves the pool at its default");
+        assert_eq!(pool_threads(&Command::Help), None);
     }
 
     #[test]
@@ -622,7 +689,7 @@ mod tests {
                 spread: None,
                 marginal: None,
                 shards: 1,
-                threads: 4,
+                threads: imm_exec::default_threads(),
             })
         );
         // The files fix the shard layout: an explicit count is rejected.

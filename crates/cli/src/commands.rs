@@ -440,10 +440,45 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Runtime counters of the process-global execution pool, metriken-style:
+/// one named monotonic counter per row, plus the live per-worker queue
+/// depths. Exposed by `stats --metrics` and embedded in the perf-suite
+/// baseline for before/after comparisons.
+fn exec_metrics_json() -> serde_json::Value {
+    let pool = imm_exec::global();
+    serde_json::json!({
+        "pool_threads": pool.num_threads(),
+        "queue_depths": pool.queue_depths(),
+        "counters": imm_exec::metrics::snapshot()
+            .iter()
+            .map(|m| {
+                serde_json::json!({
+                    "name": m.name,
+                    "value": m.value,
+                    "description": m.description,
+                })
+            })
+            .collect::<Vec<_>>(),
+    })
+}
+
+/// Render a stats payload, appending the execution-runtime counters when
+/// `--metrics` was passed.
+fn print_stats(json: serde_json::Value, metrics: bool) {
+    let json = match (metrics, json) {
+        (true, serde_json::Value::Object(mut pairs)) => {
+            pairs.push(("exec_metrics".to_string(), exec_metrics_json()));
+            serde_json::Value::Object(pairs)
+        }
+        (_, json) => json,
+    };
+    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+}
+
 /// Coverage statistics from a saved index — the sketches are reused, not
 /// resampled. Only the stored collection is decoded; the inverted postings
 /// are not rebuilt for a read-only stats pass.
-fn stats_from_index(path: &str) -> Result<(), CliError> {
+fn stats_from_index(path: &str, metrics: bool) -> Result<(), CliError> {
     let (meta, collection) = imm_service::load_collection_from_path(path)
         .map_err(|e| format!("cannot load {path}: {e}"))?;
     let coverage = collection.coverage_stats();
@@ -458,26 +493,29 @@ fn stats_from_index(path: &str) -> Result<(), CliError> {
         "rrr_memory_bytes": coverage.memory_bytes,
         "bitmap_sets": coverage.bitmap_sets,
     });
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    print_stats(json, metrics);
     Ok(())
 }
 
 fn stats(args: &StatsArgs) -> Result<(), CliError> {
     if let Some(path) = &args.index {
-        return stats_from_index(path);
+        return stats_from_index(path, args.metrics);
     }
     let source = args.source.as_ref().ok_or("stats needs a graph source or an --index snapshot")?;
     let (graph, weights, name) = load(source, DiffusionModel::IndependentCascade, 0xC0FFEE)?;
     let scc = properties::strongly_connected_components(&graph);
     let out_stats = properties::out_degree_stats(&graph);
 
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().expect("pool");
+    // The sampling pass rides the shared process-wide pool (the builder
+    // returns a token over it), at whatever width the pool was given.
+    let threads = rayon::current_num_threads();
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
     let cfg = SamplingConfig {
         model: DiffusionModel::IndependentCascade,
         rng_seed: 0xC0FFEE,
         policy: AdaptivePolicy::default(),
         schedule: Schedule::Dynamic { chunk: 16 },
-        threads: 4,
+        threads,
         fused_counter: None,
     };
     let out = generate_rrr_sets(&graph, &weights, args.rrr_sets, 0, &cfg, &pool);
@@ -499,7 +537,7 @@ fn stats(args: &StatsArgs) -> Result<(), CliError> {
         "max_rrr_coverage": coverage.max_coverage,
         "rrr_memory_bytes": coverage.memory_bytes,
     });
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    print_stats(json, args.metrics);
     Ok(())
 }
 
@@ -603,6 +641,7 @@ mod tests {
             source: Some(GraphSource::File(graph_path.to_string_lossy().into_owned())),
             rrr_sets: 32,
             index: None,
+            metrics: true,
         }))
         .unwrap();
         std::fs::remove_file(&graph_path).ok();
@@ -642,6 +681,7 @@ mod tests {
             source: None,
             rrr_sets: 32,
             index: Some(snapshot_path.to_string_lossy().into_owned()),
+            metrics: false,
         }))
         .unwrap();
         std::fs::remove_file(&snapshot_path).ok();

@@ -21,13 +21,22 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
-        Ok(command) => match commands::execute(command) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
+        Ok(command) => {
+            // Size the process-global worker pool exactly once, before any
+            // parallel phase can lazily initialize it: the command's
+            // --threads wins; otherwise first use falls back to IMM_THREADS
+            // or the machine parallelism.
+            if let Some(threads) = args::pool_threads(&command) {
+                let _ = imm_exec::configure_global(threads);
             }
-        },
+            match commands::execute(command) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);

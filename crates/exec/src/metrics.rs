@@ -1,0 +1,181 @@
+//! Runtime observability: static lazy counters in the `metriken` idiom.
+//!
+//! Every counter is a `static` with a stable name and a human description,
+//! incremented with one relaxed atomic add on the hot path and read through
+//! [`snapshot`] — zero coordination, zero cost when nobody reads them.
+//! Consumers (the CLI's `stats --metrics`, the perf suite's `BENCH_*.json`
+//! snapshot) serialize the sample list themselves; this crate stays
+//! dependency-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named monotonic counter with a registered description.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    description: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter (used in `static` position).
+    pub const fn new(name: &'static str, description: &'static str) -> Self {
+        Counter { name, description, value: AtomicU64::new(0) }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn increment(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Stable metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+}
+
+/// Scopes entered on the shared pool (fork-join rounds).
+pub static SCOPES: Counter =
+    Counter::new("exec_scopes", "Fork-join scopes entered on the shared worker pool");
+
+/// Tasks spawned onto shared-pool scopes. Queue depth at any instant is
+/// `exec_tasks_spawned` minus the three `exec_tasks_*` execution counters.
+pub static TASKS_SPAWNED: Counter =
+    Counter::new("exec_tasks_spawned", "Tasks spawned onto shared-pool scopes");
+
+/// Tasks executed by pool workers (dequeued from their SPSC inbox).
+pub static TASKS_WORKER: Counter =
+    Counter::new("exec_tasks_worker", "Scope tasks executed by shared-pool workers");
+
+/// Tasks the scope owner claimed and ran inline while waiting.
+pub static TASKS_HELPED: Counter = Counter::new(
+    "exec_tasks_helped",
+    "Scope tasks claimed and run inline by the waiting scope owner",
+);
+
+/// Tasks run by the submitter because a worker inbox was full.
+pub static TASKS_OVERFLOW: Counter = Counter::new(
+    "exec_tasks_overflow",
+    "Scope tasks run by the submitter because a worker inbox was full",
+);
+
+/// Shared-pool worker park events (idle, went to sleep).
+pub static WORKER_PARKS: Counter =
+    Counter::new("exec_worker_parks", "Shared-pool workers parked on an empty inbox");
+
+/// Shared-pool worker unpark signals sent by submitters.
+pub static WORKER_UNPARKS: Counter =
+    Counter::new("exec_worker_unparks", "Wakeups sent to parked shared-pool workers");
+
+/// Scatter/gather rounds issued to pinned pools.
+pub static PINNED_SCATTERS: Counter =
+    Counter::new("exec_pinned_scatters", "Scatter/gather rounds issued to pinned worker pools");
+
+/// Requests enqueued on pinned-pool cell queues (worker path only; the
+/// zero-worker inline path never queues). Queue depth at any instant is
+/// this minus the served counters' worker-path share.
+pub static PINNED_ENQUEUED: Counter =
+    Counter::new("exec_pinned_enqueued", "Requests enqueued on pinned-pool cell queues");
+
+/// Pinned requests served by their owning worker thread.
+pub static PINNED_SERVED_WORKER: Counter = Counter::new(
+    "exec_pinned_served_worker",
+    "Pinned requests served by the shard's owning worker thread",
+);
+
+/// Pinned requests the gathering thread served inline.
+pub static PINNED_SERVED_INLINE: Counter = Counter::new(
+    "exec_pinned_served_inline",
+    "Pinned requests the gathering thread claimed and served inline",
+);
+
+/// Pinned worker park events.
+pub static PINNED_PARKS: Counter =
+    Counter::new("exec_pinned_parks", "Pinned workers parked on empty shard queues");
+
+/// Pinned worker unpark signals sent by request submitters.
+pub static PINNED_UNPARKS: Counter =
+    Counter::new("exec_pinned_unparks", "Wakeups sent to parked pinned workers");
+
+/// Every counter the runtime exports, in registration order.
+pub fn registry() -> [&'static Counter; 14] {
+    [
+        &SCOPES,
+        &TASKS_SPAWNED,
+        &TASKS_WORKER,
+        &TASKS_HELPED,
+        &TASKS_OVERFLOW,
+        &WORKER_PARKS,
+        &WORKER_UNPARKS,
+        &PINNED_SCATTERS,
+        &PINNED_ENQUEUED,
+        &PINNED_SERVED_WORKER,
+        &PINNED_SERVED_INLINE,
+        &PINNED_PARKS,
+        &PINNED_UNPARKS,
+        &crate::executor::GLOBAL_CONFIGS,
+    ]
+}
+
+/// One sampled metric: `(name, description, value)` at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Stable metric name (snake_case, `exec_` prefix).
+    pub name: &'static str,
+    /// Human description.
+    pub description: &'static str,
+    /// Counter value when sampled.
+    pub value: u64,
+}
+
+/// Sample every registered counter.
+pub fn snapshot() -> Vec<MetricSample> {
+    registry()
+        .iter()
+        .map(|c| MetricSample { name: c.name(), description: c.description(), value: c.value() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        static LOCAL: Counter = Counter::new("test_counter", "a test counter");
+        assert_eq!(LOCAL.value(), 0);
+        LOCAL.increment();
+        LOCAL.add(4);
+        assert_eq!(LOCAL.value(), 5);
+        assert_eq!(LOCAL.name(), "test_counter");
+        assert_eq!(LOCAL.description(), "a test counter");
+    }
+
+    #[test]
+    fn snapshot_covers_the_registry_with_unique_names() {
+        let samples = snapshot();
+        assert_eq!(samples.len(), registry().len());
+        let mut names: Vec<&str> = samples.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), samples.len(), "metric names must be unique");
+    }
+}

@@ -1,0 +1,512 @@
+//! Shard-pinned workers: each worker permanently owns a set of stateful
+//! cells and serves typed requests against them.
+//!
+//! # Model
+//!
+//! A [`PinnedPool`] wraps `n` cells, each holding one value of a
+//! [`Pinned`] implementation (for the sharded engine: one `ShardSegment`
+//! plus its mutable serving state). Requests are typed
+//! (`P::Request -> P::Response`) and travel through per-cell queues, so a
+//! distributed CELF round costs one message round-trip per shard instead
+//! of one OS thread spawn per shard — the regression `BENCH_5.json`
+//! measured.
+//!
+//! Ownership is an *affinity*, not an exclusivity: every cell is guarded
+//! by a mutex, and the thread issuing a [`PinnedPool::scatter`] helps
+//! drain the queues it just filled. Whoever holds the cell lock serves;
+//! with zero workers the caller serves every request inline and the
+//! scatter degenerates to a plain loop over shards — no allocation beyond
+//! the response vector, no parking, no atomics on the hot path. That is
+//! the configuration [`WakeMode::Auto`] picks on a single-CPU host, where
+//! handing work to another thread can only add latency.
+//!
+//! # Shutdown and panics
+//!
+//! Dropping the pool flags shutdown, unparks and joins every worker; the
+//! cells (and their pinned state) drop with it. A panicking `serve` is
+//! caught by whichever thread ran it, recorded on the in-flight gather,
+//! and re-thrown on the scattering thread once the round drains — workers
+//! and cell locks are never poisoned.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle, Thread};
+
+use crate::metrics::{self, Counter};
+
+/// State a pinned worker owns and serves requests against.
+///
+/// `serve` takes `&mut self`: the runtime guarantees exclusive access per
+/// request (cell mutex), so implementations keep scratch buffers and
+/// mutable masks without interior mutability.
+pub trait Pinned: Send + 'static {
+    /// Request message type.
+    type Request: Send;
+    /// Response message type.
+    type Response: Send;
+    /// Handle one request. May panic; the panic is re-thrown on the
+    /// scattering thread without poisoning the pool.
+    fn serve(&mut self, request: Self::Request) -> Self::Response;
+}
+
+/// When to hand requests to dedicated worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeMode {
+    /// Workers only when the host has real parallelism
+    /// (`available_parallelism() > 1`); otherwise serve inline.
+    Auto,
+    /// Always route through workers when `threads > 1` (tests, and hosts
+    /// where the caller should stay responsive).
+    Always,
+    /// Never spawn workers; the calling thread serves everything inline.
+    Never,
+}
+
+/// One in-flight scatter: completion count, response slots, owner wakeup.
+struct GatherShared<R> {
+    pending: AtomicUsize,
+    owner: Thread,
+    owner_parked: AtomicBool,
+    slots: Box<[UnsafeCell<Option<R>>]>,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+// Each slot is written by exactly one serving thread (the envelope that
+// names it) and read by the owner only after `pending` hits zero.
+unsafe impl<R: Send> Send for GatherShared<R> {}
+unsafe impl<R: Send> Sync for GatherShared<R> {}
+
+impl<R> GatherShared<R> {
+    fn new(owner: Thread, len: usize) -> Self {
+        GatherShared {
+            pending: AtomicUsize::new(len),
+            owner,
+            owner_parked: AtomicBool::new(false),
+            slots: (0..len).map(|_| UnsafeCell::new(None)).collect(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn complete_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.owner_parked.load(Ordering::SeqCst)
+        {
+            self.owner.unpark();
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+/// One queued request: payload, its response slot, its gather.
+struct Envelope<P: Pinned> {
+    request: P::Request,
+    slot: usize,
+    gather: Arc<GatherShared<P::Response>>,
+}
+
+struct CellInner<P: Pinned> {
+    pinned: P,
+    queue: VecDeque<Envelope<P>>,
+}
+
+struct Cell<P: Pinned> {
+    inner: Mutex<CellInner<P>>,
+}
+
+impl<P: Pinned> Cell<P> {
+    /// Lock the cell, recovering from (never-expected) poisoning: `serve`
+    /// panics are caught before they can unwind through the guard.
+    fn lock(&self) -> MutexGuard<'_, CellInner<P>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Serve one envelope against the locked cell state.
+fn serve_one<P: Pinned>(inner: &mut CellInner<P>, envelope: Envelope<P>, served_by: &Counter) {
+    let Envelope { request, slot, gather } = envelope;
+    served_by.increment();
+    match panic::catch_unwind(AssertUnwindSafe(|| inner.pinned.serve(request))) {
+        Ok(response) => unsafe { *gather.slots[slot].get() = Some(response) },
+        Err(payload) => gather.store_panic(payload),
+    }
+    gather.complete_one();
+}
+
+struct PinnedWorker {
+    parked: Arc<AtomicBool>,
+    thread: Thread,
+    join: Option<JoinHandle<()>>,
+}
+
+fn pinned_worker_loop<P: Pinned>(
+    cells: Arc<[Cell<P>]>,
+    worker: usize,
+    stride: usize,
+    parked: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let owned = || (worker..cells.len()).step_by(stride);
+    loop {
+        let mut progressed = false;
+        for ci in owned() {
+            let mut inner = cells[ci].lock();
+            while let Some(envelope) = inner.queue.pop_front() {
+                serve_one(&mut inner, envelope, &metrics::PINNED_SERVED_WORKER);
+                progressed = true;
+            }
+        }
+        if progressed {
+            continue;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let queued = owned().any(|ci| !cells[ci].lock().queue.is_empty());
+        if queued || shutdown.load(Ordering::SeqCst) {
+            parked.store(false, Ordering::SeqCst);
+            continue;
+        }
+        metrics::PINNED_PARKS.increment();
+        thread::park();
+        parked.store(false, Ordering::SeqCst);
+    }
+}
+
+/// A pool of stateful cells with optional dedicated worker threads; see
+/// the [module docs](self) for the execution model.
+pub struct PinnedPool<P: Pinned> {
+    cells: Arc<[Cell<P>]>,
+    workers: Box<[PinnedWorker]>,
+    shutdown: Arc<AtomicBool>,
+    mode: WakeMode,
+}
+
+impl<P: Pinned> PinnedPool<P> {
+    /// Pool with [`WakeMode::Auto`]; `threads` counts the caller, so at
+    /// most `threads - 1` workers spawn (never more than there are cells).
+    pub fn new(states: Vec<P>, threads: usize) -> Self {
+        Self::with_wake_mode(states, threads, WakeMode::Auto)
+    }
+
+    /// Pool with an explicit worker wake policy.
+    pub fn with_wake_mode(states: Vec<P>, threads: usize, mode: WakeMode) -> Self {
+        let cells: Arc<[Cell<P>]> = states
+            .into_iter()
+            .map(|pinned| Cell { inner: Mutex::new(CellInner { pinned, queue: VecDeque::new() }) })
+            .collect();
+        let use_workers = match mode {
+            WakeMode::Never => false,
+            WakeMode::Always => true,
+            WakeMode::Auto => thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1,
+        };
+        let worker_count = if use_workers { threads.saturating_sub(1).min(cells.len()) } else { 0 };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..worker_count)
+            .map(|w| {
+                let parked = Arc::new(AtomicBool::new(false));
+                let handle = thread::Builder::new()
+                    .name(format!("imm-pin-{w}"))
+                    .spawn({
+                        let cells = Arc::clone(&cells);
+                        let parked = Arc::clone(&parked);
+                        let shutdown = Arc::clone(&shutdown);
+                        move || pinned_worker_loop(cells, w, worker_count, parked, shutdown)
+                    })
+                    .expect("spawn imm-pin worker");
+                PinnedWorker { parked, thread: handle.thread().clone(), join: Some(handle) }
+            })
+            .collect();
+        PinnedPool { cells, workers, shutdown, mode }
+    }
+
+    /// Number of cells (shards).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the pool holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of dedicated worker threads (0 means fully inline serving).
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The wake policy this pool was built with.
+    pub fn wake_mode(&self) -> WakeMode {
+        self.mode
+    }
+
+    /// Current queue depth per cell (racy snapshot, for observability).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.cells.iter().map(|c| c.lock().queue.len()).collect()
+    }
+
+    /// Serve a single request on one cell, on the calling thread. This is
+    /// the low-latency path for point lookups: one uncontended mutex, no
+    /// allocation, no cross-thread traffic.
+    pub fn call(&self, cell: usize, request: P::Request) -> P::Response {
+        let mut inner = self.cells[cell].lock();
+        inner.pinned.serve(request)
+    }
+
+    /// Direct exclusive access to a cell's pinned state, outside the
+    /// request protocol (installation, rebuilds, inspection in tests).
+    pub fn with_cell<R>(&self, cell: usize, f: impl FnOnce(&mut P) -> R) -> R {
+        let mut inner = self.cells[cell].lock();
+        f(&mut inner.pinned)
+    }
+
+    /// Exclusive access to *every* cell's pinned state at once, locking
+    /// the cells in index order. This is the fused serving path for
+    /// zero-worker pools: a caller driving many rounds against all cells
+    /// pays each cell lock once per call instead of once per round.
+    /// Concurrent callers also acquire in index order, so the multi-lock
+    /// cannot deadlock against `call`/`scatter`/another `with_all_cells`.
+    pub fn with_all_cells<R>(&self, f: impl FnOnce(&mut [&mut P]) -> R) -> R {
+        let mut guards: Vec<MutexGuard<'_, CellInner<P>>> =
+            self.cells.iter().map(Cell::lock).collect();
+        let mut refs: Vec<&mut P> = guards.iter_mut().map(|g| &mut g.pinned).collect();
+        f(&mut refs)
+    }
+
+    /// Scatter a batch of `(cell, request)` pairs and gather the responses
+    /// in input order. Requests for distinct cells run in parallel when
+    /// the pool has workers; the calling thread always helps drain the
+    /// queues it filled, and with zero workers serves everything itself.
+    ///
+    /// If any `serve` panics, the round still drains fully and the first
+    /// panic payload is re-thrown here.
+    pub fn scatter<I>(&self, requests: I) -> Vec<P::Response>
+    where
+        I: IntoIterator<Item = (usize, P::Request)>,
+    {
+        metrics::PINNED_SCATTERS.increment();
+        if self.workers.is_empty() {
+            return self.scatter_inline(requests);
+        }
+        self.scatter_queued(requests)
+    }
+
+    /// Zero-worker fast path: a plain loop over the requested cells.
+    fn scatter_inline<I>(&self, requests: I) -> Vec<P::Response>
+    where
+        I: IntoIterator<Item = (usize, P::Request)>,
+    {
+        let requests = requests.into_iter();
+        let mut first_panic: Option<Box<dyn Any + Send + 'static>> = None;
+        let mut responses = Vec::with_capacity(requests.size_hint().0);
+        let mut served = 0u64;
+        for (cell, request) in requests {
+            served += 1;
+            let mut inner = self.cells[cell].lock();
+            match panic::catch_unwind(AssertUnwindSafe(|| inner.pinned.serve(request))) {
+                Ok(response) => responses.push(response),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        metrics::PINNED_SERVED_INLINE.add(served);
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+        responses
+    }
+
+    /// Worker path: enqueue envelopes, wake owners, help drain, park for
+    /// stragglers.
+    fn scatter_queued<I>(&self, requests: I) -> Vec<P::Response>
+    where
+        I: IntoIterator<Item = (usize, P::Request)>,
+    {
+        let batch: Vec<(usize, P::Request)> = requests.into_iter().collect();
+        let gather = Arc::new(GatherShared::<P::Response>::new(thread::current(), batch.len()));
+        let mut touched: Vec<usize> = Vec::with_capacity(batch.len());
+        for (slot, (cell, request)) in batch.into_iter().enumerate() {
+            metrics::PINNED_ENQUEUED.increment();
+            let envelope = Envelope { request, slot, gather: Arc::clone(&gather) };
+            self.cells[cell].lock().queue.push_back(envelope);
+            if !touched.contains(&cell) {
+                touched.push(cell);
+            }
+        }
+        // Publish-then-check-parked needs a StoreLoad barrier on both
+        // sides (Dekker); the worker park loop carries the matching fence.
+        fence(Ordering::SeqCst);
+        let mut woken = vec![false; self.workers.len()];
+        for &cell in &touched {
+            let w = cell % self.workers.len();
+            if !woken[w] && self.workers[w].parked.load(Ordering::SeqCst) {
+                woken[w] = true;
+                metrics::PINNED_UNPARKS.increment();
+                self.workers[w].thread.unpark();
+            }
+        }
+        // Help: drain every queue we filled. Whatever a worker already
+        // popped is in flight and will complete on its own.
+        for &cell in &touched {
+            let mut inner = self.cells[cell].lock();
+            while let Some(envelope) = inner.queue.pop_front() {
+                serve_one(&mut inner, envelope, &metrics::PINNED_SERVED_INLINE);
+            }
+        }
+        // Wait out in-flight envelopes held by workers.
+        loop {
+            if gather.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            gather.owner_parked.store(true, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            if gather.pending.load(Ordering::SeqCst) == 0 {
+                gather.owner_parked.store(false, Ordering::SeqCst);
+                break;
+            }
+            thread::park();
+            gather.owner_parked.store(false, Ordering::SeqCst);
+        }
+        if let Some(payload) = gather.panic.lock().unwrap_or_else(PoisonError::into_inner).take() {
+            panic::resume_unwind(payload);
+        }
+        // All servers are done (pending == 0 observed SeqCst): the slots
+        // are exclusively ours now.
+        gather
+            .slots
+            .iter()
+            .map(|slot| unsafe { (*slot.get()).take() }.expect("gather slot filled"))
+            .collect()
+    }
+}
+
+impl<P: Pinned> Drop for PinnedPool<P> {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for worker in self.workers.iter() {
+            worker.thread.unpark();
+        }
+        for worker in self.workers.iter_mut() {
+            if let Some(handle) = worker.join.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl<P: Pinned> fmt::Debug for PinnedPool<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PinnedPool")
+            .field("cells", &self.cells.len())
+            .field("workers", &self.workers.len())
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Adder {
+        base: u64,
+        served: u64,
+    }
+
+    impl Pinned for Adder {
+        type Request = u64;
+        type Response = u64;
+        fn serve(&mut self, request: u64) -> u64 {
+            self.served += 1;
+            if request == u64::MAX {
+                panic!("poison request");
+            }
+            self.base + request
+        }
+    }
+
+    fn adders(n: usize) -> Vec<Adder> {
+        (0..n).map(|i| Adder { base: (i as u64) * 1000, served: 0 }).collect()
+    }
+
+    #[test]
+    fn inline_scatter_preserves_input_order() {
+        let pool = PinnedPool::with_wake_mode(adders(3), 1, WakeMode::Never);
+        assert_eq!(pool.num_workers(), 0);
+        let out = pool.scatter(vec![(2, 7), (0, 1), (1, 5)]);
+        assert_eq!(out, vec![2007, 1, 1005]);
+    }
+
+    #[test]
+    fn worker_scatter_matches_inline_results() {
+        let pool = PinnedPool::with_wake_mode(adders(4), 3, WakeMode::Always);
+        assert!(pool.num_workers() >= 1);
+        for round in 0..200u64 {
+            let out = pool.scatter((0..4).map(|c| (c, round)));
+            let expect: Vec<u64> = (0..4u64).map(|c| c * 1000 + round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn more_cells_than_workers_still_drains() {
+        let pool = PinnedPool::with_wake_mode(adders(5), 2, WakeMode::Always);
+        assert_eq!(pool.num_workers(), 1);
+        let out = pool.scatter((0..5).map(|c| (c, 1)));
+        assert_eq!(out, vec![1, 1001, 2001, 3001, 4001]);
+    }
+
+    #[test]
+    fn call_and_with_cell_share_state() {
+        let pool = PinnedPool::with_wake_mode(adders(2), 2, WakeMode::Always);
+        assert_eq!(pool.call(1, 5), 1005);
+        pool.with_cell(1, |a| a.base = 7000);
+        assert_eq!(pool.call(1, 5), 7005);
+        let served = pool.with_cell(1, |a| a.served);
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn duplicate_cells_in_one_scatter_serve_in_order() {
+        let pool = PinnedPool::with_wake_mode(adders(2), 1, WakeMode::Never);
+        let out = pool.scatter(vec![(0, 1), (0, 2), (1, 3), (0, 4)]);
+        assert_eq!(out, vec![1, 2, 1003, 4]);
+    }
+
+    #[test]
+    fn serve_panic_propagates_and_pool_survives() {
+        for mode in [WakeMode::Never, WakeMode::Always] {
+            let pool = PinnedPool::with_wake_mode(adders(2), 2, mode);
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.scatter(vec![(0, u64::MAX), (1, 3)]);
+            }));
+            assert!(caught.is_err(), "scatter must re-throw serve panics ({mode:?})");
+            // The pool (cells, locks, workers) is unharmed.
+            assert_eq!(pool.scatter(vec![(0, 2), (1, 3)]), vec![2, 1003]);
+        }
+    }
+
+    #[test]
+    fn queue_depths_are_zero_when_idle() {
+        let pool = PinnedPool::with_wake_mode(adders(3), 2, WakeMode::Always);
+        pool.scatter((0..3).map(|c| (c, 1)));
+        assert_eq!(pool.queue_depths(), vec![0, 0, 0]);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+    }
+}

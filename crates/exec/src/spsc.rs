@@ -1,0 +1,192 @@
+//! Bounded single-producer / single-consumer ring buffer.
+//!
+//! The task inbox of every pool worker: the worker owns the [`Consumer`]
+//! end for its lifetime, the executor holds the [`Producer`] end (behind a
+//! short mutex, so concurrent scopes serialize on submission while the
+//! queue itself stays strictly SPSC). Push and pop are wait-free — one
+//! release store each — and a full ring reports back to the submitter
+//! instead of blocking, which is what lets the runtime fall back to
+//! running overflow tasks inline.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The shared ring: `head` is advanced only by the consumer, `tail` only by
+/// the producer; both are monotonically increasing mod nothing (indices wrap
+/// via `% capacity` on access), so `tail - head` is always the live length.
+struct Ring<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+// The claim protocol (unique producer, unique consumer, acquire/release on
+// the indices) guarantees a slot is never read and written concurrently.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            let slot = self.buf[i % self.buf.len()].get();
+            // Owned exclusively during drop; every slot in [head, tail) holds
+            // an initialized value the consumer never popped.
+            unsafe { (*slot).assume_init_drop() };
+        }
+    }
+}
+
+/// Producer end (push side). Not clonable: single producer by construction.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Consumer end (pop side). Not clonable: single consumer by construction.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// A bounded SPSC channel of the given capacity (at least 1).
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let capacity = capacity.max(1);
+    let buf = (0..capacity).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let ring = Arc::new(Ring { buf, head: AtomicUsize::new(0), tail: AtomicUsize::new(0) });
+    (Producer { ring: Arc::clone(&ring) }, Consumer { ring })
+}
+
+impl<T> Producer<T> {
+    /// Append a value; returns it back when the ring is full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head == ring.buf.len() {
+            return Err(value);
+        }
+        unsafe { (*ring.buf[tail % ring.buf.len()].get()).write(value) };
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of queued values (racy; exact only without a concurrent pop).
+    pub fn len(&self) -> usize {
+        self.ring.tail.load(Ordering::Relaxed) - self.ring.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the queue currently holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Take the oldest value, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let value = unsafe { (*ring.buf[head % ring.buf.len()].get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Whether the queue currently holds no values (racy across a push).
+    pub fn is_empty(&self) -> bool {
+        self.ring.head.load(Ordering::Relaxed) == self.ring.tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (mut tx, mut rx) = channel(4);
+        assert!(rx.pop().is_none());
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_recovers() {
+        let (mut tx, mut rx) = channel(2);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.push(3), Err(3));
+        assert_eq!(rx.pop(), Some(1));
+        tx.push(3).unwrap();
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let (mut tx, mut rx) = channel(0);
+        tx.push(7).unwrap();
+        assert_eq!(tx.push(8), Err(8));
+        assert_eq!(rx.pop(), Some(7));
+    }
+
+    #[test]
+    fn unpopped_values_are_dropped_with_the_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let (mut tx, mut rx) = channel(4);
+            tx.push(Noisy).unwrap();
+            tx.push(Noisy).unwrap();
+            drop(rx.pop()); // one dropped by the consumer
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2, "ring drop releases the rest");
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order() {
+        let (mut tx, mut rx) = channel(8);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0u64;
+            while expected < 10_000 {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+    }
+}

@@ -214,7 +214,7 @@ pub fn resample_sets(
     }
     let collected: Mutex<Vec<(usize, RrrSet, SetProvenance)>> =
         Mutex::new(Vec::with_capacity(ids.len()));
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(ids.len());
+    let workers = rayon::current_num_threads().min(ids.len());
     let chunk_size = ids.len().div_ceil(workers);
     rayon::scope(|scope| {
         for chunk in ids.chunks(chunk_size) {

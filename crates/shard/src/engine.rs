@@ -1,30 +1,38 @@
-//! Scatter/gather query serving over a [`ShardedIndex`].
+//! Scatter/gather query serving over a [`ShardedIndex`], on a persistent
+//! shard-pinned worker pool.
 //!
 //! The engine answers the full `imm-service` query vocabulary with the same
 //! byte-identical results as the single-index `QueryEngine` — that parity is
 //! the crate's acceptance property — while structuring every counting pass
-//! as **scatter/gather**:
+//! as **typed requests to pinned shard cells** ([`imm_exec::PinnedPool`]):
+//! each cell permanently owns one [`ShardSegment`] plus its mutable serving
+//! state (alive flags, audience masks), and a request round-trip replaces
+//! the per-round thread spawn that made PR 5's scatter/gather slower than
+//! the single index (`BENCH_5.json`).
 //!
 //! * **Spread / Marginal**: each shard counts covered sets among *its own*
 //!   range using its local postings and a shard-sized marking bitset; the
 //!   gathered per-shard counts sum to exactly the single-index tally.
-//! * **Top-K**: CELF lazy greedy over **merged per-shard upper bounds**. The
-//!   frontier holds one `(bound, vertex)` entry per vertex where the bound
-//!   is the *sum* of the per-shard counts — each shard's count only falls as
-//!   its sets retire, so the sum is a valid CELF upper bound and a popped
-//!   entry that matches the merged live count is the round's argmax. A
-//!   round's retirement then scatters: every shard walks its own postings of
-//!   the selected vertex, retires its covered sets and decrements its own
-//!   counters on a worker thread; only the newly-covered tallies are
-//!   gathered. Ties break toward the smaller vertex id and zero-gain rounds
-//!   emit deterministically, exactly like the single-index CELF — so Top-K
-//!   stays lazy end to end and the seeds are byte-identical for any shard
-//!   count and any worker-thread count.
+//! * **Top-K**: CELF lazy greedy over **merged bounds held engine-side**.
+//!   The frontier holds one `(bound, vertex)` entry per vertex; the merged
+//!   live counts start as the sum of the per-shard degrees and are kept
+//!   exact by the retire stream: each round scatters one
+//!   `ShardRequest::Retire`, every shard flips its own covered sets and
+//!   streams back their global ids (in recycled buffers), and the engine
+//!   walks those sets once to decrement the merged counts. Revalidating a
+//!   popped frontier entry is therefore a local array read — a CELF round
+//!   costs exactly one message round-trip per shard, and on a host without
+//!   real parallelism the pool serves the round inline with no parking or
+//!   cross-thread traffic at all. Ties break toward the smaller vertex id
+//!   and zero-gain rounds emit deterministically, exactly like the
+//!   single-index CELF — so Top-K stays lazy end to end and the seeds are
+//!   byte-identical for any shard count and any worker-thread count.
 
 use crate::index::ShardedIndex;
 use crate::segment::ShardSegment;
+use imm_exec::{Pinned, PinnedPool, WakeMode};
 use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
-use imm_rrr::{BitSet, NodeId, RrrCollection};
+use imm_rrr::{BitSet, NodeId};
 use imm_service::{
     serve_batch, serve_cached, CacheStats, DynamicError, Query, QueryCache, QueryResponse,
     RefreshStats,
@@ -34,226 +42,388 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// One shard's working greedy state: which of *its* sets are still alive and
-/// its contribution to every vertex's occurrence count.
-#[derive(Debug)]
-struct ShardState {
-    alive: Vec<bool>,
-    counts: Vec<u64>,
+/// Global id of an RRR set (its index in the shared collection).
+type GlobalSetId = u32;
+
+/// Which per-shard alive session a request operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Session {
+    /// The persistent whole-index greedy session.
+    Fresh,
+    /// The audience-restricted session (serialized under the greedy lock).
+    Masked,
 }
 
-impl ShardState {
-    /// Fresh state over the whole shard (counts = the segment's degrees).
-    fn fresh(segment: &ShardSegment, num_nodes: usize) -> Self {
-        ShardState {
-            alive: vec![true; segment.len()],
-            counts: (0..num_nodes).map(|v| segment.degree(v as NodeId)).collect(),
+/// One pinned worker's state: a permanent shard assignment plus the
+/// mutable serving state for that shard.
+struct ShardCell {
+    /// The served index; `None` only mid-`apply_delta` (Release/Install).
+    index: Option<Arc<ShardedIndex>>,
+    shard: usize,
+    /// Alive flags of the fresh session, one per local set.
+    fresh_alive: Vec<bool>,
+    /// Alive flags of the masked session, when one is open.
+    masked_alive: Option<Vec<bool>>,
+}
+
+/// The typed request vocabulary a pinned shard cell serves.
+enum ShardRequest {
+    /// Per-vertex occurrence counts of this shard (the engine merges them
+    /// into the initial CELF bounds).
+    Degrees,
+    /// Live-set count of one vertex in the given session — the
+    /// distributed revalidation probe. The hot path revalidates against
+    /// engine-side merged counts; this request is the consistency
+    /// cross-check (debug assertions, tests).
+    LiveCount { vertex: NodeId, session: Session },
+    /// Retire this shard's live sets containing `vertex`, streaming their
+    /// global ids into `buf` (recycled round to round by the engine).
+    Retire { vertex: NodeId, session: Session, buf: Vec<GlobalSetId> },
+    /// Open the masked session: the shard's sets containing an audience
+    /// vertex become alive; responds with the shard's per-vertex counts.
+    MaskedInit { audience: Arc<BitSet> },
+    /// Close the masked session.
+    MaskedClear,
+    /// Postings walk: count sets covered by `seeds` in this shard.
+    Spread { seeds: Arc<Vec<NodeId>> },
+    /// Postings walk: count sets `candidate` adds over `seeds`.
+    Marginal { seeds: Arc<Vec<NodeId>>, candidate: NodeId },
+    /// Drop the cell's index handle (first half of `apply_delta`, so the
+    /// engine holds the only reference while rebuilding).
+    Release,
+    /// Serve this index from now on, with a fully-alive fresh session.
+    Install { index: Arc<ShardedIndex> },
+}
+
+enum ShardResponse {
+    Unit,
+    Count(usize),
+    Counts(Vec<u64>),
+    Retired { buf: Vec<GlobalSetId> },
+}
+
+impl ShardCell {
+    fn index(&self) -> &Arc<ShardedIndex> {
+        self.index.as_ref().expect("shard cell has an installed index")
+    }
+
+    /// Disjoint borrows of the serving state: the shard's segment and the
+    /// requested session's alive flags (mutable), without cloning the
+    /// index handle per request.
+    fn segment_and_alive(&mut self, session: Session) -> (&ShardSegment, &mut Vec<bool>) {
+        let index = self.index.as_ref().expect("shard cell has an installed index");
+        let segment = &index.segments()[self.shard];
+        let alive = match session {
+            Session::Fresh => &mut self.fresh_alive,
+            Session::Masked => self.masked_alive.as_mut().expect("masked session is open"),
+        };
+        (segment, alive)
+    }
+
+    fn retire(
+        &mut self,
+        vertex: NodeId,
+        session: Session,
+        mut buf: Vec<GlobalSetId>,
+    ) -> ShardResponse {
+        buf.clear();
+        let (segment, alive) = self.segment_and_alive(session);
+        let start = segment.start() as GlobalSetId;
+        for &lsid in segment.postings(vertex) {
+            let slot = &mut alive[lsid as usize];
+            if *slot {
+                *slot = false;
+                buf.push(start + lsid);
+            }
+        }
+        ShardResponse::Retired { buf }
+    }
+
+    /// The requested session's alive flags, for the fused (all-locks-held)
+    /// serving path.
+    fn alive_mut(&mut self, session: Session) -> &mut Vec<bool> {
+        match session {
+            Session::Fresh => &mut self.fresh_alive,
+            Session::Masked => self.masked_alive.as_mut().expect("masked session is open"),
         }
     }
 
-    /// State restricted to the shard's sets containing an audience vertex
-    /// (the shard-local mirror of the engine-side audience mask).
-    fn masked(
-        collection: &RrrCollection,
-        segment: &ShardSegment,
-        audience: &BitSet,
-        num_nodes: usize,
-    ) -> Self {
+    fn masked_init(&mut self, audience: &BitSet) -> ShardResponse {
+        let index = self.index.as_ref().expect("shard cell has an installed index");
+        let segment = &index.segments()[self.shard];
+        let collection = index.collection();
+        let n = index.num_nodes();
         let mut alive = vec![false; segment.len()];
         for v in audience.iter() {
-            if v < num_nodes {
+            if v < n {
                 for &lsid in segment.postings(v as NodeId) {
                     alive[lsid as usize] = true;
                 }
             }
         }
-        let mut counts = vec![0u64; num_nodes];
+        let mut counts = vec![0u64; n];
         let slice = segment.slice(collection);
         for (lsid, live) in alive.iter().enumerate() {
             if *live {
                 slice.get(lsid).for_each(|v| counts[v as usize] += 1);
             }
         }
-        ShardState { alive, counts }
-    }
-
-    /// Retire the shard's alive sets containing `best`, decrementing the
-    /// shard's counters; returns how many sets this shard newly covered.
-    fn retire(
-        &mut self,
-        collection: &RrrCollection,
-        segment: &ShardSegment,
-        best: NodeId,
-    ) -> usize {
-        let slice = segment.slice(collection);
-        let mut covered = 0usize;
-        for &lsid in segment.postings(best) {
-            let l = lsid as usize;
-            if self.alive[l] {
-                self.alive[l] = false;
-                covered += 1;
-                slice.get(l).for_each(|v| self.counts[v as usize] -= 1);
-            }
-        }
-        covered
+        self.masked_alive = Some(alive);
+        ShardResponse::Counts(counts)
     }
 }
 
-/// The distributed greedy state: per-shard counters plus the merged-bound
-/// CELF frontier.
+impl Pinned for ShardCell {
+    type Request = ShardRequest;
+    type Response = ShardResponse;
+
+    fn serve(&mut self, request: ShardRequest) -> ShardResponse {
+        match request {
+            ShardRequest::Degrees => {
+                let index = self.index();
+                let segment = &index.segments()[self.shard];
+                let n = index.num_nodes();
+                ShardResponse::Counts((0..n).map(|v| segment.degree(v as NodeId)).collect())
+            }
+            ShardRequest::LiveCount { vertex, session } => {
+                let (segment, alive) = self.segment_and_alive(session);
+                let live = segment.postings(vertex).iter().filter(|&&l| alive[l as usize]).count();
+                ShardResponse::Count(live)
+            }
+            ShardRequest::Retire { vertex, session, buf } => self.retire(vertex, session, buf),
+            ShardRequest::MaskedInit { audience } => self.masked_init(&audience),
+            ShardRequest::MaskedClear => {
+                self.masked_alive = None;
+                ShardResponse::Unit
+            }
+            ShardRequest::Spread { seeds } => {
+                let index = self.index();
+                let segment = &index.segments()[self.shard];
+                let n = index.num_nodes();
+                let mut marks = BitSet::new(segment.len());
+                let mut covered = 0usize;
+                for &seed in seeds.iter() {
+                    if (seed as usize) < n {
+                        for &lsid in segment.postings(seed) {
+                            covered += usize::from(marks.insert(lsid as usize));
+                        }
+                    }
+                }
+                ShardResponse::Count(covered)
+            }
+            ShardRequest::Marginal { seeds, candidate } => {
+                let index = self.index();
+                let segment = &index.segments()[self.shard];
+                let n = index.num_nodes();
+                let mut marks = BitSet::new(segment.len());
+                for &seed in seeds.iter() {
+                    if (seed as usize) < n {
+                        for &lsid in segment.postings(seed) {
+                            marks.insert(lsid as usize);
+                        }
+                    }
+                }
+                let gained = if (candidate as usize) < n {
+                    segment
+                        .postings(candidate)
+                        .iter()
+                        .filter(|&&lsid| !marks.contains(lsid as usize))
+                        .count()
+                } else {
+                    0
+                };
+                ShardResponse::Count(gained)
+            }
+            ShardRequest::Release => {
+                self.index = None;
+                ShardResponse::Unit
+            }
+            ShardRequest::Install { index } => {
+                let len = index.segments()[self.shard].len();
+                self.index = Some(index);
+                self.fresh_alive = vec![true; len];
+                self.masked_alive = None;
+                ShardResponse::Unit
+            }
+        }
+    }
+}
+
+impl ShardResponse {
+    fn count(self) -> usize {
+        match self {
+            ShardResponse::Count(c) => c,
+            _ => unreachable!("shard answered with the wrong response kind"),
+        }
+    }
+
+    fn counts(self) -> Vec<u64> {
+        match self {
+            ShardResponse::Counts(c) => c,
+            _ => unreachable!("shard answered with the wrong response kind"),
+        }
+    }
+
+    fn retired(self) -> Vec<GlobalSetId> {
+        match self {
+            ShardResponse::Retired { buf } => buf,
+            _ => unreachable!("shard answered with the wrong response kind"),
+        }
+    }
+}
+
+/// The engine-side distributed greedy state: merged live counts plus the
+/// CELF frontier, fed by the gathered per-shard retire streams.
 #[derive(Debug)]
-struct ShardedGreedy {
-    shards: Vec<ShardState>,
-    /// Merged per-shard upper bounds: one entry per vertex, ordered by bound
-    /// then toward the smaller vertex id — the same comparator as the
-    /// single-index CELF frontier.
+struct DistributedGreedy {
+    /// Exact merged live count per vertex (sum of the shards' live sets
+    /// containing it), maintained from the retire streams.
+    merged: Vec<u64>,
+    /// CELF frontier: one entry per vertex, ordered by bound then toward
+    /// the smaller vertex id — the single-index comparator.
     frontier: BinaryHeap<(u64, Reverse<NodeId>)>,
     covered_after: Vec<usize>,
     seeds: Vec<NodeId>,
+    /// Recycled per-shard retire buffers (one per shard, reused each
+    /// round so steady-state rounds allocate nothing).
+    bufs: Vec<Vec<GlobalSetId>>,
 }
 
-impl ShardedGreedy {
-    fn from_states(num_nodes: usize, shards: Vec<ShardState>) -> Self {
-        let mut merged = vec![0u64; num_nodes];
-        for state in &shards {
-            for (v, c) in state.counts.iter().enumerate() {
-                merged[v] += c;
-            }
-        }
+impl DistributedGreedy {
+    fn from_merged(merged: Vec<u64>, shards: usize) -> Self {
         let frontier = merged.iter().enumerate().map(|(v, &c)| (c, Reverse(v as NodeId))).collect();
-        ShardedGreedy { shards, frontier, covered_after: Vec::new(), seeds: Vec::new() }
+        DistributedGreedy {
+            merged,
+            frontier,
+            covered_after: Vec::new(),
+            seeds: Vec::new(),
+            bufs: vec![Vec::new(); shards],
+        }
     }
 
-    fn new(index: &ShardedIndex, threads: usize) -> Self {
-        let n = index.num_nodes();
-        let states = scatter_map(index, threads, |seg| ShardState::fresh(seg, n));
-        Self::from_states(n, states)
-    }
-
-    fn masked(index: &ShardedIndex, audience: &BitSet, threads: usize) -> Self {
-        let n = index.num_nodes();
-        let states = scatter_map(index, threads, |seg| {
-            ShardState::masked(index.collection(), seg, audience, n)
-        });
-        Self::from_states(n, states)
-    }
-
-    /// Merged live count of `v` across the shards.
-    #[inline]
-    fn live(&self, v: NodeId) -> u64 {
-        self.shards.iter().map(|s| s.counts[v as usize]).sum()
-    }
-
-    /// Pop the round's argmax: revalidate stale merged bounds against the
-    /// gathered per-shard counts until the top entry is live.
+    /// Pop the round's argmax: revalidate stale bounds against the merged
+    /// live counts (a local read) until the top entry is live.
     fn pop_argmax(&mut self) -> (NodeId, u64) {
         loop {
             let (stored, Reverse(v)) = self.frontier.pop().expect("one entry per vertex");
-            let live = self.live(v);
+            let live = self.merged[v as usize];
             if stored == live {
                 return (v, live);
             }
-            debug_assert!(live < stored, "per-shard counts only fall as sets retire");
+            debug_assert!(live < stored, "merged counts only fall as sets retire");
             self.frontier.push((live, Reverse(v)));
-        }
-    }
-
-    /// Run greedy rounds until `min(k, n)` seeds are selected; each
-    /// retirement scatters across `threads` shard workers.
-    fn extend_to(&mut self, index: &ShardedIndex, k: usize, threads: usize) {
-        let n = index.num_nodes();
-        while self.seeds.len() < k.min(n) {
-            let (best, best_count) = self.pop_argmax();
-            self.seeds.push(best);
-            let covered_so_far = self.covered_after.last().copied().unwrap_or(0);
-            if best_count == 0 {
-                // Zero-gain rounds emit deterministically (smallest id) and
-                // the vertex stays a candidate — single-index behaviour.
-                self.covered_after.push(covered_so_far);
-                self.frontier.push((0, Reverse(best)));
-                continue;
-            }
-            // Scatter: each shard retires its own covered sets; gather the
-            // newly-covered tallies.
-            let collection = index.collection();
-            let segments = index.segments();
-            let workers = threads.max(1).min(segments.len().max(1));
-            let chunk = segments.len().div_ceil(workers).max(1);
-            let mut covered_parts = vec![0usize; segments.len().div_ceil(chunk)];
-            rayon::scope(|scope| {
-                for ((segs, states), out) in segments
-                    .chunks(chunk)
-                    .zip(self.shards.chunks_mut(chunk))
-                    .zip(covered_parts.iter_mut())
-                {
-                    scope.spawn(move |_| {
-                        let mut covered = 0usize;
-                        for (seg, state) in segs.iter().zip(states.iter_mut()) {
-                            covered += state.retire(collection, seg, best);
-                        }
-                        *out = covered;
-                    });
-                }
-            });
-            self.covered_after.push(covered_so_far + covered_parts.iter().sum::<usize>());
-            // Re-admit with the post-retirement merged count (zero).
-            self.frontier.push((self.live(best), Reverse(best)));
         }
     }
 }
 
-/// Scatter an independent per-shard computation across `threads` workers and
-/// gather the results in shard order.
-fn scatter_map<R: Send>(
-    index: &ShardedIndex,
-    threads: usize,
-    f: impl Fn(&ShardSegment) -> R + Sync,
-) -> Vec<R> {
-    let segments = index.segments();
-    if segments.is_empty() {
-        return Vec::new();
-    }
-    let workers = threads.max(1).min(segments.len());
-    let chunk = segments.len().div_ceil(workers);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(segments.len(), || None);
-    rayon::scope(|scope| {
-        for (segs, outs) in segments.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (seg, out) in segs.iter().zip(outs.iter_mut()) {
-                    *out = Some(f(seg));
-                }
-            });
+/// Engine-side merged postings over all shards: CSR by vertex, with each
+/// vertex's set ids global and grouped in ascending shard order. Built
+/// only for zero-worker pools, where the fused greedy walks exactly one
+/// postings list per round — the round cost is then independent of the
+/// shard count instead of paying one postings lookup (and its cache
+/// miss) per shard.
+#[derive(Debug)]
+struct MergedPostings {
+    offsets: Vec<usize>,
+    gsids: Vec<GlobalSetId>,
+}
+
+impl MergedPostings {
+    fn build(index: &ShardedIndex) -> Self {
+        let n = index.num_nodes();
+        let mut offsets = vec![0usize; n + 1];
+        for segment in index.segments() {
+            for v in 0..n {
+                offsets[v + 1] += segment.degree(v as NodeId) as usize;
+            }
         }
-    });
-    slots.into_iter().map(|s| s.expect("every slot is filled by its worker")).collect()
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut gsids = vec![0 as GlobalSetId; *offsets.last().unwrap_or(&0)];
+        // Shards ascend, so each vertex's list ends grouped by shard in
+        // ascending global-range order — what the fused walk relies on.
+        for segment in index.segments() {
+            let start = segment.start() as GlobalSetId;
+            for v in 0..n {
+                for &lsid in segment.postings(v as NodeId) {
+                    gsids[cursor[v]] = start + lsid;
+                    cursor[v] += 1;
+                }
+            }
+        }
+        MergedPostings { offsets, gsids }
+    }
+
+    #[inline]
+    fn get(&self, v: NodeId) -> &[GlobalSetId] {
+        &self.gsids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
 }
 
 /// A query-serving engine over a [`ShardedIndex`], answering the same
 /// vocabulary as `imm_service::QueryEngine` with byte-identical results.
+///
+/// Execution runs on an embedded [`PinnedPool`]: one cell per shard, with
+/// worker threads only where the host (and [`WakeMode`]) can profit from
+/// them. Dropping the engine shuts the pool down cleanly.
 #[derive(Debug)]
 pub struct ShardedEngine {
     index: Arc<ShardedIndex>,
-    threads: usize,
-    greedy: Mutex<ShardedGreedy>,
+    pool: PinnedPool<ShardCell>,
+    /// Merged per-vertex degrees — the reset state of the greedy bounds.
+    base_counts: Vec<u64>,
+    /// Present exactly when the pool has no workers (fused serving).
+    merged_postings: Option<MergedPostings>,
+    greedy: Mutex<DistributedGreedy>,
     cache: QueryCache,
 }
 
 impl ShardedEngine {
-    /// Engine with one worker per shard and the default cache capacity.
+    /// Engine sized to the process-global execution configuration (see
+    /// `imm_exec::configure_global`) with the default cache capacity.
     pub fn new(index: Arc<ShardedIndex>) -> Self {
-        let threads = index.num_shards();
+        let threads = imm_exec::global().num_threads();
         Self::with_options(index, threads, imm_service::DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Engine with explicit scatter width and cache capacity (0 disables
-    /// caching). `threads` bounds how many shard workers run concurrently;
-    /// results are identical for every value.
+    /// Engine with explicit parallelism and cache capacity (0 disables
+    /// caching). `threads` counts the serving thread, so at most
+    /// `threads - 1` pinned workers spawn ([`WakeMode::Auto`]); results
+    /// are identical for every value.
     pub fn with_options(index: Arc<ShardedIndex>, threads: usize, cache_capacity: usize) -> Self {
-        let threads = threads.max(1);
-        let greedy = Mutex::new(ShardedGreedy::new(&index, threads));
-        ShardedEngine { index, threads, greedy, cache: QueryCache::new(cache_capacity) }
+        Self::with_runtime(index, threads, cache_capacity, WakeMode::Auto)
+    }
+
+    /// Engine with an explicit pinned-pool wake policy; the parity suites
+    /// use [`WakeMode::Always`] to force real cross-thread serving.
+    pub fn with_runtime(
+        index: Arc<ShardedIndex>,
+        threads: usize,
+        cache_capacity: usize,
+        wake: WakeMode,
+    ) -> Self {
+        let cells = (0..index.num_shards())
+            .map(|shard| ShardCell {
+                index: Some(Arc::clone(&index)),
+                shard,
+                fresh_alive: vec![true; index.segments()[shard].len()],
+                masked_alive: None,
+            })
+            .collect();
+        let pool = PinnedPool::with_wake_mode(cells, threads.max(1), wake);
+        let base_counts = merged_degrees(&pool, index.num_nodes());
+        let merged_postings = (pool.num_workers() == 0).then(|| MergedPostings::build(&index));
+        let greedy = Mutex::new(DistributedGreedy::from_merged(base_counts.clone(), pool.len()));
+        ShardedEngine {
+            index,
+            pool,
+            base_counts,
+            merged_postings,
+            greedy,
+            cache: QueryCache::new(cache_capacity),
+        }
     }
 
     /// The sharded index this engine serves.
@@ -266,20 +436,43 @@ impl ShardedEngine {
         self.cache.stats()
     }
 
-    /// Refresh the served index against a graph mutation (shard-routed; see
-    /// [`ShardedIndex::apply_delta`]), then reset the distributed greedy
-    /// state and drop the response cache.
+    /// Number of pinned worker threads serving this engine's shards
+    /// (0 means the serving thread answers every request inline).
+    pub fn num_workers(&self) -> usize {
+        self.pool.num_workers()
+    }
+
+    /// Refresh the served index against a graph mutation (shard-routed;
+    /// see [`ShardedIndex::apply_delta`]), then reset the distributed
+    /// greedy state and drop the response cache.
+    ///
+    /// Protocol: the cells first *release* their index handles so the
+    /// engine holds the only reference while rebuilding (no hidden
+    /// deep-copy in `Arc::make_mut`), then the rebuilt index is
+    /// *installed* back — even when the refresh fails, so the engine
+    /// always serves a consistent index afterwards.
     pub fn apply_delta(
         &mut self,
         graph: &CsrGraph,
         weights: &EdgeWeights,
         delta: &GraphDelta,
     ) -> Result<(CsrGraph, EdgeWeights, RefreshStats), DynamicError> {
-        let index = Arc::make_mut(&mut self.index);
-        let out = index.apply_delta(graph, weights, delta)?;
-        *self.greedy.lock() = ShardedGreedy::new(&self.index, self.threads);
+        let shards = self.pool.len();
+        for response in self.pool.scatter((0..shards).map(|s| (s, ShardRequest::Release))) {
+            debug_assert!(matches!(response, ShardResponse::Unit));
+        }
+        let result = Arc::make_mut(&mut self.index).apply_delta(graph, weights, delta);
+        let install = |_: usize| ShardRequest::Install { index: Arc::clone(&self.index) };
+        for response in self.pool.scatter((0..shards).map(|s| (s, install(s)))) {
+            debug_assert!(matches!(response, ShardResponse::Unit));
+        }
+        self.base_counts = merged_degrees(&self.pool, self.index.num_nodes());
+        if self.merged_postings.is_some() {
+            self.merged_postings = Some(MergedPostings::build(&self.index));
+        }
+        *self.greedy.lock() = DistributedGreedy::from_merged(self.base_counts.clone(), shards);
         self.cache.clear();
-        Ok(out)
+        result
     }
 
     /// Answer one query, consulting the response cache first.
@@ -297,16 +490,147 @@ impl ShardedEngine {
         }
     }
 
-    /// Fan a batch of queries across `threads` workers, preserving input
-    /// order in the returned responses.
+    /// Fan a batch of queries across the shared worker pool, preserving
+    /// input order in the returned responses.
     pub fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
         serve_batch(queries, threads, |query| self.execute(query))
+    }
+
+    /// Run greedy rounds until `min(k, n)` seeds are selected; each round
+    /// scatters exactly one retire request per shard and walks the
+    /// gathered retire stream to keep the merged counts exact. On a pool
+    /// with no workers the whole extension instead runs fused: all cell
+    /// locks are taken once and every round walks one merged postings
+    /// list — identical arithmetic, no per-round envelopes, id buffers,
+    /// or lock traffic, and a round cost independent of the shard count.
+    fn extend_to(&self, state: &mut DistributedGreedy, k: usize, session: Session) {
+        match &self.merged_postings {
+            Some(postings) => self
+                .pool
+                .with_all_cells(|cells| self.extend_fused(state, k, session, cells, postings)),
+            None => self.extend_scattered(state, k, session),
+        }
+    }
+
+    /// Zero-worker greedy extension: the caller already holds every cell
+    /// lock, so each round retires straight off the merged postings list,
+    /// flipping alive flags in whichever shard owns each set.
+    fn extend_fused(
+        &self,
+        state: &mut DistributedGreedy,
+        k: usize,
+        session: Session,
+        cells: &mut [&mut ShardCell],
+        postings: &MergedPostings,
+    ) {
+        let n = self.index.num_nodes();
+        let collection = self.index.collection();
+        let segments = self.index.segments();
+        let starts: Vec<usize> = segments.iter().map(|s| s.start()).collect();
+        let ends: Vec<usize> = segments.iter().map(|s| s.start() + s.len()).collect();
+        let mut alives: Vec<&mut Vec<bool>> =
+            cells.iter_mut().map(|cell| cell.alive_mut(session)).collect();
+        while state.seeds.len() < k.min(n) {
+            let (best, best_count) = state.pop_argmax();
+            state.seeds.push(best);
+            let covered_so_far = state.covered_after.last().copied().unwrap_or(0);
+            if best_count == 0 {
+                // Zero-gain rounds emit deterministically (smallest id) and
+                // the vertex stays a candidate — single-index behaviour.
+                state.covered_after.push(covered_so_far);
+                state.frontier.push((0, Reverse(best)));
+                continue;
+            }
+            // One walk over the seed's merged postings. Entries ascend
+            // through the shard ranges, so the owning shard only ever
+            // steps forward within a round.
+            let mut covered = covered_so_far;
+            let mut shard = 0usize;
+            for &gsid in postings.get(best) {
+                let g = gsid as usize;
+                while g >= ends[shard] {
+                    shard += 1;
+                }
+                let slot = &mut alives[shard][g - starts[shard]];
+                if *slot {
+                    *slot = false;
+                    covered += 1;
+                    collection.get(g).for_each(|v| state.merged[v as usize] -= 1);
+                }
+            }
+            debug_assert_eq!(
+                state.merged[best as usize], 0,
+                "retiring every live set containing the seed zeroes its count"
+            );
+            state.covered_after.push(covered);
+            // Re-admit with the post-retirement merged count (zero).
+            state.frontier.push((state.merged[best as usize], Reverse(best)));
+        }
+    }
+
+    /// Worker-pool greedy extension: each round scatters one retire
+    /// request per shard over the pinned queues and walks the gathered
+    /// retire stream.
+    fn extend_scattered(&self, state: &mut DistributedGreedy, k: usize, session: Session) {
+        let n = self.index.num_nodes();
+        let collection = self.index.collection();
+        while state.seeds.len() < k.min(n) {
+            let (best, best_count) = state.pop_argmax();
+            state.seeds.push(best);
+            let covered_so_far = state.covered_after.last().copied().unwrap_or(0);
+            if best_count == 0 {
+                // Zero-gain rounds emit deterministically (smallest id) and
+                // the vertex stays a candidate — single-index behaviour.
+                state.covered_after.push(covered_so_far);
+                state.frontier.push((0, Reverse(best)));
+                continue;
+            }
+            // Scatter: each shard retires its own covered sets and streams
+            // back their global ids; gather decrements the merged counts.
+            let bufs = std::mem::take(&mut state.bufs);
+            let responses = self.pool.scatter(
+                bufs.into_iter()
+                    .enumerate()
+                    .map(|(s, buf)| (s, ShardRequest::Retire { vertex: best, session, buf })),
+            );
+            let mut covered = covered_so_far;
+            for response in responses {
+                let buf = response.retired();
+                covered += buf.len();
+                for &gsid in &buf {
+                    collection.get(gsid as usize).for_each(|v| state.merged[v as usize] -= 1);
+                }
+                state.bufs.push(buf);
+            }
+            debug_assert_eq!(
+                state.merged[best as usize], 0,
+                "retiring every live set containing the seed zeroes its count"
+            );
+            debug_assert_eq!(
+                self.scattered_live_count(best, session),
+                0,
+                "shard alive flags agree with the merged counts"
+            );
+            state.covered_after.push(covered);
+            // Re-admit with the post-retirement merged count (zero).
+            state.frontier.push((state.merged[best as usize], Reverse(best)));
+        }
+    }
+
+    /// Sum of the shards' live counts for one vertex — the distributed
+    /// revalidation probe, used to cross-check the merged counts.
+    fn scattered_live_count(&self, vertex: NodeId, session: Session) -> usize {
+        self.pool
+            .scatter((0..self.pool.len()).map(|s| (s, ShardRequest::LiveCount { vertex, session })))
+            .into_iter()
+            .map(ShardResponse::count)
+            .sum()
     }
 
     fn top_k(&self, k: usize) -> QueryResponse {
         let take = k.min(self.index.num_nodes());
         let mut state = self.greedy.lock();
-        state.extend_to(&self.index, k, self.threads);
+        self.extend_to(&mut state, k, Session::Fresh);
         let seeds = state.seeds[..take].to_vec();
         let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
         drop(state);
@@ -314,9 +638,27 @@ impl ShardedEngine {
     }
 
     fn masked_top_k(&self, k: usize, audience: &BitSet) -> QueryResponse {
-        let mut state = ShardedGreedy::masked(&self.index, audience, self.threads);
-        state.extend_to(&self.index, k, self.threads);
-        let take = k.min(self.index.num_nodes());
+        // The masked session lives in the shard cells; holding the greedy
+        // lock serializes it against both fresh Top-K and other masks.
+        let _session = self.greedy.lock();
+        let audience = Arc::new(audience.clone());
+        let n = self.index.num_nodes();
+        let shards = self.pool.len();
+        let mut merged = vec![0u64; n];
+        let init = self.pool.scatter(
+            (0..shards).map(|s| (s, ShardRequest::MaskedInit { audience: Arc::clone(&audience) })),
+        );
+        for response in init {
+            for (v, c) in response.counts().into_iter().enumerate() {
+                merged[v] += c;
+            }
+        }
+        let mut state = DistributedGreedy::from_merged(merged, shards);
+        self.extend_to(&mut state, k, Session::Masked);
+        for response in self.pool.scatter((0..shards).map(|s| (s, ShardRequest::MaskedClear))) {
+            debug_assert!(matches!(response, ShardResponse::Unit));
+        }
+        let take = k.min(n);
         let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
         self.topk_response(state.seeds[..take].to_vec(), covered)
     }
@@ -331,72 +673,71 @@ impl ShardedEngine {
     }
 
     fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
-        let n = self.index.num_nodes();
-        let covered: usize = scatter_map(&self.index, self.threads, |seg| {
-            let mut marks = BitSet::new(seg.len());
-            let mut covered = 0usize;
-            for &seed in seeds {
-                if (seed as usize) < n {
-                    for &lsid in seg.postings(seed) {
-                        covered += usize::from(marks.insert(lsid as usize));
-                    }
-                }
-            }
-            covered
-        })
-        .iter()
-        .sum();
+        let seeds = Arc::new(seeds.to_vec());
+        let covered: usize = self
+            .pool
+            .scatter(
+                (0..self.pool.len())
+                    .map(|s| (s, ShardRequest::Spread { seeds: Arc::clone(&seeds) })),
+            )
+            .into_iter()
+            .map(ShardResponse::count)
+            .sum();
         QueryResponse::spread_from_tallies(covered, self.index.num_sets(), self.index.num_nodes())
     }
 
     fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
-        let n = self.index.num_nodes();
-        let gained: usize = scatter_map(&self.index, self.threads, |seg| {
-            let mut marks = BitSet::new(seg.len());
-            for &seed in seeds {
-                if (seed as usize) < n {
-                    for &lsid in seg.postings(seed) {
-                        marks.insert(lsid as usize);
-                    }
-                }
-            }
-            if (candidate as usize) < n {
-                seg.postings(candidate)
-                    .iter()
-                    .filter(|&&lsid| !marks.contains(lsid as usize))
-                    .count()
-            } else {
-                0
-            }
-        })
-        .iter()
-        .sum();
+        let seeds = Arc::new(seeds.to_vec());
+        let gained: usize = self
+            .pool
+            .scatter(
+                (0..self.pool.len())
+                    .map(|s| (s, ShardRequest::Marginal { seeds: Arc::clone(&seeds), candidate })),
+            )
+            .into_iter()
+            .map(ShardResponse::count)
+            .sum();
         QueryResponse::marginal_from_tallies(gained, self.index.num_sets(), self.index.num_nodes())
     }
+}
+
+/// Merged per-vertex degrees across all shards: the fresh-session live
+/// counts before any retirement.
+fn merged_degrees(pool: &PinnedPool<ShardCell>, num_nodes: usize) -> Vec<u64> {
+    let mut merged = vec![0u64; num_nodes];
+    for response in pool.scatter((0..pool.len()).map(|s| (s, ShardRequest::Degrees))) {
+        for (v, c) in response.counts().into_iter().enumerate() {
+            merged[v] += c;
+        }
+    }
+    merged
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imm_rrr::RrrSet;
+    use imm_rrr::{RrrCollection, RrrSet};
     use imm_service::IndexMeta;
 
-    fn sharded_engine(num_nodes: usize, sets: &[&[NodeId]], shards: usize) -> ShardedEngine {
+    fn sharded_index(num_nodes: usize, sets: &[&[NodeId]], shards: usize) -> Arc<ShardedIndex> {
         let mut c = RrrCollection::new(num_nodes);
         for s in sets {
             c.push(RrrSet::sorted(s.to_vec()));
         }
-        let index = ShardedIndex::from_parts(c, IndexMeta::default(), None, shards).unwrap();
-        ShardedEngine::new(Arc::new(index))
+        Arc::new(ShardedIndex::from_parts(c, IndexMeta::default(), None, shards).unwrap())
+    }
+
+    fn sharded_engine(num_nodes: usize, sets: &[&[NodeId]], shards: usize) -> ShardedEngine {
+        ShardedEngine::new(sharded_index(num_nodes, sets, shards))
     }
 
     /// The paper's Figure 3 sets; hand-checkable greedy trajectory.
+    fn figure3_sets() -> Vec<&'static [NodeId]> {
+        vec![&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]]
+    }
+
     fn figure3(shards: usize) -> ShardedEngine {
-        sharded_engine(
-            6,
-            &[&[0, 1], &[1], &[2, 4], &[1, 4], &[1, 4, 5], &[3], &[0, 3], &[2]],
-            shards,
-        )
+        sharded_engine(6, &figure3_sets(), shards)
     }
 
     #[test]
@@ -410,6 +751,32 @@ mod tests {
                     assert!((estimated_influence - 6.0).abs() < 1e-12);
                 }
                 other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn forced_worker_mode_matches_inline_serving() {
+        for threads in [2usize, 4] {
+            let engine = ShardedEngine::with_runtime(
+                sharded_index(6, &figure3_sets(), 3),
+                threads,
+                0,
+                WakeMode::Always,
+            );
+            assert!(engine.num_workers() >= 1, "Always mode must spawn workers");
+            let inline = figure3(3);
+            for query in [
+                Query::top_k(3),
+                Query::Spread { seeds: vec![1, 3] },
+                Query::Marginal { seeds: vec![1], candidate: 3 },
+                Query::audience_top_k(2, BitSet::from_iter_with_capacity(6, [3, 4])),
+            ] {
+                assert_eq!(
+                    engine.execute_uncached(&query),
+                    inline.execute_uncached(&query),
+                    "threads={threads} {query:?}"
+                );
             }
         }
     }
@@ -457,6 +824,12 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+        // A fresh Top-K right after a masked one: the masked session must
+        // not leak into the persistent fresh state.
+        match engine.execute(&Query::top_k(3)) {
+            QueryResponse::TopK { seeds, .. } => assert_eq!(seeds, vec![1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]
@@ -499,5 +872,19 @@ mod tests {
             assert_eq!(engine.execute_batch(&queries, threads), sequential, "threads={threads}");
         }
         assert!(engine.execute_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn merged_counts_match_the_distributed_live_probe() {
+        let engine = figure3(3);
+        let _ = engine.execute(&Query::top_k(2));
+        let state = engine.greedy.lock();
+        for v in 0..6u32 {
+            assert_eq!(
+                engine.scattered_live_count(v, Session::Fresh) as u64,
+                state.merged[v as usize],
+                "vertex {v}"
+            );
+        }
     }
 }

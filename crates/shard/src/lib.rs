@@ -21,10 +21,16 @@
 //!   rebuild.
 //! * [`ShardedEngine`] — answers the full query vocabulary (Top-K with
 //!   optional audience masks, spread, marginal, batches, response cache) by
-//!   scatter/gather: per-shard counting on worker threads, CELF greedy over
-//!   merged per-shard upper bounds. Results are **byte-identical** to the
-//!   single-index `QueryEngine` for every shard count and thread count —
-//!   the crate's parity suite pins this, including after `apply_delta`.
+//!   scatter/gather over a **persistent pinned worker pool**
+//!   ([`imm_exec::PinnedPool`]): each worker permanently owns one shard's
+//!   serving state and answers typed requests over per-shard channels, so a
+//!   CELF round costs one message round-trip per shard (and zero channel
+//!   traffic when the pool runs inline on a single hardware thread). The
+//!   greedy runs over merged bounds held engine-side, kept exact by the
+//!   shards' retire streams. Results are **byte-identical** to the
+//!   single-index `QueryEngine` for every shard count, thread count, and
+//!   [`WakeMode`] — the crate's parity suite pins this, including after
+//!   `apply_delta`.
 //! * [`snapshot`] — split a v3 index snapshot into per-shard files (each a
 //!   self-verifying standard snapshot behind a small shard header) and
 //!   reassemble them, preserving the shard layout.
@@ -59,6 +65,7 @@ pub mod segment;
 pub mod snapshot;
 
 pub use engine::ShardedEngine;
+pub use imm_exec::WakeMode;
 pub use index::ShardedIndex;
 pub use segment::{LocalSetId, ShardSegment};
 pub use snapshot::{

@@ -13,7 +13,7 @@ use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, CsrGraph, EdgeWeights, GraphDelta};
 use imm_rrr::{AdaptivePolicy, BitSet, NodeId, RrrCollection};
 use imm_service::{IndexMeta, Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
-use imm_shard::{ShardedEngine, ShardedIndex};
+use imm_shard::{ShardedEngine, ShardedIndex, WakeMode};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +143,33 @@ fn sharded_serving_is_byte_identical_across_the_grid() {
                     &format!("{context}, post-delta-2"),
                 );
             }
+        }
+    }
+}
+
+/// Forced cross-thread serving: [`WakeMode::Always`] spawns pinned workers
+/// even on a single hardware thread, so every scatter really crosses the
+/// request/response channels. The answers must stay byte-identical to the
+/// single-index engine — parity may not depend on the inline fast path.
+#[test]
+fn forced_worker_mode_stays_byte_identical() {
+    let model = DiffusionModel::IndependentCascade;
+    let (graph, weights) = fixture(model, 0xA5);
+    let spec = SampleSpec::new(model, 0x5EED);
+    let index = SketchIndex::sample(&graph, &weights, spec, THETA, 2, "parity").expect("sample");
+    for shards in SHARD_COUNTS {
+        for threads in [2usize, 4] {
+            let context = format!("forced workers, {shards} shards, {threads} threads");
+            let single = QueryEngine::new(Arc::new(index.clone()));
+            let sharded = ShardedEngine::with_runtime(
+                Arc::new(ShardedIndex::from_index(index.clone(), shards).expect("shardable")),
+                threads,
+                64,
+                WakeMode::Always,
+            );
+            assert!(sharded.num_workers() >= 1, "{context}: expected pinned workers");
+            let queries = query_battery(graph.num_nodes(), 0xF0CC ^ shards as u64);
+            assert_engines_agree(&single, &sharded, &queries, &context);
         }
     }
 }

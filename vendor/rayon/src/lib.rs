@@ -1,18 +1,27 @@
-//! Offline subset of the `rayon` API.
+//! Offline subset of the `rayon` API, backed by the `imm-exec`
+//! persistent worker pool.
 //!
-//! * [`scope`] / [`Scope::spawn`] run closures on real scoped OS threads, so
-//!   code exercising concurrency (atomic counters, work-stealing queues)
-//!   behaves concurrently.
-//! * [`ThreadPool`] is a thin token recording the requested parallelism;
-//!   `install` runs the closure on the calling thread and `scope` delegates
-//!   to scoped OS threads. There is no work-stealing runtime.
-//! * The [`prelude`] maps the parallel-iterator surface the workspace uses
-//!   (`par_iter`, `into_par_iter`, `par_chunks`, `reduce_with`) onto
+//! * [`scope`] / [`Scope::spawn`] and [`join`] delegate to the
+//!   process-global [`imm_exec::Executor`]: long-lived workers fed by
+//!   per-worker SPSC queues, with the scope owner helping run unclaimed
+//!   tasks. No OS thread is spawned per call.
+//! * [`ThreadPoolBuilder::build_global`] configures that global pool once
+//!   (thread count otherwise comes from `IMM_THREADS` or the machine
+//!   parallelism); [`ThreadPool`] is a thin token recording the requested
+//!   parallelism whose `install`/`scope` run on the calling thread and
+//!   the global pool respectively.
+//! * The [`prelude`] maps the parallel-iterator surface the workspace
+//!   uses (`par_iter`, `into_par_iter`, `par_chunks`, `reduce_with`) onto
 //!   sequential std iterators — semantics identical, parallelism absent.
 
 pub mod prelude;
 
 use std::fmt;
+
+/// Fork-join scope handing out `spawn`; re-exported from `imm-exec`, so
+/// every spawn runs on the persistent global pool and completes before
+/// the enclosing [`scope`] returns.
+pub use imm_exec::Scope;
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
@@ -20,7 +29,8 @@ pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
-/// Error type returned by [`ThreadPoolBuilder::build`] (never produced).
+/// Error returned by [`ThreadPoolBuilder::build_global`] when the global
+/// pool already exists (and, in real rayon, by `build` failures).
 #[derive(Debug)]
 pub struct ThreadPoolBuildError;
 
@@ -33,18 +43,20 @@ impl fmt::Display for ThreadPoolBuildError {
 impl std::error::Error for ThreadPoolBuildError {}
 
 impl ThreadPoolBuilder {
-    /// New builder with the default (machine) parallelism.
+    /// New builder with the default parallelism
+    /// ([`imm_exec::default_threads`]).
     pub fn new() -> Self {
         ThreadPoolBuilder { num_threads: 0 }
     }
 
-    /// Request an explicit worker count (0 = machine parallelism).
+    /// Request an explicit worker count (0 = default parallelism).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Worker naming hook (accepted and ignored; no persistent workers).
+    /// Worker naming hook (accepted and ignored; imm-exec names its own
+    /// workers).
     pub fn thread_name<F>(self, _f: F) -> Self
     where
         F: FnMut(usize) -> String,
@@ -52,14 +64,25 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Finish the builder.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            imm_exec::default_threads()
         } else {
             self.num_threads
-        };
-        Ok(ThreadPool { num_threads: n })
+        }
+    }
+
+    /// Finish the builder into a pool token. `install` runs inline;
+    /// `scope` runs on the process-global persistent pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.resolved_threads() })
+    }
+
+    /// Install the process-global pool with this thread count. Fails if
+    /// something (an earlier call, or first use) already initialized it.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let threads = self.resolved_threads();
+        imm_exec::configure_global(threads).map_err(|_| ThreadPoolBuildError)
     }
 }
 
@@ -83,7 +106,8 @@ impl ThreadPool {
         op()
     }
 
-    /// Scoped fork-join on this pool; see [`scope`].
+    /// Scoped fork-join; delegates to the process-global persistent pool
+    /// (this shim does not keep one OS pool per `ThreadPool` token).
     pub fn scope<'env, OP, R>(&self, op: OP) -> R
     where
         OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
@@ -92,31 +116,32 @@ impl ThreadPool {
     }
 }
 
-/// Fork-join scope handing out [`Scope::spawn`]. Backed by
-/// `std::thread::scope`, so every spawn is a real OS thread that joins when
-/// the scope ends.
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
-}
-
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawn a task that runs concurrently with the rest of the scope.
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
-    {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
-    }
-}
-
-/// Fork-join: `op` may spawn tasks on the scope; all tasks complete before
-/// `scope` returns. Mirrors `rayon::scope`.
+/// Fork-join on the process-global persistent pool: `op` may spawn tasks
+/// on the scope; all tasks complete before `scope` returns. Mirrors
+/// `rayon::scope`.
 pub fn scope<'env, OP, R>(op: OP) -> R
 where
     OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| op(&Scope { inner: s }))
+    imm_exec::global().scope(op)
+}
+
+/// Run two closures, potentially in parallel, on the global pool.
+/// Mirrors `rayon::join`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    imm_exec::global().join(oper_a, oper_b)
+}
+
+/// Parallelism of the process-global pool (initializing it on first use).
+/// Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    imm_exec::global().num_threads()
 }
 
 #[cfg(test)]
@@ -154,5 +179,16 @@ mod tests {
         let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.current_num_threads(), 3);
         assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = super::join(|| 1 + 1, || 2 + 2);
+        assert_eq!((a, b), (2, 4));
+    }
+
+    #[test]
+    fn global_pool_has_positive_parallelism() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
