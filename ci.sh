@@ -49,9 +49,20 @@ PROPTEST_CASES=32 cargo test -q -p imm-shard
 echo "==> execution runtime stress suite"
 cargo test -q -p imm-exec --test runtime_stress
 
-echo "==> test guard: no #[ignore] in crates/{service,shard,exec}/tests"
-if grep -rn '#\[ignore' crates/service/tests crates/shard/tests crates/exec/tests; then
-  echo "error: #[ignore]d tests are not allowed in the service/shard/exec suites" >&2
+# The metrics layer is load-bearing for every subsystem's instrumentation;
+# its histogram correctness suite (bucket boundaries, percentile agreement
+# with a sorted-vec reference, concurrent increments) and the workspace-wide
+# catalog gates (unique snake_case names, README drift) are re-invoked here
+# by name so a test-scoping change can never silently drop them.
+echo "==> imm-obs histogram suite (PROPTEST_CASES=32)"
+PROPTEST_CASES=32 cargo test -q -p imm-obs --test histogram
+
+echo "==> metric catalog gates (uniqueness, naming, README drift)"
+cargo test -q --test metrics_catalog
+
+echo "==> test guard: no #[ignore] in crates/{service,shard,exec,obs}/tests"
+if grep -rn '#\[ignore' crates/service/tests crates/shard/tests crates/exec/tests crates/obs/tests; then
+  echo "error: #[ignore]d tests are not allowed in the service/shard/exec/obs suites" >&2
   exit 1
 fi
 
@@ -62,10 +73,21 @@ cargo bench --no-run --workspace --quiet
 
 # The perf baseline must stay runnable and keep emitting parseable JSON; the
 # smoke run asserts the schema internally (no timing assertions) and exits
-# non-zero on any parse failure.
-echo "==> perf_suite --smoke (JSON output must parse)"
-SMOKE_OUT="$(mktemp /tmp/bench4_smoke.XXXXXX.json)"
-cargo run --release -p imm-bench --bin perf_suite -- --smoke --out "$SMOKE_OUT" > /dev/null
-rm -f "$SMOKE_OUT"
+# non-zero on any parse failure. It runs twice — once built with obs-off
+# (recording compiled to no-ops) and once instrumented with the obs-off run
+# as `--obs-baseline` — so both build flavors and the overhead-comparison
+# plumbing stay exercised. Smoke runs record the throughput ratio without
+# asserting on it (they are too short to clear the noise floor; the checked-
+# in BENCH_7.json comes from a full run where the guard does assert).
+echo "==> perf_suite --smoke, obs-off build (JSON output must parse)"
+SMOKE_BASELINE="$(mktemp /tmp/bench7_obsoff.XXXXXX.json)"
+cargo run --release -p imm-bench --features obs-off --bin perf_suite -- \
+  --smoke --out "$SMOKE_BASELINE" > /dev/null
+
+echo "==> perf_suite --smoke, instrumented vs obs-off baseline"
+SMOKE_OUT="$(mktemp /tmp/bench7_smoke.XXXXXX.json)"
+cargo run --release -p imm-bench --bin perf_suite -- \
+  --smoke --out "$SMOKE_OUT" --obs-baseline "$SMOKE_BASELINE" > /dev/null
+rm -f "$SMOKE_OUT" "$SMOKE_BASELINE"
 
 echo "CI OK"

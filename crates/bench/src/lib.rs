@@ -13,12 +13,16 @@
 //!   collecting results.
 //! * [`output`] — plain-text tables, CSV files and the JSON run logs the
 //!   paper's artifact produces.
+//! * [`obs`] — the versioned JSON shape for `imm-obs` registry exports,
+//!   shared by the CLI's `stats --metrics` and the perf suite's
+//!   `BENCH_*.json` embed.
 //!
 //! Each table/figure has a dedicated binary under `src/bin/`; see DESIGN.md
 //! §6 for the experiment-to-binary index.
 
 pub mod config;
 pub mod datasets;
+pub mod obs;
 pub mod output;
 pub mod runner;
 pub mod scaling;

@@ -19,13 +19,14 @@ USAGE:
                             [--k <K>] [--epsilon <E>] [--threads <T>]
   efficient-imm stats       (--graph <FILE> | --dataset <NAME> | --index <FILE>)
                             [--rrr-sets <N>] [--metrics]
+  efficient-imm stats       --metrics --describe
   efficient-imm build-index (--graph <FILE> | --dataset <NAME>) --output <FILE>
                             [--model ic|lt] [--k <K>] [--epsilon <E>]
                             [--threads <T>] [--seed <S>]
   efficient-imm query       (--index <FILE> | --shard-files <F0,F1,..>)
                             [--top-k <K1,K2,..>] [--audience <V1,V2,..>]
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
-                            [--shards <N>] [--threads <T>]
+                            [--shards <N>] [--threads <T>] [--metrics]
   efficient-imm update-index --index <FILE> (--graph <FILE> | --dataset <NAME>)
                             --delta <FILE> [--output <FILE>]
   efficient-imm split-index --index <FILE> --shards <N> --output <PREFIX>
@@ -51,8 +52,12 @@ web-Google, soc-Pokec, com-LJ, twitter7).
 Every parallel phase runs on one persistent process-wide worker pool, sized
 once at startup: --threads (where accepted) wins, then the IMM_THREADS
 environment variable, then the machine parallelism. `stats --metrics`
-appends the pool's runtime counters (tasks executed per worker kind,
-park/unpark transitions, per-worker queue depths) to the stats output.";
+appends the full workspace metric registry (exec runtime counters, sampling
+totals, per-query-type latency percentiles, cache/CELF/refresh/shard
+metrics) plus the worker pool's queue depths to the stats output; `stats
+--metrics --describe` prints the metric catalog as a markdown table (the
+README's Observability section) and exits. `query --metrics` appends the
+before/after metrics delta of the served batch to the query output.";
 
 /// Which graph source a command reads.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,8 +113,10 @@ pub struct StatsArgs {
     pub rrr_sets: usize,
     /// Sketch-index snapshot to reuse instead of resampling.
     pub index: Option<String>,
-    /// Append the execution runtime's counters to the output.
+    /// Append the workspace metric registry to the output.
     pub metrics: bool,
+    /// Print the metric catalog (markdown) instead of graph statistics.
+    pub describe: bool,
 }
 
 /// Parsed `build-index` options.
@@ -161,6 +168,8 @@ pub struct QueryArgs {
     pub shards: usize,
     /// Worker threads for the query batch.
     pub threads: usize,
+    /// Append the batch's before/after metrics delta to the output.
+    pub metrics: bool,
 }
 
 /// Parsed `split-index` options.
@@ -287,7 +296,10 @@ fn parse_vertex_list(raw: &str) -> Result<Vec<u32>, String> {
 }
 
 fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
-    let flags = Flags::parse(args)?;
+    // `--metrics` is valueless; strip it before the `--flag value` pairing.
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
+    let flags = Flags::parse(&args)?;
     let source = match (flags.get("--index"), flags.get("--shard-files")) {
         (Some(path), None) => IndexSource::Snapshot(path.to_string()),
         (None, Some(list)) => IndexSource::ShardFiles(
@@ -345,6 +357,7 @@ fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
         marginal,
         shards,
         threads: flags.get_parsed("--threads", imm_exec::default_threads())?,
+        metrics,
     })
 }
 
@@ -369,10 +382,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run" => Ok(Command::Run(parse_run(rest)?)),
         "compare" => Ok(Command::Compare(parse_run(rest)?)),
         "stats" => {
-            // `--metrics` is the one valueless flag in the surface; strip it
+            // `--metrics` / `--describe` are valueless flags; strip them
             // before the `--flag value` pairing pass.
             let metrics = rest.iter().any(|a| a == "--metrics");
-            let rest: Vec<String> = rest.iter().filter(|a| *a != "--metrics").cloned().collect();
+            let describe = rest.iter().any(|a| a == "--describe");
+            let rest: Vec<String> =
+                rest.iter().filter(|a| *a != "--metrics" && *a != "--describe").cloned().collect();
+            if describe {
+                // The catalog is pure registry metadata: no graph, no
+                // sample. Anything else on the line would be silently
+                // ignored, so reject it outright.
+                if !metrics {
+                    return Err(
+                        "--describe documents the metric registry; pass --metrics --describe"
+                            .into(),
+                    );
+                }
+                if !rest.is_empty() {
+                    return Err(format!("--describe takes no other flags, got '{}'", rest[0]));
+                }
+                return Ok(Command::Stats(StatsArgs {
+                    source: None,
+                    rrr_sets: 0,
+                    index: None,
+                    metrics,
+                    describe,
+                }));
+            }
             let flags = Flags::parse(&rest)?;
             let index = flags.get("--index").map(|s| s.to_string());
             if index.is_some() {
@@ -384,13 +420,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         return Err(format!("pass either --index or {conflicting}, not both"));
                     }
                 }
-                return Ok(Command::Stats(StatsArgs { source: None, rrr_sets: 0, index, metrics }));
+                return Ok(Command::Stats(StatsArgs {
+                    source: None,
+                    rrr_sets: 0,
+                    index,
+                    metrics,
+                    describe: false,
+                }));
             }
             Ok(Command::Stats(StatsArgs {
                 source: Some(flags.source()?),
                 rrr_sets: flags.get_parsed("--rrr-sets", 256usize)?,
                 index: None,
                 metrics,
+                describe: false,
             }))
         }
         "build-index" => {
@@ -512,6 +555,7 @@ mod tests {
                 rrr_sets: 64,
                 index: None,
                 metrics: false,
+                describe: false,
             })
         );
         let cmd = parse(&sv(&["compare", "--dataset", "com-Amazon"])).unwrap();
@@ -528,6 +572,7 @@ mod tests {
                 rrr_sets: 0,
                 index: Some("g.sketch".into()),
                 metrics: false,
+                describe: false,
             })
         );
         // With neither index nor source, stats is still an error.
@@ -672,6 +717,7 @@ mod tests {
                 marginal: Some((vec![1, 2], 9)),
                 shards: 4,
                 threads: 2,
+                metrics: false,
             })
         );
     }
@@ -690,6 +736,7 @@ mod tests {
                 marginal: None,
                 shards: 1,
                 threads: imm_exec::default_threads(),
+                metrics: false,
             })
         );
         // The files fix the shard layout: an explicit count is rejected.

@@ -417,12 +417,19 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
         queries.push(Query::Marginal { seeds: seeds.clone(), candidate: *candidate });
     }
 
+    let before = if args.metrics {
+        imm_bench::obs::register_workspace_metrics();
+        Some(imm_obs::snapshot())
+    } else {
+        None
+    };
+
     let start = Instant::now();
     let responses = engine.execute_batch(&queries, args.threads);
     let wall = start.elapsed().as_secs_f64();
 
     let (label, theta, nodes, shards) = engine.describe();
-    let json = serde_json::json!({
+    let mut json = serde_json::json!({
         "index": source_label,
         "source": label,
         "theta": theta,
@@ -436,38 +443,40 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
             .map(|(q, r)| response_json(q, r))
             .collect::<Vec<_>>(),
     });
+    if let Some(before) = before {
+        // What this batch alone did to the registry: counters and
+        // histograms are differenced, gauges keep their final value.
+        let delta = imm_obs::delta(&before, &imm_obs::snapshot());
+        if let serde_json::Value::Object(pairs) = &mut json {
+            pairs.push(("metrics_delta".to_string(), imm_bench::obs::samples_json(&delta)));
+        }
+    }
     println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
     Ok(())
 }
 
-/// Runtime counters of the process-global execution pool, metriken-style:
-/// one named monotonic counter per row, plus the live per-worker queue
-/// depths. Exposed by `stats --metrics` and embedded in the perf-suite
-/// baseline for before/after comparisons.
-fn exec_metrics_json() -> serde_json::Value {
+/// The workspace metric registry in the documented, versioned shape
+/// ([`imm_bench::obs`] — the same serializer the perf suite embeds in
+/// `BENCH_*.json`), plus the live state of the process-global pool that a
+/// registry of monotonic metrics cannot carry (its thread count and
+/// per-worker queue depths).
+fn metrics_json() -> serde_json::Value {
     let pool = imm_exec::global();
     serde_json::json!({
-        "pool_threads": pool.num_threads(),
-        "queue_depths": pool.queue_depths(),
-        "counters": imm_exec::metrics::snapshot()
-            .iter()
-            .map(|m| {
-                serde_json::json!({
-                    "name": m.name,
-                    "value": m.value,
-                    "description": m.description,
-                })
-            })
-            .collect::<Vec<_>>(),
+        "pool": {
+            "threads": pool.num_threads(),
+            "queue_depths": pool.queue_depths(),
+        },
+        "registry": imm_bench::obs::registry_json(),
     })
 }
 
-/// Render a stats payload, appending the execution-runtime counters when
+/// Render a stats payload, appending the full metric registry when
 /// `--metrics` was passed.
 fn print_stats(json: serde_json::Value, metrics: bool) {
     let json = match (metrics, json) {
         (true, serde_json::Value::Object(mut pairs)) => {
-            pairs.push(("exec_metrics".to_string(), exec_metrics_json()));
+            pairs.push(("metrics".to_string(), metrics_json()));
             serde_json::Value::Object(pairs)
         }
         (_, json) => json,
@@ -498,6 +507,13 @@ fn stats_from_index(path: &str, metrics: bool) -> Result<(), CliError> {
 }
 
 fn stats(args: &StatsArgs) -> Result<(), CliError> {
+    if args.describe {
+        // The catalog is registry metadata only — no graph, no sampling.
+        // Printed as the exact markdown table of the README's
+        // "Observability" section (a facade test pins the two together).
+        print!("{}", imm_bench::obs::catalog_markdown());
+        return Ok(());
+    }
     if let Some(path) = &args.index {
         return stats_from_index(path, args.metrics);
     }
@@ -642,6 +658,7 @@ mod tests {
             rrr_sets: 32,
             index: None,
             metrics: true,
+            describe: false,
         }))
         .unwrap();
         std::fs::remove_file(&graph_path).ok();
@@ -674,6 +691,7 @@ mod tests {
             marginal: Some((vec![0], 1)),
             shards: 1,
             threads: 2,
+            metrics: false,
         }))
         .unwrap();
 
@@ -682,6 +700,7 @@ mod tests {
             rrr_sets: 32,
             index: Some(snapshot_path.to_string_lossy().into_owned()),
             metrics: false,
+            describe: false,
         }))
         .unwrap();
         std::fs::remove_file(&snapshot_path).ok();
@@ -727,6 +746,8 @@ mod tests {
             marginal: None,
             shards: 1,
             threads: 2,
+            // Exercises the before/after registry delta path end to end.
+            metrics: true,
         }))
         .unwrap();
         execute(Command::Query(QueryArgs {
@@ -737,6 +758,7 @@ mod tests {
             marginal: None,
             shards: 4,
             threads: 2,
+            metrics: false,
         }))
         .unwrap();
 
@@ -749,6 +771,7 @@ mod tests {
             marginal: None,
             shards: 1,
             threads: 1,
+            metrics: false,
         }))
         .unwrap_err();
         assert!(err.contains("shard"), "unexpected error: {err}");
@@ -822,6 +845,7 @@ mod tests {
             marginal: None,
             shards: 1,
             threads: 1,
+            metrics: false,
         }))
         .unwrap();
 
@@ -876,6 +900,7 @@ mod tests {
             marginal: None,
             shards: 1,
             threads: 1,
+            metrics: false,
         }))
         .unwrap_err();
         assert!(err.contains("cannot load"));

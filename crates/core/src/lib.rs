@@ -41,6 +41,7 @@ pub mod counter;
 pub mod imm;
 pub mod instrumented;
 pub mod math;
+pub mod metrics;
 pub mod params;
 pub mod sampling;
 pub mod selection;

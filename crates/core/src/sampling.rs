@@ -130,14 +130,20 @@ pub fn generate_rrr_set_into<R: Rng + ?Sized, T: ProbeTrace>(
     out: &mut Vec<NodeId>,
 ) -> usize {
     marker.next_epoch();
-    match model {
+    let appended = match model {
         DiffusionModel::IndependentCascade => {
             ic_reverse_bfs(graph, weights, root, rng, marker, trace, out)
         }
         DiffusionModel::LinearThreshold => {
             lt_reverse_walk(graph, weights, root, rng, marker, trace, out)
         }
-    }
+    };
+    // This is the one choke point every sampling path funnels through
+    // (bulk, refresh resample, one-shot), so the instrumentation budget —
+    // two relaxed atomics per generated set — is paid exactly once here.
+    crate::metrics::SETS_SAMPLED.increment();
+    crate::metrics::SET_VERTICES.add(appended as u64);
+    appended
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -360,6 +366,7 @@ fn generate_rrr_sets_impl(
     pool: &rayon::ThreadPool,
     trace: bool,
 ) -> SamplingOutput {
+    crate::metrics::register();
     let threads = config.threads.max(1);
     let num_nodes = graph.num_nodes();
     let slots: Vec<Mutex<SlotOutput>> =

@@ -240,6 +240,7 @@ impl Executor {
     /// `threads` is clamped to at least 1; with exactly 1, no worker
     /// threads exist and every task runs inline on the scope owner.
     pub fn new(threads: usize) -> Self {
+        metrics::register();
         let threads = threads.max(1);
         let shutdown = Arc::new(AtomicBool::new(false));
         let workers = (0..threads - 1)

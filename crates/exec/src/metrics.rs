@@ -1,56 +1,18 @@
 //! Runtime observability: static lazy counters in the `metriken` idiom.
 //!
-//! Every counter is a `static` with a stable name and a human description,
-//! incremented with one relaxed atomic add on the hot path and read through
-//! [`snapshot`] — zero coordination, zero cost when nobody reads them.
-//! Consumers (the CLI's `stats --metrics`, the perf suite's `BENCH_*.json`
-//! snapshot) serialize the sample list themselves; this crate stays
-//! dependency-free.
+//! Every counter is a `static` with a stable name and a human
+//! description, incremented with one relaxed atomic add on the hot path.
+//! Since PR 7 the counters are [`imm_obs::Counter`]s and join the
+//! workspace-wide `imm-obs` registry via [`register`]; the local
+//! [`registry`] / [`snapshot`] views are kept for exec-only consumers
+//! (the perf suite's executor phase, the CLI's pool panel). Names are
+//! byte-stable across the migration — `exec_*` exactly as in PR 6 — and
+//! a test pins them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
 
-/// A named monotonic counter with a registered description.
-#[derive(Debug)]
-pub struct Counter {
-    name: &'static str,
-    description: &'static str,
-    value: AtomicU64,
-}
-
-impl Counter {
-    /// A fresh counter (used in `static` position).
-    pub const fn new(name: &'static str, description: &'static str) -> Self {
-        Counter { name, description, value: AtomicU64::new(0) }
-    }
-
-    /// Add one.
-    #[inline]
-    pub fn increment(&self) {
-        self.add(1);
-    }
-
-    /// Add `n`.
-    #[inline]
-    pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    #[inline]
-    pub fn value(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-
-    /// Stable metric name.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Human description.
-    pub fn description(&self) -> &'static str {
-        self.description
-    }
-}
+pub use imm_obs::Counter;
+use imm_obs::Metric;
 
 /// Scopes entered on the shared pool (fork-join rounds).
 pub static SCOPES: Counter =
@@ -116,8 +78,12 @@ pub static PINNED_UNPARKS: Counter =
     Counter::new("exec_pinned_unparks", "Wakeups sent to parked pinned workers");
 
 /// Every counter the runtime exports, in registration order.
-pub fn registry() -> [&'static Counter; 14] {
-    [
+///
+/// Growable on purpose (PR 7 satellite): PR 6 returned a fixed
+/// `[&Counter; 14]`, which forced every call site to change whenever a
+/// counter was added. Consumers iterate; none may assume a length.
+pub fn registry() -> Vec<&'static Counter> {
+    vec![
         &SCOPES,
         &TASKS_SPAWNED,
         &TASKS_WORKER,
@@ -133,6 +99,18 @@ pub fn registry() -> [&'static Counter; 14] {
         &PINNED_UNPARKS,
         &crate::executor::GLOBAL_CONFIGS,
     ]
+}
+
+/// Register every exec counter with the process-global `imm-obs`
+/// registry. Idempotent; called from pool constructors, never on a hot
+/// path.
+pub fn register() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let metrics: Vec<&'static dyn Metric> =
+            registry().into_iter().map(|c| c as &'static dyn Metric).collect();
+        imm_obs::register(&metrics);
+    });
 }
 
 /// One sampled metric: `(name, description, value)` at snapshot time.
@@ -164,7 +142,9 @@ mod tests {
         assert_eq!(LOCAL.value(), 0);
         LOCAL.increment();
         LOCAL.add(4);
-        assert_eq!(LOCAL.value(), 5);
+        if imm_obs::recording_enabled() {
+            assert_eq!(LOCAL.value(), 5);
+        }
         assert_eq!(LOCAL.name(), "test_counter");
         assert_eq!(LOCAL.description(), "a test counter");
     }
@@ -177,5 +157,40 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), samples.len(), "metric names must be unique");
+    }
+
+    #[test]
+    fn exec_metric_names_are_byte_stable_since_pr6() {
+        // The exact 14 names PR 6 shipped. External consumers (BENCH_*.json
+        // diffs, dashboards) key on these strings; renaming any of them is
+        // a breaking change that must be made deliberately, not by accident.
+        let expected = [
+            "exec_scopes",
+            "exec_tasks_spawned",
+            "exec_tasks_worker",
+            "exec_tasks_helped",
+            "exec_tasks_overflow",
+            "exec_worker_parks",
+            "exec_worker_unparks",
+            "exec_pinned_scatters",
+            "exec_pinned_enqueued",
+            "exec_pinned_served_worker",
+            "exec_pinned_served_inline",
+            "exec_pinned_parks",
+            "exec_pinned_unparks",
+            "exec_global_configs",
+        ];
+        let names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+        assert_eq!(names, expected, "exec metric names/order changed vs PR 6");
+    }
+
+    #[test]
+    fn register_feeds_the_global_obs_registry() {
+        register();
+        register(); // idempotent
+        let names: Vec<&str> = imm_obs::snapshot().iter().map(|s| s.name).collect();
+        for c in registry() {
+            assert!(names.contains(&c.name()), "{} missing from imm-obs registry", c.name());
+        }
     }
 }

@@ -203,6 +203,7 @@ impl<P: Pinned> PinnedPool<P> {
 
     /// Pool with an explicit worker wake policy.
     pub fn with_wake_mode(states: Vec<P>, threads: usize, mode: WakeMode) -> Self {
+        crate::metrics::register();
         let cells: Arc<[Cell<P>]> = states
             .into_iter()
             .map(|pinned| Cell { inner: Mutex::new(CellInner { pinned, queue: VecDeque::new() }) })

@@ -1,0 +1,164 @@
+//! Histogram correctness suite: bucket boundary edges, percentile
+//! agreement with a sorted-vec reference under proptest, and
+//! concurrent-increment totals.
+//!
+//! These tests exercise real recording, so they are skipped (trivially
+//! pass) under the `obs-off` compile-out feature.
+
+use imm_obs::histogram::{bucket_index, bucket_range, GROUPING_BITS, NUM_BUCKETS};
+use imm_obs::{Histogram, HistogramSnapshot, Unit};
+use proptest::prelude::*;
+
+fn fresh() -> &'static Histogram {
+    // Histograms are designed for `static` position; tests leak one per
+    // call to get the same 'static shape without sharing state.
+    Box::leak(Box::new(Histogram::new("test_hist", "a test histogram", Unit::Nanoseconds)))
+}
+
+/// Reference percentile: nearest-rank over a sorted sample vec.
+fn reference_percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[test]
+fn boundary_values_land_in_self_consistent_buckets() {
+    if !imm_obs::recording_enabled() {
+        return;
+    }
+    let edge_values = {
+        // 0, 1, every bucket's exact bounds near octave edges, and the
+        // extremes of the range.
+        let mut v = vec![0u64, 1, (1 << GROUPING_BITS) - 1, 1 << GROUPING_BITS, u64::MAX];
+        for shift in [8u32, 16, 32, 63] {
+            let p = 1u64 << shift;
+            v.extend([p - 1, p, p + 1]);
+        }
+        v
+    };
+    for &value in &edge_values {
+        let i = bucket_index(value);
+        assert!(i < NUM_BUCKETS, "index {i} out of range for {value}");
+        let (lo, hi) = bucket_range(i);
+        assert!(lo <= value && value <= hi, "{value} outside its bucket [{lo}, {hi}]");
+        let h = fresh();
+        h.record(value);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        // All percentiles of a single observation are its bucket's
+        // upper bound — never below the recorded value.
+        assert_eq!(snap.p50, hi);
+        assert_eq!(snap.p99, hi);
+        assert_eq!(snap.max, hi);
+        assert!(snap.max >= value);
+    }
+}
+
+#[test]
+fn max_of_u64_max_is_exact() {
+    if !imm_obs::recording_enabled() {
+        return;
+    }
+    let h = fresh();
+    h.record(u64::MAX);
+    assert_eq!(h.snapshot().max, u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentiles_match_sorted_vec_reference(values in proptest::collection::vec(0u64..1u64 << 40, 1..400)) {
+        if !imm_obs::recording_enabled() {
+            return;
+        }
+        let h = fresh();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, got) in [(0.50, snap.p50), (0.90, snap.p90), (0.99, snap.p99)] {
+            let truth = reference_percentile(&sorted, q);
+            // The histogram reports the upper bound of the bucket the
+            // true percentile falls in: same bucket, never below.
+            prop_assert_eq!(bucket_index(got), bucket_index(truth));
+            prop_assert!(got >= truth);
+            // Bounded relative error: upper bound is within one
+            // sub-bucket width (1/2^GROUPING_BITS) of the true value.
+            let width = bucket_range(bucket_index(truth)).1 - bucket_range(bucket_index(truth)).0;
+            prop_assert!(got - truth <= width);
+        }
+        // Monotone percentile chain.
+        prop_assert!(snap.p50 <= snap.p90);
+        prop_assert!(snap.p90 <= snap.p99);
+        prop_assert!(snap.p99 <= snap.max);
+        prop_assert_eq!(snap.max, bucket_range(bucket_index(*sorted.last().unwrap())).1);
+    }
+
+    #[test]
+    fn delta_of_snapshots_matches_the_second_batch(
+        first in proptest::collection::vec(0u64..1u64 << 20, 0..100),
+        second in proptest::collection::vec(0u64..1u64 << 20, 0..100),
+    ) {
+        if !imm_obs::recording_enabled() {
+            return;
+        }
+        let h = fresh();
+        for &v in &first {
+            h.record(v);
+        }
+        let before = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let after = h.snapshot();
+        let d = after.delta(&before);
+        prop_assert_eq!(d.count, second.len() as u64);
+        // The delta must equal a histogram fed only the second batch.
+        let h2 = fresh();
+        for &v in &second {
+            h2.record(v);
+        }
+        prop_assert_eq!(d, h2.snapshot());
+    }
+}
+
+#[test]
+fn concurrent_increments_are_all_counted() {
+    if !imm_obs::recording_enabled() {
+        return;
+    }
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = fresh();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                // Each thread records a deterministic spread of values.
+                let mut x = (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+                for _ in 0..PER_THREAD {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    h.record(x >> 24);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS as u64 * PER_THREAD);
+    let bucket_total: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, snap.count);
+}
+
+#[test]
+fn from_buckets_handles_the_empty_histogram() {
+    let snap = HistogramSnapshot::from_buckets(Vec::new());
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.p50, 0);
+    assert_eq!(snap.p99, 0);
+    assert_eq!(snap.max, 0);
+}

@@ -110,6 +110,7 @@ impl QueryCache {
                 inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
             {
                 inner.map.remove(&oldest);
+                crate::metrics::CACHE_EVICTIONS.increment();
             }
         }
         inner.map.insert(key, Entry { response, last_used: tick });

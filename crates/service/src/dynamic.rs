@@ -180,21 +180,33 @@ pub fn invalidated_sets(
     num_sets: usize,
     mut postings_of: impl FnMut(NodeId, &mut dyn FnMut(usize)),
 ) -> Vec<usize> {
+    crate::metrics::register();
     let per_edge_frozen = matches!(weights.model(), WeightModel::Constant | WeightModel::IcUniform);
     let mut invalid = vec![false; num_sets];
     for &(_, dst, _) in delta.insertions() {
         postings_of(dst, &mut |sid| invalid[sid] = true);
     }
+    let mut footprint_skips = 0u64;
     let prunable =
         delta.deletions().iter().copied().chain(delta.reweights().iter().map(|&(s, d, _)| (s, d)));
     for (src, dst) in prunable {
         postings_of(dst, &mut |sid| {
             if !per_edge_frozen || provenance.sets[sid].footprint.may_contain(src, dst) {
                 invalid[sid] = true;
+            } else {
+                footprint_skips += 1;
             }
         });
     }
-    invalid.iter().enumerate().filter(|&(_, &flag)| flag).map(|(i, _)| i).collect()
+    let ids: Vec<usize> =
+        invalid.iter().enumerate().filter(|&(_, &flag)| flag).map(|(i, _)| i).collect();
+    // Refresh metrics are recorded in the shared predicate so the
+    // single-index and shard-routed paths can never diverge in coverage.
+    let edges = delta.insertions().len() + delta.deletions().len() + delta.reweights().len();
+    crate::metrics::DELTA_EDGES_APPLIED.add(edges as u64);
+    crate::metrics::DELTA_SETS_INVALIDATED.add(ids.len() as u64);
+    crate::metrics::DELTA_FOOTPRINT_SKIPS.add(footprint_skips);
+    ids
 }
 
 /// Resample the sets at `ids` from their original RNG streams
@@ -212,6 +224,7 @@ pub fn resample_sets(
     if ids.is_empty() {
         return Vec::new();
     }
+    crate::metrics::DELTA_SETS_RESAMPLED.add(ids.len() as u64);
     let collected: Mutex<Vec<(usize, RrrSet, SetProvenance)>> =
         Mutex::new(Vec::with_capacity(ids.len()));
     let workers = rayon::current_num_threads().min(ids.len());

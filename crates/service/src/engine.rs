@@ -35,17 +35,29 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 256;
 
 /// Memoize one query through a response cache: consult it under the query's
 /// normalized key, compute on a miss, insert, return. The shared serving
-/// wrapper of every engine (single-index and sharded).
+/// wrapper of every engine (single-index and sharded) — which also makes it
+/// the one place query metrics are recorded: hit/miss counters, the
+/// queries/sec meter, and the per-query-type latency histogram around the
+/// miss-path compute (hits return in nanoseconds and would drown the
+/// percentiles, so they are counted, not timed).
 pub fn serve_cached(
     cache: &QueryCache,
     query: &Query,
     compute: impl FnOnce() -> QueryResponse,
 ) -> QueryResponse {
+    crate::metrics::QUERY_RATE.mark();
     let key = QueryKey::from_query(query);
     if let Some(hit) = cache.get(&key) {
+        crate::metrics::CACHE_HITS.increment();
         return hit;
     }
-    let response = compute();
+    crate::metrics::CACHE_MISSES.increment();
+    let latency = match query {
+        Query::TopK { .. } => &crate::metrics::TOPK_LATENCY,
+        Query::Spread { .. } => &crate::metrics::SPREAD_LATENCY,
+        Query::Marginal { .. } => &crate::metrics::MARGINAL_LATENCY,
+    };
+    let response = latency.time(compute);
     cache.insert(key, response.clone());
     response
 }
@@ -128,10 +140,17 @@ impl GreedyState {
     /// resolve toward the smaller vertex id via the comparator — identical
     /// to the selection kernels' reduction order.
     fn pop_argmax(&mut self) -> (NodeId, u64) {
+        let mut pops = 0u64;
         loop {
+            pops += 1;
             let (stored, Reverse(v)) = self.frontier.pop().expect("one entry per vertex");
             let live = self.counts[v as usize];
             if stored == live {
+                // Metric totals are folded in once per round, not per pop;
+                // the last pop is the accepted argmax, the rest were stale.
+                crate::metrics::CELF_ROUNDS.increment();
+                crate::metrics::CELF_HEAP_POPS.add(pops);
+                crate::metrics::CELF_REVALIDATIONS.add(pops - 1);
                 return (v, live);
             }
             debug_assert!(live < stored, "counts only fall as sets retire");
@@ -202,6 +221,7 @@ impl QueryEngine {
 
     /// Engine with an explicit cache capacity (0 disables caching).
     pub fn with_cache_capacity(index: Arc<SketchIndex>, capacity: usize) -> Self {
+        crate::metrics::register();
         let greedy = Mutex::new(GreedyState::new(&index));
         QueryEngine {
             index,

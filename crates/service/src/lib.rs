@@ -59,6 +59,7 @@ pub mod cache;
 pub mod dynamic;
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod query;
 pub mod snapshot;
 

@@ -1,0 +1,149 @@
+//! Serving-layer metrics (`service_` prefix) on the workspace `imm-obs`
+//! registry.
+//!
+//! Three families, matching where serving regressions actually hide:
+//!
+//! * **Query latency + cache** — per-query-type latency histograms
+//!   recorded around the *compute* path of [`serve_cached`] (cache hits
+//!   return in nanoseconds and would drown the percentiles, so they are
+//!   counted, not timed), plus hit/miss/eviction counters and a
+//!   queries/sec rate meter. Both the single-index and the sharded
+//!   engine route through the same wrapper, so these cover both.
+//! * **CELF** — rounds, heap pops, and stale revalidations. A
+//!   revalidation blow-up (pops ≫ rounds) is the classic lazy-greedy
+//!   failure mode and is invisible from end-to-end latency alone.
+//! * **Dynamic refresh** — delta edges applied, sets invalidated vs
+//!   actually resampled, and postings candidates skipped by the edge
+//!   footprint filter (the pruning that keeps refresh sublinear).
+//!
+//! All hot-path updates are relaxed atomic adds; CELF totals are
+//! accumulated per round, not per pop.
+//!
+//! [`serve_cached`]: crate::engine::serve_cached
+
+use std::sync::Once;
+
+use imm_obs::{Counter, Histogram, Metric, RateMeter, Unit};
+
+/// Latency of cache-miss TopK (plain and masked) computations.
+pub static TOPK_LATENCY: Histogram = Histogram::new(
+    "service_topk_latency",
+    "Wall-clock latency of cache-miss TopK query computations",
+    Unit::Nanoseconds,
+);
+
+/// Latency of cache-miss Spread computations.
+pub static SPREAD_LATENCY: Histogram = Histogram::new(
+    "service_spread_latency",
+    "Wall-clock latency of cache-miss Spread query computations",
+    Unit::Nanoseconds,
+);
+
+/// Latency of cache-miss Marginal computations.
+pub static MARGINAL_LATENCY: Histogram = Histogram::new(
+    "service_marginal_latency",
+    "Wall-clock latency of cache-miss Marginal query computations",
+    Unit::Nanoseconds,
+);
+
+/// Queries answered from the response cache.
+pub static CACHE_HITS: Counter =
+    Counter::new("service_cache_hits", "Queries answered from the response cache");
+
+/// Queries that missed the response cache and were computed.
+pub static CACHE_MISSES: Counter = Counter::new(
+    "service_cache_misses",
+    "Queries that missed the response cache and were computed",
+);
+
+/// Cached responses evicted to make room (LRU order).
+pub static CACHE_EVICTIONS: Counter = Counter::new(
+    "service_cache_evictions",
+    "Cached responses evicted in LRU order to admit a new entry",
+);
+
+/// CELF greedy rounds played (one seed selected per round).
+pub static CELF_ROUNDS: Counter =
+    Counter::new("service_celf_rounds", "CELF greedy rounds played (one seed per round)");
+
+/// Entries popped off the CELF frontier heap across all rounds.
+pub static CELF_HEAP_POPS: Counter =
+    Counter::new("service_celf_heap_pops", "Entries popped off the CELF frontier heap");
+
+/// Stale CELF entries reinserted with their live count.
+pub static CELF_REVALIDATIONS: Counter = Counter::new(
+    "service_celf_revalidations",
+    "Stale CELF frontier entries revalidated (reinserted with the live count)",
+);
+
+/// Edge mutations applied by dynamic deltas.
+pub static DELTA_EDGES_APPLIED: Counter = Counter::new(
+    "service_delta_edges_applied",
+    "Edge insertions, deletions, and reweights applied by dynamic deltas",
+);
+
+/// Sketch sets marked invalid by a delta's touched edges.
+pub static DELTA_SETS_INVALIDATED: Counter = Counter::new(
+    "service_delta_sets_invalidated",
+    "Sketch sets marked invalid by a dynamic delta before resampling",
+);
+
+/// Sketch sets regenerated after invalidation.
+pub static DELTA_SETS_RESAMPLED: Counter = Counter::new(
+    "service_delta_sets_resampled",
+    "Sketch sets regenerated from their original seeds after invalidation",
+);
+
+/// Posting-list candidates dismissed by the per-set edge footprint.
+pub static DELTA_FOOTPRINT_SKIPS: Counter = Counter::new(
+    "service_delta_footprint_skips",
+    "Invalidation candidates dismissed by the per-set edge footprint filter",
+);
+
+/// Query arrival rate across both engines (hits and misses).
+pub static QUERY_RATE: RateMeter =
+    RateMeter::new("service_queries", "Queries served (cache hits and misses combined)");
+
+/// Register the serving metrics with the process-global registry.
+/// Idempotent; called from engine constructors and the refresh path.
+pub fn register() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        imm_obs::register(&[
+            &TOPK_LATENCY as &'static dyn Metric,
+            &SPREAD_LATENCY as &'static dyn Metric,
+            &MARGINAL_LATENCY as &'static dyn Metric,
+            &CACHE_HITS as &'static dyn Metric,
+            &CACHE_MISSES as &'static dyn Metric,
+            &CACHE_EVICTIONS as &'static dyn Metric,
+            &CELF_ROUNDS as &'static dyn Metric,
+            &CELF_HEAP_POPS as &'static dyn Metric,
+            &CELF_REVALIDATIONS as &'static dyn Metric,
+            &DELTA_EDGES_APPLIED as &'static dyn Metric,
+            &DELTA_SETS_INVALIDATED as &'static dyn Metric,
+            &DELTA_SETS_RESAMPLED as &'static dyn Metric,
+            &DELTA_FOOTPRINT_SKIPS as &'static dyn Metric,
+            &QUERY_RATE as &'static dyn Metric,
+        ]);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_metrics_join_the_global_registry() {
+        register();
+        let names: Vec<&str> = imm_obs::snapshot().iter().map(|s| s.name).collect();
+        for expected in [
+            "service_topk_latency",
+            "service_cache_hits",
+            "service_celf_revalidations",
+            "service_delta_footprint_skips",
+            "service_queries",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing from registry");
+        }
+    }
+}

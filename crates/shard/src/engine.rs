@@ -404,6 +404,10 @@ impl ShardedEngine {
         cache_capacity: usize,
         wake: WakeMode,
     ) -> Self {
+        // The sharded engine serves through `serve_cached` and records
+        // shard_* metrics of its own, so both families must be registered.
+        imm_service::metrics::register();
+        crate::metrics::register();
         let cells = (0..index.num_shards())
             .map(|shard| ShardCell {
                 index: Some(Arc::clone(&index)),
@@ -530,6 +534,10 @@ impl ShardedEngine {
         let ends: Vec<usize> = segments.iter().map(|s| s.start() + s.len()).collect();
         let mut alives: Vec<&mut Vec<bool>> =
             cells.iter_mut().map(|cell| cell.alive_mut(session)).collect();
+        // Per-shard retired tallies, reused across rounds so the fused
+        // path records the same per-shard walk lengths the scattered
+        // path gathers from its responses.
+        let mut retired_per_shard = vec![0u64; alives.len()];
         while state.seeds.len() < k.min(n) {
             let (best, best_count) = state.pop_argmax();
             state.seeds.push(best);
@@ -544,6 +552,8 @@ impl ShardedEngine {
             // One walk over the seed's merged postings. Entries ascend
             // through the shard ranges, so the owning shard only ever
             // steps forward within a round.
+            crate::metrics::GATHER_ROUNDS.increment();
+            retired_per_shard.iter_mut().for_each(|c| *c = 0);
             let mut covered = covered_so_far;
             let mut shard = 0usize;
             for &gsid in postings.get(best) {
@@ -555,8 +565,12 @@ impl ShardedEngine {
                 if *slot {
                     *slot = false;
                     covered += 1;
+                    retired_per_shard[shard] += 1;
                     collection.get(g).for_each(|v| state.merged[v as usize] -= 1);
                 }
+            }
+            for &retired in &retired_per_shard {
+                crate::metrics::RETIRE_WALK_SETS.record(retired);
             }
             debug_assert_eq!(
                 state.merged[best as usize], 0,
@@ -587,6 +601,7 @@ impl ShardedEngine {
             }
             // Scatter: each shard retires its own covered sets and streams
             // back their global ids; gather decrements the merged counts.
+            crate::metrics::GATHER_ROUNDS.increment();
             let bufs = std::mem::take(&mut state.bufs);
             let responses = self.pool.scatter(
                 bufs.into_iter()
@@ -596,6 +611,7 @@ impl ShardedEngine {
             let mut covered = covered_so_far;
             for response in responses {
                 let buf = response.retired();
+                crate::metrics::RETIRE_WALK_SETS.record(buf.len() as u64);
                 covered += buf.len();
                 for &gsid in &buf {
                     collection.get(gsid as usize).for_each(|v| state.merged[v as usize] -= 1);
@@ -702,14 +718,21 @@ impl ShardedEngine {
 }
 
 /// Merged per-vertex degrees across all shards: the fresh-session live
-/// counts before any retirement.
+/// counts before any retirement. Also the natural probe for the
+/// load-imbalance gauge — each shard's degree total *is* its postings
+/// work — so the gauge refreshes wherever the merged counts do (engine
+/// construction and delta refresh).
 fn merged_degrees(pool: &PinnedPool<ShardCell>, num_nodes: usize) -> Vec<u64> {
     let mut merged = vec![0u64; num_nodes];
+    let mut per_shard = Vec::with_capacity(pool.len());
     for response in pool.scatter((0..pool.len()).map(|s| (s, ShardRequest::Degrees))) {
-        for (v, c) in response.counts().into_iter().enumerate() {
+        let counts = response.counts();
+        per_shard.push(counts.iter().sum::<u64>());
+        for (v, c) in counts.into_iter().enumerate() {
             merged[v] += c;
         }
     }
+    crate::metrics::record_shard_work(&per_shard);
     merged
 }
 

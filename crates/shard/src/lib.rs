@@ -61,6 +61,7 @@
 
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod segment;
 pub mod snapshot;
 
