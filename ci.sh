@@ -49,6 +49,14 @@ PROPTEST_CASES=32 cargo test -q -p imm-shard
 echo "==> execution runtime stress suite"
 cargo test -q -p imm-exec --test runtime_stress
 
+# The serving daemon's contracts — byte-identical socket parity across
+# shard counts and rollouts, structured admission rejections, and a decoder
+# that survives corrupted/hostile frames without panicking or allocating
+# unboundedly — already ran in the workspace sweep; re-invoked by name so a
+# test-scoping change can never silently drop them.
+echo "==> imm-serve socket parity + frame corruption suites (PROPTEST_CASES=32)"
+PROPTEST_CASES=32 cargo test -q -p imm-serve
+
 # The metrics layer is load-bearing for every subsystem's instrumentation;
 # its histogram correctness suite (bucket boundaries, percentile agreement
 # with a sorted-vec reference, concurrent increments) and the workspace-wide
@@ -60,9 +68,9 @@ PROPTEST_CASES=32 cargo test -q -p imm-obs --test histogram
 echo "==> metric catalog gates (uniqueness, naming, README drift)"
 cargo test -q --test metrics_catalog
 
-echo "==> test guard: no #[ignore] in crates/{service,shard,exec,obs}/tests"
-if grep -rn '#\[ignore' crates/service/tests crates/shard/tests crates/exec/tests crates/obs/tests; then
-  echo "error: #[ignore]d tests are not allowed in the service/shard/exec/obs suites" >&2
+echo "==> test guard: no #[ignore] in crates/{service,shard,exec,obs,serve}/tests"
+if grep -rn '#\[ignore' crates/service/tests crates/shard/tests crates/exec/tests crates/obs/tests crates/serve/tests; then
+  echo "error: #[ignore]d tests are not allowed in the service/shard/exec/obs/serve suites" >&2
   exit 1
 fi
 
@@ -89,5 +97,41 @@ SMOKE_OUT="$(mktemp /tmp/bench7_smoke.XXXXXX.json)"
 cargo run --release -p imm-bench --bin perf_suite -- \
   --smoke --out "$SMOKE_OUT" --obs-baseline "$SMOKE_BASELINE" > /dev/null
 rm -f "$SMOKE_OUT" "$SMOKE_BASELINE"
+
+# End-to-end daemon smoke over a real unix socket: build a snapshot, serve
+# it in the background, drive a mixed client batch, and require the remote
+# answers byte-identical to the in-process `query` command (same JSON
+# renderer on both paths, so a plain string compare is the whole check).
+# Ends with a clean client-initiated shutdown — the daemon must exit zero
+# and remove its socket file.
+echo "==> serving daemon smoke (unix socket, byte-identity, clean shutdown)"
+SERVE_DIR="$(mktemp -d /tmp/imm_serve_smoke.XXXXXX)"
+CLI=target/release/efficient-imm
+"$CLI" build-index --dataset com-Amazon --output "$SERVE_DIR/g.sketch" \
+  --threads 2 --seed 17 > /dev/null
+"$CLI" serve --index "$SERVE_DIR/g.sketch" --socket "$SERVE_DIR/imm.sock" \
+  --shards 2 --threads 2 > "$SERVE_DIR/serve.log" &
+SERVE_PID=$!
+"$CLI" client --socket "$SERVE_DIR/imm.sock" --wait-ms 10000 --ping > /dev/null
+BATCH="--top-k 2,5 --audience 0,1,2,3 --spread 0,1 --marginal 0:1"
+# shellcheck disable=SC2086
+"$CLI" client --socket "$SERVE_DIR/imm.sock" $BATCH > "$SERVE_DIR/remote.json"
+# shellcheck disable=SC2086
+"$CLI" query --index "$SERVE_DIR/g.sketch" --shards 2 --threads 2 $BATCH \
+  > "$SERVE_DIR/local.json"
+python3 - "$SERVE_DIR/remote.json" "$SERVE_DIR/local.json" <<'EOF'
+import json, sys
+remote = json.load(open(sys.argv[1]))["responses"]
+local = json.load(open(sys.argv[2]))["responses"]
+if json.dumps(remote, sort_keys=True) != json.dumps(local, sort_keys=True):
+    sys.exit("daemon responses diverged from the in-process query command")
+EOF
+"$CLI" client --socket "$SERVE_DIR/imm.sock" --shutdown > /dev/null
+wait "$SERVE_PID"
+if [ -e "$SERVE_DIR/imm.sock" ]; then
+  echo "error: the daemon left its socket file behind" >&2
+  exit 1
+fi
+rm -rf "$SERVE_DIR"
 
 echo "CI OK"

@@ -1,0 +1,362 @@
+//! Closed-loop load test of the `imm-serve` daemon: sustained query
+//! throughput and tail latency over a real unix socket, written as
+//! `BENCH_8.json` so later PRs can prove they did not regress the
+//! serving path.
+//!
+//! The storm is the serving analogue of `perf_suite`: one deterministic
+//! workload, a small set of tracked metrics, diffable across commits.
+//! Where `perf_suite` times the in-process engines, this bin pays the
+//! full daemon tax — frame encode/decode, admission, the scatter/gather
+//! across shard workers — under concurrent connections.
+//!
+//! # Workload
+//!
+//! A seeded `social_network` graph under constant-probability IC
+//! weights, sampled into a `SketchIndex` and served by a daemon on a
+//! temp unix socket. Before the storm, one mixed battery is checked
+//! byte-identical against an in-process `ShardedEngine` (the parity
+//! property the socket test suite enforces exhaustively). Then M client
+//! threads run closed-loop: each sends `requests_per_client` batches of
+//! 1–4 mixed queries (plain and audience-masked Top-K, spreads,
+//! marginals) drawn from a per-client seeded RNG, timing every
+//! round-trip.
+//!
+//! # Output schema (`BENCH_8.json`)
+//!
+//! ```json
+//! {
+//!   "bench": "query_storm",          // constant tag
+//!   "schema_version": 1,             // bump on layout changes
+//!   "smoke": false,                  // true when --smoke shrank the run
+//!   "workload": {
+//!     "nodes": 2000, "edges": 16510, // graph size actually built
+//!     "theta": 2000,                 // RRR sets served
+//!     "shards": 4,                   // daemon shard segments
+//!     "server_threads": 4,           // daemon serving parallelism
+//!     "clients": 4,                  // concurrent closed-loop clients
+//!     "requests_per_client": 200,
+//!     "model": "independent-cascade",
+//!     "edge_probability": 0.1,
+//!     "rng_seed": 8484
+//!   },
+//!   "metrics": {
+//!     "wall_seconds": 1.9,
+//!     "requests": 800, "queries": 2009,
+//!     "sustained_qps": 1057.4,       // queries / wall_seconds
+//!     "requests_per_sec": 421.1,
+//!     "latency_ms": { "p50": 8.3, "p90": 14.1, "p99": 22.7, "max": 31.0 },
+//!     "parity_checked": true,
+//!     "serve": {                     // daemon-side obs counters
+//!       "connections": 6, "requests": 803, "queries": 2031,
+//!       "protocol_errors": 0, "rollouts": 0
+//!     }
+//!   },
+//!   "obs_metrics": { ... }           // full imm-obs registry snapshot
+//! }
+//! ```
+
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, CsrGraph, EdgeWeights};
+use imm_rrr::{BitSet, NodeId};
+use imm_serve::{Client, Listen, Server, ServerConfig};
+use imm_service::{Query, SampleSpec, SketchIndex};
+use imm_shard::{ShardedEngine, ShardedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const RNG_SEED: u64 = 8484;
+
+struct Workload {
+    nodes: usize,
+    theta: usize,
+    shards: usize,
+    server_threads: usize,
+    clients: usize,
+    requests_per_client: usize,
+    edge_probability: f64,
+}
+
+impl Workload {
+    fn full() -> Self {
+        Workload {
+            nodes: 2_000,
+            theta: 2_000,
+            shards: 4,
+            server_threads: 4,
+            clients: 4,
+            requests_per_client: 200,
+            edge_probability: 0.1,
+        }
+    }
+
+    fn smoke() -> Self {
+        Workload {
+            nodes: 300,
+            theta: 200,
+            shards: 2,
+            server_threads: 2,
+            clients: 2,
+            requests_per_client: 15,
+            edge_probability: 0.1,
+        }
+    }
+}
+
+/// One mixed batch of 1–4 queries from the full serving vocabulary.
+fn mixed_batch(rng: &mut SmallRng, num_nodes: usize) -> Vec<Query> {
+    let n = num_nodes as u32;
+    (0..rng.gen_range(1..5))
+        .map(|_| match rng.gen_range(0..4u8) {
+            0 => Query::top_k(rng.gen_range(1..17)),
+            1 => {
+                let seeds: Vec<NodeId> =
+                    (0..rng.gen_range(1..4)).map(|_| rng.gen_range(0..n)).collect();
+                Query::Spread { seeds }
+            }
+            2 => {
+                let seeds: Vec<NodeId> =
+                    (0..rng.gen_range(1..3)).map(|_| rng.gen_range(0..n)).collect();
+                Query::Marginal { seeds, candidate: rng.gen_range(0..n) }
+            }
+            _ => {
+                let audience = BitSet::from_iter_with_capacity(
+                    num_nodes,
+                    (0..rng.gen_range(1..24)).map(|_| rng.gen_range(0..num_nodes)),
+                );
+                Query::audience_top_k(rng.gen_range(1..6), audience)
+            }
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Read one counter/gauge out of the registry snapshot by name.
+fn metric_value(registry: &serde_json::Value, name: &str) -> f64 {
+    registry["metrics"]
+        .as_array()
+        .and_then(|metrics| {
+            metrics
+                .iter()
+                .find(|m| m["name"] == serde_json::json!(name))
+                .and_then(|m| m["value"].as_f64())
+        })
+        .unwrap_or(0.0)
+}
+
+fn socket_path() -> PathBuf {
+    let dir = std::env::temp_dir().join("imm_serve_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("query_storm_{}.sock", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = match args.iter().position(|a| a == "--out") {
+        Some(i) => match args.get(i + 1) {
+            Some(value) if !value.starts_with("--") => value.clone(),
+            _ => {
+                eprintln!("error: --out requires a path operand");
+                std::process::exit(2);
+            }
+        },
+        None => "BENCH_8.json".to_string(),
+    };
+    let w = if smoke { Workload::smoke() } else { Workload::full() };
+
+    // Metric registration is idempotent and happens before any timed phase,
+    // so the snapshot at exit covers the full workspace catalog.
+    imm_bench::obs::register_workspace_metrics();
+
+    let mut rng = SmallRng::seed_from_u64(RNG_SEED);
+    let graph = CsrGraph::from_edge_list(&generators::social_network(w.nodes, 8, 0.3, &mut rng));
+    let weights = EdgeWeights::constant(&graph, w.edge_probability as f32);
+    let num_nodes = graph.num_nodes();
+    eprintln!(
+        "[query-storm] sampling θ = {} over {} nodes / {} edges",
+        w.theta,
+        num_nodes,
+        graph.num_edges()
+    );
+    let spec = SampleSpec::new(DiffusionModel::IndependentCascade, RNG_SEED);
+    let index = SketchIndex::sample(&graph, &weights, spec, w.theta, w.server_threads, "storm")
+        .expect("sample");
+    let sharded =
+        Arc::new(ShardedIndex::from_index(index, w.shards).expect("index shards cleanly"));
+
+    let path = socket_path();
+    let config = {
+        let mut c = ServerConfig::new(Listen::Unix(path.clone()));
+        c.threads = w.server_threads;
+        c
+    };
+    let handle = Server::start(Arc::clone(&sharded), None, config, || {
+        serde_json::to_string_pretty(&imm_bench::obs::registry_json()).expect("registry serializes")
+    })
+    .expect("daemon starts");
+    let address = handle.address().clone();
+
+    // Parity sanity before the storm: one mixed battery must come back
+    // byte-identical to the in-process engine (the socket test suite
+    // proves this exhaustively; the bench keeps a tripwire).
+    let local = ShardedEngine::with_options(Arc::clone(&sharded), w.server_threads, 0);
+    let mut probe = SmallRng::seed_from_u64(RNG_SEED ^ 0xFEED);
+    let battery = mixed_batch(&mut probe, num_nodes);
+    let expected = local.execute_batch(&battery, w.server_threads);
+    let mut checker =
+        Client::connect_with_retry(&address, Duration::from_secs(5)).expect("daemon reachable");
+    let remote = checker.batch(&battery).expect("parity battery");
+    assert_eq!(remote.len(), expected.len(), "parity battery answer count");
+    for (i, (got, want)) in remote.iter().zip(expected.iter()).enumerate() {
+        match got {
+            Ok(response) => assert_eq!(response, want, "query {i} diverged over the socket"),
+            Err(rejection) => panic!("query {i} rejected with no budget set: {rejection:?}"),
+        }
+    }
+    let info = checker.info().expect("info verb");
+    assert_eq!(info.shards as usize, w.shards, "daemon shard count");
+    eprintln!("[query-storm] parity checked against {} ({} shards)", address, info.shards);
+
+    // The storm: closed-loop clients, each timing every round-trip.
+    eprintln!(
+        "[query-storm] {} clients x {} requests, mixed 1-4 query batches",
+        w.clients, w.requests_per_client
+    );
+    let storm_started = Instant::now();
+    let workers: Vec<_> = (0..w.clients)
+        .map(|client_id| {
+            let address = address.clone();
+            let requests = w.requests_per_client;
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with_retry(&address, Duration::from_secs(5))
+                    .expect("client connects");
+                let mut rng = SmallRng::seed_from_u64(RNG_SEED ^ (0xB0 + client_id as u64));
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut queries_sent = 0usize;
+                for _ in 0..requests {
+                    let batch = mixed_batch(&mut rng, num_nodes);
+                    queries_sent += batch.len();
+                    let sent = Instant::now();
+                    let answers = client.batch(&batch).expect("storm batch");
+                    latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(answers.len(), batch.len(), "answer count");
+                    assert!(
+                        answers.iter().all(|a| a.is_ok()),
+                        "unbudgeted daemon rejected a storm query"
+                    );
+                }
+                (latencies_ms, queries_sent)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut total_queries = 0usize;
+    for worker in workers {
+        let (lats, queries) = worker.join().expect("client thread");
+        latencies_ms.extend(lats);
+        total_queries += queries;
+    }
+    let wall_seconds = storm_started.elapsed().as_secs_f64();
+    let total_requests = w.clients * w.requests_per_client;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let sustained_qps = total_queries as f64 / wall_seconds;
+    let requests_per_sec = total_requests as f64 / wall_seconds;
+    eprintln!(
+        "[query-storm] {total_queries} queries in {wall_seconds:.2}s: {sustained_qps:.0} q/s, \
+         p50 {:.2} ms, p99 {:.2} ms",
+        percentile(&latencies_ms, 50.0),
+        percentile(&latencies_ms, 99.0)
+    );
+
+    // Exercise the metrics verb, then read the daemon-side counters out of
+    // the same process-global registry the verb serialized.
+    let metrics_payload = checker.metrics_json().expect("metrics verb");
+    let daemon_registry: serde_json::Value =
+        serde_json::from_str(&metrics_payload).expect("metrics verb returns the obs registry");
+    let serve_counters = serde_json::json!({
+        "connections": metric_value(&daemon_registry, "serve_connections"),
+        "requests": metric_value(&daemon_registry, "serve_requests"),
+        "queries": metric_value(&daemon_registry, "serve_queries"),
+        "protocol_errors": metric_value(&daemon_registry, "serve_protocol_errors"),
+        "rollouts": metric_value(&daemon_registry, "serve_rollouts"),
+    });
+
+    checker.shutdown().expect("shutdown verb");
+    drop(checker);
+    handle.join().expect("accept loop exits cleanly");
+    assert!(!path.exists(), "daemon removed its socket file");
+
+    let report = serde_json::json!({
+        "bench": "query_storm",
+        "schema_version": 1,
+        "smoke": smoke,
+        "workload": {
+            "nodes": num_nodes,
+            "edges": graph.num_edges(),
+            "theta": w.theta,
+            "shards": w.shards,
+            "server_threads": w.server_threads,
+            "clients": w.clients,
+            "requests_per_client": w.requests_per_client,
+            "model": "independent-cascade",
+            "edge_probability": w.edge_probability,
+            "rng_seed": RNG_SEED,
+        },
+        "metrics": {
+            "wall_seconds": wall_seconds,
+            "requests": total_requests,
+            "queries": total_queries,
+            "sustained_qps": sustained_qps,
+            "requests_per_sec": requests_per_sec,
+            "latency_ms": {
+                "p50": percentile(&latencies_ms, 50.0),
+                "p90": percentile(&latencies_ms, 90.0),
+                "p99": percentile(&latencies_ms, 99.0),
+                "max": latencies_ms.last().copied().unwrap_or(0.0),
+            },
+            "parity_checked": true,
+            "serve": serve_counters,
+        },
+        "obs_metrics": imm_bench::obs::registry_json(),
+    });
+    let rendered = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &rendered).expect("write BENCH json");
+
+    // Self-check: the written file must parse back as JSON with the tracked
+    // metric keys present — this is the contract `ci.sh --smoke` relies on.
+    let reread = std::fs::read_to_string(&out_path).expect("reread BENCH json");
+    let parsed: serde_json::Value = serde_json::from_str(&reread).expect("BENCH json parses");
+    for key in ["sustained_qps", "requests_per_sec", "wall_seconds"] {
+        assert!(parsed["metrics"][key].as_f64().is_some(), "metric {key} missing from {out_path}");
+    }
+    for key in ["p50", "p90", "p99", "max"] {
+        assert!(
+            parsed["metrics"]["latency_ms"][key].as_f64().is_some(),
+            "latency metric {key} missing from {out_path}"
+        );
+    }
+    assert!(
+        parsed["metrics"]["serve"]["requests"].as_f64().unwrap_or(0.0) >= total_requests as f64,
+        "daemon-side request counter below the client-side count"
+    );
+    let registry = parsed["obs_metrics"]["metrics"].as_array().expect("obs registry embedded");
+    assert!(
+        registry.iter().any(|m| m["name"] == serde_json::json!("serve_requests")),
+        "serve counters missing from the embedded registry"
+    );
+    println!("{rendered}");
+    println!("query storm OK: {out_path}");
+}

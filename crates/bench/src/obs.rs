@@ -42,6 +42,7 @@ pub fn register_workspace_metrics() {
     efficient_imm::metrics::register();
     imm_service::metrics::register();
     imm_shard::metrics::register();
+    imm_serve::metrics::register();
 }
 
 /// One sample in the documented shape.

@@ -3,6 +3,8 @@
 
 use efficient_imm::Algorithm;
 use imm_diffusion::DiffusionModel;
+use imm_serve::Listen;
+use std::path::PathBuf;
 
 /// Usage text printed on parse errors and by `help`.
 pub const USAGE: &str = "\
@@ -30,6 +32,15 @@ USAGE:
   efficient-imm update-index --index <FILE> (--graph <FILE> | --dataset <NAME>)
                             --delta <FILE> [--output <FILE>]
   efficient-imm split-index --index <FILE> --shards <N> --output <PREFIX>
+  efficient-imm serve       --index <FILE> (--socket <PATH> | --tcp <ADDR>)
+                            [--graph <FILE> | --dataset <NAME>] [--shards <N>]
+                            [--threads <T>] [--max-cost <C>]
+                            [--max-inflight <N>] [--tick-ms <MS>]
+  efficient-imm client      (--socket <PATH> | --tcp <ADDR>) [--wait-ms <MS>]
+                            [--top-k <K1,K2,..>] [--audience <V1,V2,..>]
+                            [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
+                            [--apply-delta <FILE>] [--ping] [--info]
+                            [--metrics] [--shutdown]
   efficient-imm help
 
 `build-index` samples RRR sets once (the expensive phase) and freezes them
@@ -49,14 +60,30 @@ batch to reconstruct the current revision. The --dataset name refers to the
 built-in SNAP analogues (com-Amazon, com-DBLP, com-YouTube, as-Skitter,
 web-Google, soc-Pokec, com-LJ, twitter7).
 
+`serve` starts the long-running shard-server daemon: it loads a snapshot,
+partitions it into --shards scatter/gather shards, and answers framed RPC
+requests on a unix socket (--socket) or TCP address (--tcp) until a client
+sends the shutdown verb. Pass the snapshot's original --graph/--dataset to
+enable rolling `apply-delta` rollouts (queries keep serving on the old
+shards until the refreshed index swaps in); --max-cost rejects queries
+whose postings-size cost estimate exceeds the budget, and --max-inflight
+bounds concurrently served requests. `client` dials a running daemon:
+query flags mirror `query` and print the same response JSON (remote
+answers are byte-identical to in-process serving); --ping/--info/
+--metrics/--shutdown drive the control verbs; --apply-delta sends a delta
+file through a rolling refresh; --wait-ms retries the connection while a
+just-started daemon binds its socket.
+
 Every parallel phase runs on one persistent process-wide worker pool, sized
 once at startup: --threads (where accepted) wins, then the IMM_THREADS
 environment variable, then the machine parallelism. `stats --metrics`
 appends the full workspace metric registry (exec runtime counters, sampling
 totals, per-query-type latency percentiles, cache/CELF/refresh/shard
-metrics) plus the worker pool's queue depths to the stats output; `stats
---metrics --describe` prints the metric catalog as a markdown table (the
-README's Observability section) and exits. `query --metrics` appends the
+metrics, serving-daemon counters) to the stats output; queue depths are
+exported as periodically sampled max-over-window gauges by the serve
+daemon's housekeeping tick, not as a point-in-time read. `stats --metrics
+--describe` prints the metric catalog as a markdown table (the README's
+Observability section) and exits. `query --metrics` appends the
 before/after metrics delta of the served batch to the query output.";
 
 /// Which graph source a command reads.
@@ -183,6 +210,84 @@ pub struct SplitIndexArgs {
     pub output: String,
 }
 
+/// Parsed `serve` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Sketch-index snapshot to serve.
+    pub index: String,
+    /// The snapshot's original graph source; enables rolling
+    /// `apply-delta` rollouts (absent → the daemon serves statically).
+    pub source: Option<GraphSource>,
+    /// Where the daemon listens.
+    pub listen: Listen,
+    /// Scatter/gather shard count.
+    pub shards: usize,
+    /// Serving parallelism (pinned shard workers + batch fan-out).
+    pub threads: usize,
+    /// Per-query cost budget in postings entries (absent → admit all).
+    pub max_cost: Option<u64>,
+    /// Bound on concurrently served requests.
+    pub max_inflight: usize,
+    /// Housekeeping cadence in milliseconds (queue-depth sampling).
+    pub tick_ms: u64,
+}
+
+/// The query batch a `client` invocation sends, in `query`-flag form.
+///
+/// Audience bitsets are materialized later, against the *served* index's
+/// vertex-space size (fetched over the `info` verb) — the client has no
+/// local index to size them from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchSpec {
+    /// Top-k budgets (one query per entry).
+    pub top_k: Vec<usize>,
+    /// Optional audience slice restricting the top-k queries.
+    pub audience: Option<Vec<u32>>,
+    /// Seed set for a spread estimate.
+    pub spread: Option<Vec<u32>>,
+    /// Seed set and candidate for a marginal-gain estimate.
+    pub marginal: Option<(Vec<u32>, u32)>,
+}
+
+impl BatchSpec {
+    /// Whether any query flag was given.
+    pub fn is_empty(&self) -> bool {
+        self.top_k.is_empty() && self.spread.is_none() && self.marginal.is_none()
+    }
+}
+
+/// One action a `client` invocation performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Liveness probe (`--ping`).
+    Ping,
+    /// Server identity and shape (`--info`).
+    Info,
+    /// The daemon's live metrics registry (`--metrics`).
+    Metrics,
+    /// A query batch assembled from the `query`-style flags.
+    Batch(BatchSpec),
+    /// Send a delta file through a rolling refresh (`--apply-delta`).
+    ApplyDelta {
+        /// Path of the delta file.
+        path: String,
+    },
+    /// Ask the daemon to drain and exit (`--shutdown`).
+    Shutdown,
+}
+
+/// Parsed `client` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// The daemon's address.
+    pub address: Listen,
+    /// What to do, in order (queries first, then control verbs, with
+    /// `--shutdown` always last).
+    pub actions: Vec<ClientAction>,
+    /// Connection-retry budget in milliseconds (0 = one attempt).
+    pub wait_ms: u64,
+}
+
 /// A fully parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -202,6 +307,10 @@ pub enum Command {
     SplitIndex(SplitIndexArgs),
     /// `query`
     Query(QueryArgs),
+    /// `serve`
+    Serve(ServeArgs),
+    /// `client`
+    Client(ClientArgs),
     /// `help`
     Help,
 }
@@ -215,10 +324,12 @@ pub fn pool_threads(command: &Command) -> Option<usize> {
         Command::Run(r) | Command::Compare(r) => Some(r.threads),
         Command::BuildIndex(b) => Some(b.run.threads),
         Command::Query(q) => Some(q.threads),
+        Command::Serve(s) => Some(s.threads),
         Command::Generate(_)
         | Command::Stats(_)
         | Command::UpdateIndex(_)
         | Command::SplitIndex(_)
+        | Command::Client(_)
         | Command::Help => None,
     }
 }
@@ -295,28 +406,9 @@ fn parse_vertex_list(raw: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
-fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
-    // `--metrics` is valueless; strip it before the `--flag value` pairing.
-    let metrics = args.iter().any(|a| a == "--metrics");
-    let args: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
-    let flags = Flags::parse(&args)?;
-    let source = match (flags.get("--index"), flags.get("--shard-files")) {
-        (Some(path), None) => IndexSource::Snapshot(path.to_string()),
-        (None, Some(list)) => IndexSource::ShardFiles(
-            list.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect(),
-        ),
-        (Some(_), Some(_)) => return Err("pass either --index or --shard-files, not both".into()),
-        (None, None) => return Err("query requires --index or --shard-files".into()),
-    };
-    let shards = flags.get_parsed("--shards", 1usize)?;
-    if shards == 0 {
-        return Err("--shards must be at least 1".into());
-    }
-    if matches!(source, IndexSource::ShardFiles(_)) && flags.get("--shards").is_some() {
-        // The files already carry the split layout; a second count would be
-        // silently ignored, so reject the combination outright.
-        return Err("--shard-files fixes the shard count; drop --shards".into());
-    }
+/// Parse the `--top-k` / `--audience` / `--spread` / `--marginal` family
+/// shared by `query` and `client`.
+fn parse_batch_spec(flags: &Flags) -> Result<BatchSpec, String> {
     let top_k = match flags.get("--top-k") {
         None => Vec::new(),
         Some(raw) => raw
@@ -346,19 +438,129 @@ fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
             Some((seeds, candidate))
         }
     };
-    if top_k.is_empty() && spread.is_none() && marginal.is_none() {
+    Ok(BatchSpec { top_k, audience, spread, marginal })
+}
+
+fn parse_query(args: &[String]) -> Result<QueryArgs, String> {
+    // `--metrics` is valueless; strip it before the `--flag value` pairing.
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
+    let flags = Flags::parse(&args)?;
+    let source = match (flags.get("--index"), flags.get("--shard-files")) {
+        (Some(path), None) => IndexSource::Snapshot(path.to_string()),
+        (None, Some(list)) => IndexSource::ShardFiles(
+            list.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect(),
+        ),
+        (Some(_), Some(_)) => return Err("pass either --index or --shard-files, not both".into()),
+        (None, None) => return Err("query requires --index or --shard-files".into()),
+    };
+    let shards = flags.get_parsed("--shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if matches!(source, IndexSource::ShardFiles(_)) && flags.get("--shards").is_some() {
+        // The files already carry the split layout; a second count would be
+        // silently ignored, so reject the combination outright.
+        return Err("--shard-files fixes the shard count; drop --shards".into());
+    }
+    let spec = parse_batch_spec(&flags)?;
+    if spec.is_empty() {
         return Err("query needs at least one of --top-k, --spread, --marginal".into());
     }
     Ok(QueryArgs {
         source,
-        top_k,
-        audience,
-        spread,
-        marginal,
+        top_k: spec.top_k,
+        audience: spec.audience,
+        spread: spec.spread,
+        marginal: spec.marginal,
         shards,
         threads: flags.get_parsed("--threads", imm_exec::default_threads())?,
         metrics,
     })
+}
+
+/// The `--socket <PATH>` / `--tcp <ADDR>` pair shared by `serve` and
+/// `client`.
+fn parse_listen(flags: &Flags, command: &str) -> Result<Listen, String> {
+    match (flags.get("--socket"), flags.get("--tcp")) {
+        (Some(path), None) => Ok(Listen::Unix(PathBuf::from(path))),
+        (None, Some(addr)) => Ok(Listen::Tcp(addr.to_string())),
+        (Some(_), Some(_)) => Err("pass either --socket or --tcp, not both".into()),
+        (None, None) => Err(format!("{command} requires --socket or --tcp")),
+    }
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let flags = Flags::parse(args)?;
+    let listen = parse_listen(&flags, "serve")?;
+    let source = match (flags.get("--graph"), flags.get("--dataset")) {
+        (Some(path), None) => Some(GraphSource::File(path.to_string())),
+        (None, Some(name)) => Some(GraphSource::Dataset(name.to_string())),
+        (Some(_), Some(_)) => return Err("pass either --graph or --dataset, not both".into()),
+        (None, None) => None,
+    };
+    let shards = flags.get_parsed("--shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let max_cost = flags
+        .get("--max-cost")
+        .map(|raw| raw.parse::<u64>().map_err(|_| format!("invalid value '{raw}' for --max-cost")))
+        .transpose()?;
+    Ok(ServeArgs {
+        index: flags.get("--index").ok_or("serve requires --index")?.to_string(),
+        source,
+        listen,
+        shards,
+        threads: flags.get_parsed("--threads", imm_exec::default_threads())?,
+        max_cost,
+        max_inflight: flags.get_parsed("--max-inflight", 64usize)?,
+        tick_ms: flags.get_parsed("--tick-ms", 50u64)?,
+    })
+}
+
+fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
+    // The control verbs are valueless flags; strip them before the
+    // `--flag value` pairing pass.
+    let ping = args.iter().any(|a| a == "--ping");
+    let info = args.iter().any(|a| a == "--info");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+    let valueless = ["--ping", "--info", "--metrics", "--shutdown"];
+    let rest: Vec<String> =
+        args.iter().filter(|a| !valueless.contains(&a.as_str())).cloned().collect();
+    let flags = Flags::parse(&rest)?;
+    let address = parse_listen(&flags, "client")?;
+    let spec = parse_batch_spec(&flags)?;
+
+    // Fixed action order: readiness first, then identity, then the data
+    // verbs, with shutdown always last so one invocation can query a
+    // daemon and take it down.
+    let mut actions = Vec::new();
+    if ping {
+        actions.push(ClientAction::Ping);
+    }
+    if info {
+        actions.push(ClientAction::Info);
+    }
+    if !spec.is_empty() {
+        actions.push(ClientAction::Batch(spec));
+    }
+    if let Some(path) = flags.get("--apply-delta") {
+        actions.push(ClientAction::ApplyDelta { path: path.to_string() });
+    }
+    if metrics {
+        actions.push(ClientAction::Metrics);
+    }
+    if shutdown {
+        actions.push(ClientAction::Shutdown);
+    }
+    if actions.is_empty() {
+        return Err("client needs at least one of --top-k/--spread/--marginal, \
+                    --apply-delta, --ping, --info, --metrics, --shutdown"
+            .into());
+    }
+    Ok(ClientArgs { address, actions, wait_ms: flags.get_parsed("--wait-ms", 0u64)? })
 }
 
 /// Parse the raw CLI arguments into a [`Command`].
@@ -463,6 +665,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }))
         }
         "query" => Ok(Command::Query(parse_query(rest)?)),
+        "serve" => Ok(Command::Serve(parse_serve(rest)?)),
+        "client" => Ok(Command::Client(parse_client(rest)?)),
         other => Err(format!("unknown subcommand '{other}'")),
     }
 }
@@ -793,5 +997,145 @@ mod tests {
         assert!(
             parse(&sv(&["split-index", "--index", "g", "--shards", "0", "--output", "p"])).is_err()
         );
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse(&sv(&[
+            "serve",
+            "--index",
+            "g.sketch",
+            "--socket",
+            "/tmp/imm.sock",
+            "--shards",
+            "4",
+            "--threads",
+            "3",
+            "--max-cost",
+            "5000",
+            "--max-inflight",
+            "8",
+            "--tick-ms",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                index: "g.sketch".into(),
+                source: None,
+                listen: Listen::Unix("/tmp/imm.sock".into()),
+                shards: 4,
+                threads: 3,
+                max_cost: Some(5000),
+                max_inflight: 8,
+                tick_ms: 25,
+            })
+        );
+        assert_eq!(pool_threads(&cmd), Some(3));
+
+        // A graph source enables rollouts; TCP addresses work too.
+        let cmd = parse(&sv(&[
+            "serve",
+            "--index",
+            "g.sketch",
+            "--tcp",
+            "127.0.0.1:0",
+            "--dataset",
+            "com-Amazon",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(args) => {
+                assert_eq!(args.source, Some(GraphSource::Dataset("com-Amazon".into())));
+                assert_eq!(args.listen, Listen::Tcp("127.0.0.1:0".into()));
+                assert_eq!(args.shards, 1);
+                assert_eq!(args.max_cost, None);
+                assert_eq!(args.max_inflight, 64);
+                assert_eq!(args.tick_ms, 50);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+
+        // Missing pieces and conflicts are rejected.
+        assert!(parse(&sv(&["serve", "--socket", "/tmp/s"])).is_err()); // no index
+        assert!(parse(&sv(&["serve", "--index", "g"])).is_err()); // no address
+        assert!(parse(&sv(&["serve", "--index", "g", "--socket", "a", "--tcp", "b"])).is_err());
+        assert!(parse(&sv(&["serve", "--index", "g", "--socket", "a", "--shards", "0"])).is_err());
+        assert!(parse(&sv(&[
+            "serve",
+            "--index",
+            "g",
+            "--socket",
+            "a",
+            "--graph",
+            "f",
+            "--dataset",
+            "d"
+        ]))
+        .is_err());
+        assert!(
+            parse(&sv(&["serve", "--index", "g", "--socket", "a", "--max-cost", "lots"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parses_client_actions_in_fixed_order() {
+        let cmd = parse(&sv(&[
+            "client",
+            "--socket",
+            "/tmp/imm.sock",
+            "--shutdown",
+            "--top-k",
+            "2,4",
+            "--spread",
+            "0,1",
+            "--ping",
+            "--metrics",
+            "--wait-ms",
+            "500",
+        ]))
+        .unwrap();
+        let Command::Client(args) = cmd else { panic!("expected client") };
+        assert_eq!(args.address, Listen::Unix("/tmp/imm.sock".into()));
+        assert_eq!(args.wait_ms, 500);
+        // Regardless of flag order on the line: ping, then the batch, then
+        // metrics, with shutdown always last.
+        assert_eq!(
+            args.actions,
+            vec![
+                ClientAction::Ping,
+                ClientAction::Batch(BatchSpec {
+                    top_k: vec![2, 4],
+                    audience: None,
+                    spread: Some(vec![0, 1]),
+                    marginal: None,
+                }),
+                ClientAction::Metrics,
+                ClientAction::Shutdown,
+            ]
+        );
+        // The client rides the daemon's pool, not a local one.
+        assert_eq!(pool_threads(&Command::Client(args)), None);
+
+        let cmd = parse(&sv(&[
+            "client",
+            "--tcp",
+            "localhost:7070",
+            "--info",
+            "--apply-delta",
+            "churn.delta",
+        ]))
+        .unwrap();
+        let Command::Client(args) = cmd else { panic!("expected client") };
+        assert_eq!(
+            args.actions,
+            vec![ClientAction::Info, ClientAction::ApplyDelta { path: "churn.delta".into() },]
+        );
+
+        // No action at all, and missing addresses, are rejected.
+        assert!(parse(&sv(&["client", "--socket", "/tmp/s"])).is_err());
+        assert!(parse(&sv(&["client", "--ping"])).is_err());
+        assert!(parse(&sv(&["client", "--socket", "a", "--tcp", "b", "--ping"])).is_err());
     }
 }

@@ -1,8 +1,8 @@
 //! Command implementations for the `efficient-imm` CLI.
 
 use crate::args::{
-    BuildIndexArgs, Command, GenerateArgs, GraphSource, IndexSource, QueryArgs, RunArgs,
-    SplitIndexArgs, StatsArgs, UpdateIndexArgs, USAGE,
+    BatchSpec, BuildIndexArgs, ClientAction, ClientArgs, Command, GenerateArgs, GraphSource,
+    IndexSource, QueryArgs, RunArgs, ServeArgs, SplitIndexArgs, StatsArgs, UpdateIndexArgs, USAGE,
 };
 use efficient_imm::balance::Schedule;
 use efficient_imm::sampling::{generate_rrr_sets, SamplingConfig};
@@ -11,12 +11,13 @@ use imm_bench::datasets::{find, Scale};
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, GraphDelta, WeightModel};
 use imm_rrr::{AdaptivePolicy, BitSet};
+use imm_serve::{Client, Rejection, Server, ServerConfig};
 use imm_service::{Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
 use imm_shard::{ShardedEngine, ShardedIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Top-level error type: every failure is reported as a message string.
 pub type CliError = String;
@@ -36,7 +37,17 @@ pub fn execute(command: Command) -> Result<(), CliError> {
         Command::UpdateIndex(args) => update_index(&args),
         Command::SplitIndex(args) => split_index(&args),
         Command::Query(args) => query(&args),
+        Command::Serve(args) => serve(&args),
+        Command::Client(args) => client(&args),
     }
+}
+
+/// Render JSON for printing. `to_string_pretty` only fails on values the
+/// CLI never builds (non-string map keys), but a long-lived tool must
+/// degrade a render failure into a diagnostic, never a panic.
+fn pretty(json: &serde_json::Value) -> String {
+    serde_json::to_string_pretty(json)
+        .unwrap_or_else(|e| format!("{{\"error\":\"cannot render json: {e}\"}}"))
 }
 
 fn generate(args: &GenerateArgs) -> Result<(), CliError> {
@@ -155,7 +166,7 @@ fn run_one(args: &RunArgs, algorithm: Algorithm) -> Result<(serde_json::Value, f
 
 fn run(args: &RunArgs) -> Result<(), CliError> {
     let (json, _) = run_one(args, args.algorithm)?;
-    let rendered = serde_json::to_string_pretty(&json).expect("valid json");
+    let rendered = pretty(&json);
     match &args.output {
         Some(path) => {
             std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -175,7 +186,7 @@ fn compare(args: &RunArgs) -> Result<(), CliError> {
         "efficientimm": efficient_json,
         "speedup": speedup,
     });
-    println!("{}", serde_json::to_string_pretty(&combined).expect("valid json"));
+    println!("{}", pretty(&combined));
     eprintln!("EfficientIMM speedup over Ripples: {speedup:.2}x");
     Ok(())
 }
@@ -193,8 +204,12 @@ fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
     let start = Instant::now();
     let result = run_imm(&graph, &weights, &params, &exec).map_err(|e| e.to_string())?;
     let build_seconds = start.elapsed().as_secs_f64();
-    let collection = result.rrr_sets.expect("retained sets were requested");
-    let records = result.provenance.expect("provenance tracing was requested");
+    let collection = result
+        .rrr_sets
+        .ok_or("internal error: the run did not retain its RRR sets despite the request")?;
+    let records = result
+        .provenance
+        .ok_or("internal error: the run did not trace provenance despite the request")?;
     let spec =
         SampleSpec::new(run.model, run.seed).with_policy(exec.features.representation_policy());
     let index = SketchIndex::build_with_provenance(&graph, collection, records, spec, &name)
@@ -212,7 +227,7 @@ fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
         "top_k_seeds": result.seeds,
         "dynamic": index.is_dynamic(),
     });
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    println!("{}", pretty(&json));
     Ok(())
 }
 
@@ -256,6 +271,11 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
     let start = Instant::now();
     let (_, _, stats) = index.apply_delta(&graph, &weights, &delta).map_err(|e| e.to_string())?;
     let refresh_seconds = start.elapsed().as_secs_f64();
+    let applied_deltas_total = index
+        .provenance()
+        .ok_or("internal error: the snapshot lost its provenance during the refresh")?
+        .delta_log
+        .len();
 
     // Write-then-rename so the default in-place refresh can never destroy
     // the only copy of the snapshot on a crash or disk-full mid-write.
@@ -274,10 +294,10 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
         "deleted_edges": stats.deleted_edges,
         "reweighted_edges": stats.reweighted_edges,
         "edges_after": stats.num_edges_after,
-        "applied_deltas_total": index.provenance().expect("still dynamic").delta_log.len(),
+        "applied_deltas_total": applied_deltas_total,
         "refresh_seconds": refresh_seconds,
     });
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    println!("{}", pretty(&json));
     Ok(())
 }
 
@@ -311,7 +331,34 @@ fn response_json(query: &Query, response: &QueryResponse) -> serde_json::Value {
                 "gain": gain,
             })
         }
-        _ => unreachable!("engine answers every query with its own response kind"),
+        // The engines answer every query with its own response kind, so
+        // this arm is dead in practice — but a mismatch (say, a future
+        // protocol skew between daemon and client) must render as a
+        // diagnostic row, not abort the whole report.
+        (query, response) => serde_json::json!({
+            "query": "mismatched",
+            "error": format!(
+                "internal error: a {} query was answered with a {} response",
+                query_kind(query),
+                response_kind(response)
+            ),
+        }),
+    }
+}
+
+fn query_kind(query: &Query) -> &'static str {
+    match query {
+        Query::TopK { .. } => "top-k",
+        Query::Spread { .. } => "spread",
+        Query::Marginal { .. } => "marginal",
+    }
+}
+
+fn response_kind(response: &QueryResponse) -> &'static str {
+    match response {
+        QueryResponse::TopK { .. } => "top-k",
+        QueryResponse::Spread { .. } => "spread",
+        QueryResponse::Marginal { .. } => "marginal",
     }
 }
 
@@ -334,7 +381,7 @@ fn split_index(args: &SplitIndexArgs) -> Result<(), CliError> {
         "files": paths.iter().map(|p| p.to_string_lossy().into_owned()).collect::<Vec<_>>(),
         "sets_per_shard": sets_per_shard,
     });
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    println!("{}", pretty(&json));
     Ok(())
 }
 
@@ -451,21 +498,225 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
             pairs.push(("metrics_delta".to_string(), imm_bench::obs::samples_json(&delta)));
         }
     }
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    println!("{}", pretty(&json));
+    Ok(())
+}
+
+/// Run the serving daemon: load a snapshot, partition it into shards,
+/// bind the socket, and block until a client's `shutdown` verb (or a
+/// signal) stops the accept loop.
+///
+/// With `--graph`/`--dataset` the snapshot's original source is loaded
+/// and the delta log replayed — exactly `update-index`'s reconstruction —
+/// so the daemon holds the live graph revision and can serve rolling
+/// `apply-delta` rollouts. Without a source the daemon serves statically
+/// and answers rollout requests with a structured `not-dynamic` error.
+fn serve(args: &ServeArgs) -> Result<(), CliError> {
+    let index = SketchIndex::load_from_path(&args.index)
+        .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+
+    let dynamic = match &args.source {
+        None => None,
+        Some(source) => {
+            let (spec, replay) = match index.provenance() {
+                Some(provenance) => (
+                    provenance.spec,
+                    provenance
+                        .delta_log
+                        .iter()
+                        .map(|entry| entry.delta.clone())
+                        .collect::<Vec<_>>(),
+                ),
+                None => {
+                    return Err(format!(
+                        "{} is a static snapshot (no sampling provenance); serve it without \
+                         --graph/--dataset, or rebuild it with build-index",
+                        args.index
+                    ))
+                }
+            };
+            let (mut graph, mut weights, name) = load(source, spec.model, spec.rng_seed)?;
+            for (i, delta) in replay.iter().enumerate() {
+                let (next_graph, next_weights) = delta.apply(&graph, &weights).map_err(|e| {
+                    format!(
+                        "replaying logged delta {i} of {} failed: {e} — is '{name}' the \
+                         original source the snapshot was built from?",
+                        replay.len()
+                    )
+                })?;
+                graph = next_graph;
+                weights = next_weights;
+            }
+            Some((graph, weights))
+        }
+    };
+    let dynamic_enabled = dynamic.is_some();
+
+    let sharded = ShardedIndex::from_index(index, args.shards)
+        .map_err(|e| format!("cannot shard {}: {e}", args.index))?;
+
+    let mut config = ServerConfig::new(args.listen.clone());
+    config.threads = args.threads;
+    config.budget = args.max_cost;
+    config.max_inflight = args.max_inflight;
+    config.tick = Duration::from_millis(args.tick_ms.max(1));
+    let handle = Server::start(Arc::new(sharded), dynamic, config, || {
+        pretty(&imm_bench::obs::registry_json())
+    })
+    .map_err(|e| format!("cannot start the daemon: {e}"))?;
+
+    // The startup line doubles as the readiness signal scripts wait for —
+    // and carries the kernel-resolved address when `--tcp` asked for
+    // port 0.
+    println!(
+        "serving {} on {} ({} shards, {} threads, dynamic: {})",
+        args.index,
+        handle.address(),
+        args.shards,
+        args.threads,
+        dynamic_enabled
+    );
+    handle.join().map_err(|_| "the daemon's accept loop panicked".to_string())
+}
+
+/// Materialize a `client` batch against the *served* index: audience
+/// bitmaps must be sized to the daemon's vertex space, which the client
+/// learns over the `info` verb (it has no local index to size them from).
+fn remote_queries(client: &mut Client, spec: &BatchSpec) -> Result<Vec<Query>, CliError> {
+    let audience = match &spec.audience {
+        None => None,
+        Some(vertices) => {
+            let nodes = client.info().map_err(|e| e.to_string())?.nodes as usize;
+            // Out-of-range audience vertices select no sets; dropping them
+            // mirrors the local `query` command.
+            Some(BitSet::from_iter_with_capacity(
+                nodes,
+                vertices.iter().map(|&v| v as usize).filter(|&v| v < nodes),
+            ))
+        }
+    };
+    let mut queries: Vec<Query> = spec
+        .top_k
+        .iter()
+        .map(|&k| match &audience {
+            None => Query::top_k(k),
+            Some(a) => Query::audience_top_k(k, a.clone()),
+        })
+        .collect();
+    if let Some(seeds) = &spec.spread {
+        queries.push(Query::Spread { seeds: seeds.clone() });
+    }
+    if let Some((seeds, candidate)) = &spec.marginal {
+        queries.push(Query::Marginal { seeds: seeds.clone(), candidate: *candidate });
+    }
+    Ok(queries)
+}
+
+/// A structured admission rejection as a response row.
+fn rejection_json(rejection: &Rejection) -> serde_json::Value {
+    match rejection {
+        Rejection::OverBudget { estimated_cost, budget } => serde_json::json!({
+            "rejected": "over-budget",
+            "estimated_cost": estimated_cost,
+            "budget": budget,
+        }),
+        Rejection::InvalidVertex { vertex, num_nodes } => serde_json::json!({
+            "rejected": "invalid-vertex",
+            "vertex": vertex,
+            "num_nodes": num_nodes,
+        }),
+    }
+}
+
+/// Talk to a serving daemon: run the requested actions in order and
+/// print one JSON report. Batch responses reuse [`response_json`], so a
+/// remote answer renders byte-identically to the local `query` command's.
+fn client(args: &ClientArgs) -> Result<(), CliError> {
+    let mut client = Client::connect_with_retry(&args.address, Duration::from_millis(args.wait_ms))
+        .map_err(|e| e.to_string())?;
+
+    let mut report: Vec<(String, serde_json::Value)> =
+        vec![("address".into(), serde_json::json!(args.address.to_string()))];
+    for action in &args.actions {
+        match action {
+            ClientAction::Ping => {
+                client.ping().map_err(|e| e.to_string())?;
+                report.push(("ping".into(), serde_json::json!("pong")));
+            }
+            ClientAction::Info => {
+                let info = client.info().map_err(|e| e.to_string())?;
+                report.push((
+                    "info".into(),
+                    serde_json::json!({
+                        "source": info.label,
+                        "theta": info.theta,
+                        "nodes": info.nodes,
+                        "shards": info.shards,
+                        "workers": info.workers,
+                        "rollouts": info.rollouts,
+                    }),
+                ));
+            }
+            ClientAction::Metrics => {
+                let raw = client.metrics_json().map_err(|e| e.to_string())?;
+                // The daemon sends rendered JSON; embed it structurally,
+                // falling back to a string if it ever fails to parse.
+                let value = serde_json::from_str(&raw).unwrap_or(serde_json::Value::String(raw));
+                report.push(("metrics".into(), value));
+            }
+            ClientAction::Batch(spec) => {
+                let queries = remote_queries(&mut client, spec)?;
+                let outcomes = client.batch(&queries).map_err(|e| e.to_string())?;
+                let responses: Vec<serde_json::Value> = queries
+                    .iter()
+                    .zip(outcomes.iter())
+                    .map(|(q, outcome)| match outcome {
+                        Ok(r) => response_json(q, r),
+                        Err(rejection) => rejection_json(rejection),
+                    })
+                    .collect();
+                report.push(("responses".into(), serde_json::Value::Array(responses)));
+            }
+            ClientAction::ApplyDelta { path } => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let outcome = client.apply_delta(&text).map_err(|e| e.to_string())?;
+                report.push((
+                    "delta".into(),
+                    serde_json::json!({
+                        "theta": outcome.total_sets,
+                        "resampled_sets": outcome.resampled_sets,
+                        "inserted_edges": outcome.inserted_edges,
+                        "deleted_edges": outcome.deleted_edges,
+                        "reweighted_edges": outcome.reweighted_edges,
+                        "edges_after": outcome.edges_after,
+                    }),
+                ));
+            }
+            ClientAction::Shutdown => {
+                client.shutdown().map_err(|e| e.to_string())?;
+                report.push(("shutdown".into(), serde_json::json!("acknowledged")));
+            }
+        }
+    }
+    println!("{}", pretty(&serde_json::Value::Object(report)));
     Ok(())
 }
 
 /// The workspace metric registry in the documented, versioned shape
 /// ([`imm_bench::obs`] — the same serializer the perf suite embeds in
-/// `BENCH_*.json`), plus the live state of the process-global pool that a
-/// registry of monotonic metrics cannot carry (its thread count and
-/// per-worker queue depths).
+/// `BENCH_*.json`), plus the process-global pool's thread count.
+///
+/// Queue depths are deliberately *not* reported here: a point-in-time
+/// read of another thread's queue is racy — it describes the instant of
+/// the read and misses every burst between reads. The serving daemon
+/// samples the depths on its housekeeping tick into max-over-window
+/// gauges instead (`exec_shared_queue_depth_max` /
+/// `exec_pinned_queue_depth_max` in the registry below).
 fn metrics_json() -> serde_json::Value {
-    let pool = imm_exec::global();
     serde_json::json!({
         "pool": {
-            "threads": pool.num_threads(),
-            "queue_depths": pool.queue_depths(),
+            "threads": imm_exec::global().num_threads(),
         },
         "registry": imm_bench::obs::registry_json(),
     })
@@ -481,7 +732,7 @@ fn print_stats(json: serde_json::Value, metrics: bool) {
         }
         (_, json) => json,
     };
-    println!("{}", serde_json::to_string_pretty(&json).expect("valid json"));
+    println!("{}", pretty(&json));
 }
 
 /// Coverage statistics from a saved index — the sketches are reused, not
@@ -525,7 +776,10 @@ fn stats(args: &StatsArgs) -> Result<(), CliError> {
     // The sampling pass rides the shared process-wide pool (the builder
     // returns a token over it), at whatever width the pool was given.
     let threads = rayon::current_num_threads();
-    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| format!("cannot build the sampling thread pool: {e}"))?;
     let cfg = SamplingConfig {
         model: DiffusionModel::IndependentCascade,
         rng_seed: 0xC0FFEE,
@@ -888,6 +1142,74 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("static snapshot"), "unexpected error: {err}");
         std::fs::remove_file(&static_path).ok();
+    }
+
+    #[test]
+    fn serve_then_client_round_trips_over_a_unix_socket() {
+        let snapshot_path = temp_path("cli_serve.sketch");
+        let socket_path = temp_path("cli_serve.sock");
+        std::fs::remove_file(&socket_path).ok();
+        execute(Command::BuildIndex(BuildIndexArgs {
+            run: RunArgs {
+                source: GraphSource::Dataset("com-Amazon".into()),
+                model: DiffusionModel::IndependentCascade,
+                algorithm: Algorithm::Efficient,
+                k: 3,
+                epsilon: 0.5,
+                threads: 2,
+                seed: 17,
+                output: None,
+            },
+            output: snapshot_path.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+
+        let serve_args = ServeArgs {
+            index: snapshot_path.to_string_lossy().into_owned(),
+            source: None,
+            listen: imm_serve::Listen::Unix(socket_path.clone()),
+            shards: 2,
+            threads: 2,
+            max_cost: None,
+            max_inflight: 8,
+            tick_ms: 10,
+        };
+        let daemon = std::thread::spawn(move || execute(Command::Serve(serve_args)));
+
+        // One invocation: probe, identify, query (audience included, so
+        // the client sizes the bitmap over the info verb), fetch metrics,
+        // and take the daemon down.
+        execute(Command::Client(ClientArgs {
+            address: imm_serve::Listen::Unix(socket_path.clone()),
+            actions: vec![
+                ClientAction::Ping,
+                ClientAction::Info,
+                ClientAction::Batch(BatchSpec {
+                    top_k: vec![2],
+                    audience: Some(vec![0, 1, 2, 3]),
+                    spread: Some(vec![0, 1]),
+                    marginal: Some((vec![0], 1)),
+                }),
+                ClientAction::Metrics,
+                ClientAction::Shutdown,
+            ],
+            wait_ms: 5_000,
+        }))
+        .unwrap();
+
+        daemon.join().unwrap().unwrap();
+        assert!(!socket_path.exists(), "the daemon removes its socket on shutdown");
+
+        // A vanished daemon is reported as an error, not a panic.
+        let err = execute(Command::Client(ClientArgs {
+            address: imm_serve::Listen::Unix(socket_path.clone()),
+            actions: vec![ClientAction::Ping],
+            wait_ms: 0,
+        }))
+        .unwrap_err();
+        assert!(err.contains("connect"), "unexpected error: {err}");
+
+        std::fs::remove_file(&snapshot_path).ok();
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod pinned;
 pub mod spsc;
 
 pub use executor::{configure_global, default_threads, global, Executor, GlobalPoolError, Scope};
-pub use metrics::MetricSample;
+pub use metrics::{MetricSample, QueueDepthSampler};
 pub use pinned::{Pinned, PinnedPool, WakeMode};

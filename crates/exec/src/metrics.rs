@@ -12,7 +12,7 @@
 use std::sync::Once;
 
 pub use imm_obs::Counter;
-use imm_obs::Metric;
+use imm_obs::{Gauge, MaxWindow, Metric, Unit};
 
 /// Scopes entered on the shared pool (fork-join rounds).
 pub static SCOPES: Counter =
@@ -77,6 +77,60 @@ pub static PINNED_PARKS: Counter =
 pub static PINNED_UNPARKS: Counter =
     Counter::new("exec_pinned_unparks", "Wakeups sent to parked pinned workers");
 
+/// Max-over-window depth of the shared pool's deepest worker inbox,
+/// maintained by a [`QueueDepthSampler`] on a housekeeping cadence.
+///
+/// [`crate::Executor::queue_depths`] is a racy point-in-time peek — fine
+/// for a live debug panel, wrong as a *metric* (it describes one instant
+/// and misses every burst between reads). This gauge is the sampled
+/// replacement: the high-water mark over the sampler's window.
+pub static SHARED_QUEUE_DEPTH_MAX: Gauge = Gauge::new(
+    "exec_shared_queue_depth_max",
+    "Deepest shared-pool worker inbox over the sampler's recent window",
+    Unit::Count,
+);
+
+/// Max-over-window depth of the deepest pinned shard cell queue, fed by
+/// the same sampler (see [`SHARED_QUEUE_DEPTH_MAX`]).
+pub static PINNED_QUEUE_DEPTH_MAX: Gauge = Gauge::new(
+    "exec_pinned_queue_depth_max",
+    "Deepest pinned shard-cell queue over the sampler's recent window",
+    Unit::Count,
+);
+
+/// Turns racy queue-depth peeks into max-over-window gauges.
+///
+/// Owned by whatever drives the process's housekeeping cadence (the
+/// serving daemon's tick): each [`sample`](QueueDepthSampler::sample)
+/// call peeks the current depths, rolls them into per-source
+/// [`MaxWindow`]s, and publishes the rolling maxima to
+/// [`SHARED_QUEUE_DEPTH_MAX`] / [`PINNED_QUEUE_DEPTH_MAX`].
+#[derive(Debug)]
+pub struct QueueDepthSampler {
+    shared: MaxWindow,
+    pinned: MaxWindow,
+}
+
+impl QueueDepthSampler {
+    /// A sampler whose gauges report the max over the last `window`
+    /// samples (clamped ≥ 1). Registers the exec metrics so the gauges
+    /// are visible even if no pool was constructed yet.
+    pub fn new(window: usize) -> Self {
+        register();
+        QueueDepthSampler { shared: MaxWindow::new(window), pinned: MaxWindow::new(window) }
+    }
+
+    /// Record one observation: the deepest shared-pool inbox and the
+    /// deepest pinned cell queue (pass the current `queue_depths()`
+    /// snapshots). Publishes the updated window maxima to the gauges.
+    pub fn sample(&mut self, shared_depths: &[usize], pinned_depths: &[usize]) {
+        let shared = shared_depths.iter().copied().max().unwrap_or(0) as u64;
+        let pinned = pinned_depths.iter().copied().max().unwrap_or(0) as u64;
+        SHARED_QUEUE_DEPTH_MAX.set(self.shared.record(shared) as f64);
+        PINNED_QUEUE_DEPTH_MAX.set(self.pinned.record(pinned) as f64);
+    }
+}
+
 /// Every counter the runtime exports, in registration order.
 ///
 /// Growable on purpose (PR 7 satellite): PR 6 returned a fixed
@@ -107,8 +161,13 @@ pub fn registry() -> Vec<&'static Counter> {
 pub fn register() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
-        let metrics: Vec<&'static dyn Metric> =
+        let mut metrics: Vec<&'static dyn Metric> =
             registry().into_iter().map(|c| c as &'static dyn Metric).collect();
+        // The sampled queue-depth gauges join the obs registry but NOT
+        // `registry()` — that list's names/order are pinned byte-stable
+        // to PR 6 for counter-delta consumers.
+        metrics.push(&SHARED_QUEUE_DEPTH_MAX as &'static dyn Metric);
+        metrics.push(&PINNED_QUEUE_DEPTH_MAX as &'static dyn Metric);
         imm_obs::register(&metrics);
     });
 }

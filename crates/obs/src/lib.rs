@@ -43,12 +43,14 @@
 pub mod histogram;
 pub mod rate;
 pub mod registry;
+pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use histogram::{Histogram, HistogramSnapshot, LatencyHistogram};
 pub use rate::{RateMeter, RateSnapshot};
 pub use registry::{delta, register, snapshot, Metric, MetricKind, MetricValue, Sample};
+pub use window::MaxWindow;
 
 /// Whether this build actually records events (`false` under `obs-off`).
 pub const fn recording_enabled() -> bool {

@@ -1,0 +1,163 @@
+//! Blocking client for the serving daemon.
+//!
+//! One [`Client`] owns one connection and runs a strict
+//! request/response exchange per call. The CLI `client` subcommand, the
+//! `query_storm` bench, and the socket parity suite all speak through
+//! this type, so its decode path is the same defensive
+//! [`protocol`] decoder the server uses — a hostile or
+//! broken server cannot make a client panic, hang, or over-allocate.
+
+use crate::protocol::{
+    self, DeltaOutcome, FrameRead, ProtocolError, Rejection, Request, Response, ServeError,
+    ServerInfo, DEFAULT_MAX_FRAME_LEN,
+};
+use crate::server::{Listen, Stream};
+use imm_service::{Query, QueryResponse};
+use std::fmt;
+use std::io;
+use std::time::{Duration, Instant};
+
+/// Everything a call can fail with, client-side.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the daemon.
+    Connect(io::Error),
+    /// Transport or framing failure mid-exchange.
+    Protocol(ProtocolError),
+    /// The daemon closed the connection instead of answering.
+    Closed,
+    /// The daemon reported a request-level error.
+    Server(ServeError),
+    /// The daemon answered with a verb that does not match the request.
+    Unexpected {
+        /// What the call was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "could not connect to the daemon: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Closed => write!(f, "the daemon closed the connection"),
+            ClientError::Server(e) => write!(f, "the daemon refused the request: {e}"),
+            ClientError::Unexpected { expected } => {
+                write!(f, "the daemon answered with the wrong verb (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a serving daemon.
+pub struct Client {
+    stream: Stream,
+    max_frame_len: usize,
+}
+
+impl Client {
+    /// Connect once.
+    pub fn connect(address: &Listen) -> Result<Self, ClientError> {
+        let stream = Stream::connect(address).map_err(ClientError::Connect)?;
+        Ok(Client { stream, max_frame_len: DEFAULT_MAX_FRAME_LEN })
+    }
+
+    /// Connect, retrying for up to `wait` (10 ms backoff) — the CI
+    /// smoke's readiness gate for a daemon that is still binding its
+    /// socket.
+    pub fn connect_with_retry(address: &Listen, wait: Duration) -> Result<Self, ClientError> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match Self::connect(address) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Cap on one response frame's payload (defaults to
+    /// [`DEFAULT_MAX_FRAME_LEN`]).
+    pub fn set_max_frame_len(&mut self, max: usize) {
+        self.max_frame_len = max;
+    }
+
+    /// One raw request/response exchange.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        protocol::write_frame(&mut self.stream, &protocol::encode_request(request))
+            .map_err(|e| ClientError::Protocol(ProtocolError::Io(e)))?;
+        match protocol::read_frame(&mut self.stream, self.max_frame_len)? {
+            FrameRead::Frame(payload) => Ok(protocol::decode_response(&payload)?),
+            FrameRead::Eof | FrameRead::Idle => Err(ClientError::Closed),
+        }
+    }
+
+    /// Call, surfacing a server-reported error as [`ClientError::Server`].
+    fn checked(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected { expected: "pong" }),
+        }
+    }
+
+    /// Serve a batch of queries; each answer slot is the engine's
+    /// byte-identical response or a structured admission rejection.
+    pub fn batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<Result<QueryResponse, Rejection>>, ClientError> {
+        match self.checked(&Request::Batch(queries.to_vec()))? {
+            Response::Batch(outcomes) => Ok(outcomes),
+            _ => Err(ClientError::Unexpected { expected: "batch answers" }),
+        }
+    }
+
+    /// The daemon's live metrics registry as JSON.
+    pub fn metrics_json(&mut self) -> Result<String, ClientError> {
+        match self.checked(&Request::Metrics)? {
+            Response::MetricsJson(json) => Ok(json),
+            _ => Err(ClientError::Unexpected { expected: "metrics json" }),
+        }
+    }
+
+    /// Server identity and shape.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.checked(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            _ => Err(ClientError::Unexpected { expected: "server info" }),
+        }
+    }
+
+    /// Apply a delta (`update-index` text format) through a graceful
+    /// rollout.
+    pub fn apply_delta(&mut self, text: &str) -> Result<DeltaOutcome, ClientError> {
+        match self.checked(&Request::ApplyDelta { text: text.into() })? {
+            Response::DeltaApplied(outcome) => Ok(outcome),
+            _ => Err(ClientError::Unexpected { expected: "delta outcome" }),
+        }
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.checked(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Unexpected { expected: "shutdown ack" }),
+        }
+    }
+}

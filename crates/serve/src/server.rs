@@ -1,0 +1,548 @@
+//! The shard-server daemon.
+//!
+//! One process hosts every shard of a [`ShardedIndex`] behind the
+//! pinned worker pool and a coordinator loop:
+//!
+//! * The **accept loop** (one thread) listens on a unix or TCP socket,
+//!   spawns one thread per connection, and doubles as the daemon's
+//!   **housekeeping tick**: on a fixed cadence it peeks the racy queue
+//!   depths (shared pool, pinned shard cells, in-flight requests) and
+//!   publishes their max-over-window into gauges — the sampled
+//!   replacement for reporting a point-in-time read as a metric.
+//! * Each **connection thread** runs a strict request/response loop
+//!   over length-prefixed frames. A protocol error (bad magic,
+//!   oversized or truncated frame, garbage payload) earns a structured
+//!   error response and a dropped connection — never a panic, a hang,
+//!   or an unbounded allocation.
+//! * **Admission** gates every batch: a bounded in-flight slot per
+//!   request, a postings-size cost estimate per query (see
+//!   [`crate::admission`]).
+//! * **Rolling refresh**: `apply_delta` builds the replacement index
+//!   off to the side — [`ShardedIndex::rebuilt_with_delta`] shares every
+//!   clean shard's segment with the live index — then swaps one `Arc`.
+//!   Queries that already hold the old state keep serving on the old
+//!   segments; the next request sees the new index. Rollouts serialize
+//!   behind a mutex; queries never wait on it.
+//!
+//! Remote answers are **byte-identical** to the in-process engine's:
+//! the daemon calls the very same [`ShardedEngine`] entry points and the
+//! wire codec round-trips `f64`s as raw bits. The socket parity suite
+//! pins this across shard counts, including after rolling refreshes.
+
+use crate::admission::{Admission, CostModel};
+use crate::metrics as smetrics;
+use crate::protocol::{
+    self, DeltaOutcome, FrameRead, Rejection, Request, Response, ServeError, ServerInfo,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use imm_exec::QueueDepthSampler;
+use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
+use imm_obs::MaxWindow;
+use imm_service::QueryResponse;
+use imm_shard::{ShardedEngine, ShardedIndex};
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::RwLock;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens (and, once bound, the resolved address a
+/// client should dial — TCP port 0 resolves to the assigned port).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7071` (port 0 picks a free port).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Listen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Listen::Unix(path) => write!(f, "unix:{}", path.display()),
+            Listen::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A connected socket of either family.
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(address: &Listen) -> io::Result<Stream> {
+        match address {
+            Listen::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Listen::Tcp(addr) => {
+                let stream = TcpStream::connect(addr.as_str())?;
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> io::Result<(Listener, Listen)> {
+        match listen {
+            Listen::Unix(path) => {
+                let listener = UnixListener::bind(path)?;
+                Ok((Listener::Unix(listener), Listen::Unix(path.clone())))
+            }
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let resolved = Listen::Tcp(listener.local_addr()?.to_string());
+                Ok((Listener::Tcp(listener), resolved))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(nonblocking),
+            Listener::Tcp(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+        }
+    }
+}
+
+/// Tuning knobs of one daemon instance.
+pub struct ServerConfig {
+    /// Where to listen.
+    pub listen: Listen,
+    /// Serving parallelism: pinned shard workers come out of this count
+    /// (see [`ShardedEngine::with_options`]), and batch requests fan
+    /// across it.
+    pub threads: usize,
+    /// Response-cache capacity per engine generation (0 disables).
+    pub cache_capacity: usize,
+    /// Per-query cost budget in postings entries (`None` admits all).
+    pub budget: Option<u64>,
+    /// Bound on concurrently served requests across all connections.
+    pub max_inflight: usize,
+    /// Housekeeping cadence: queue-depth sampling and shutdown checks.
+    pub tick: Duration,
+    /// Samples per max-over-window gauge.
+    pub sample_window: usize,
+    /// Decoder cap on one frame's payload.
+    pub max_frame_len: usize,
+}
+
+impl ServerConfig {
+    /// Defaults sized for a small deployment: global-pool parallelism,
+    /// the service-layer default cache, no cost budget, 64 in-flight
+    /// requests, a 50 ms tick with a 20-sample window (a one-second
+    /// high-water mark).
+    pub fn new(listen: Listen) -> Self {
+        ServerConfig {
+            listen,
+            threads: imm_exec::default_threads(),
+            cache_capacity: imm_service::DEFAULT_CACHE_CAPACITY,
+            budget: None,
+            max_inflight: 64,
+            tick: Duration::from_millis(50),
+            sample_window: 20,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// The engine generation a request serves against: swapped wholesale by
+/// a rollout, so a request that cloned the `Arc` keeps a consistent
+/// (engine, cost-model) pair for its whole lifetime.
+struct EngineState {
+    engine: ShardedEngine,
+    cost: CostModel,
+}
+
+/// What to do with the connection after answering one request.
+enum Flow {
+    Continue,
+    Close,
+}
+
+/// Shared daemon state: the swappable engine generation, admission
+/// gates, the rollout lock, and the shutdown flag.
+pub struct Server {
+    state: RwLock<Arc<EngineState>>,
+    admission: Admission,
+    /// The live graph/weights pair deltas apply to. `None` for a static
+    /// index (rollouts answer [`ServeError::NotDynamic`]). The mutex
+    /// serializes rollouts; the query path never takes it.
+    dynamic: Mutex<Option<(CsrGraph, EdgeWeights)>>,
+    rollouts: AtomicU64,
+    shutdown: AtomicBool,
+    metrics_provider: Box<dyn Fn() -> String + Send + Sync>,
+    threads: usize,
+    cache_capacity: usize,
+    tick: Duration,
+    sample_window: usize,
+    max_frame_len: usize,
+}
+
+impl Server {
+    /// Start the daemon: bind, spawn the accept loop, return a handle
+    /// with the resolved address.
+    ///
+    /// `dynamic` is the graph/weights pair rolling `apply_delta` replays
+    /// against (pass `None` to serve statically); `metrics_provider`
+    /// renders the process's metrics registry for the `metrics` verb —
+    /// the CLI wires `imm_bench::obs::registry_json` here (the provider
+    /// lives upstream so this crate stays below the bench layer).
+    pub fn start(
+        index: Arc<ShardedIndex>,
+        dynamic: Option<(CsrGraph, EdgeWeights)>,
+        config: ServerConfig,
+        metrics_provider: impl Fn() -> String + Send + Sync + 'static,
+    ) -> io::Result<ServerHandle> {
+        smetrics::register();
+        imm_exec::metrics::register();
+        let engine = ShardedEngine::with_options(index, config.threads, config.cache_capacity);
+        let cost = CostModel::from_index(engine.index());
+        let server = Arc::new(Server {
+            state: RwLock::new(Arc::new(EngineState { engine, cost })),
+            admission: Admission::new(config.budget, config.max_inflight),
+            dynamic: Mutex::new(dynamic),
+            rollouts: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            metrics_provider: Box::new(metrics_provider),
+            threads: config.threads,
+            cache_capacity: config.cache_capacity,
+            tick: config.tick,
+            sample_window: config.sample_window,
+            max_frame_len: config.max_frame_len,
+        });
+
+        let (listener, address) = Listener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let accept_server = Arc::clone(&server);
+        let accept_address = address.clone();
+        let thread = thread::Builder::new()
+            .name("imm-serve-accept".into())
+            .spawn(move || accept_loop(accept_server, listener, accept_address))?;
+        Ok(ServerHandle { address, thread, server })
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// The engine generation serving right now. Poisoning is impossible
+    /// in practice (writers only swap an `Arc`), but a long-lived daemon
+    /// must not compound a panic: recover the inner value instead.
+    fn current(&self) -> Arc<EngineState> {
+        self.state.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Answer one decoded request.
+    fn handle(&self, request: Request) -> (Response, Flow) {
+        smetrics::REQUESTS.increment();
+        match request {
+            Request::Ping => (Response::Pong, Flow::Continue),
+            Request::Metrics => (Response::MetricsJson((self.metrics_provider)()), Flow::Continue),
+            Request::Info => {
+                let state = self.current();
+                let index = state.engine.index();
+                (
+                    Response::Info(ServerInfo {
+                        label: index.meta().label.clone(),
+                        theta: index.num_sets() as u64,
+                        nodes: index.num_nodes() as u64,
+                        shards: index.num_shards() as u32,
+                        workers: state.engine.num_workers() as u32,
+                        rollouts: self.rollouts.load(Ordering::Acquire),
+                    }),
+                    Flow::Continue,
+                )
+            }
+            Request::Batch(queries) => (self.serve_batch(queries), Flow::Continue),
+            Request::ApplyDelta { text } => (self.roll_delta(&text), Flow::Continue),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                (Response::ShuttingDown, Flow::Close)
+            }
+        }
+    }
+
+    /// Price, admit, and execute one batch. Admission is per query —
+    /// a rejected query occupies its slot in the answers while its
+    /// neighbours serve; the in-flight bound sheds the whole request.
+    fn serve_batch(&self, queries: Vec<imm_service::Query>) -> Response {
+        let _slot = match self.admission.try_acquire() {
+            Ok(slot) => slot,
+            Err((inflight, limit)) => {
+                smetrics::REJECTED_QUEUE_FULL.increment();
+                return Response::Error(ServeError::QueueFull { inflight, limit });
+            }
+        };
+        // One generation for the whole batch: a rollout mid-batch must
+        // not split it across two indexes.
+        let state = self.current();
+
+        let mut outcomes: Vec<Option<Result<QueryResponse, Rejection>>> =
+            Vec::with_capacity(queries.len());
+        let mut admitted = Vec::new();
+        for query in &queries {
+            let verdict = state.cost.cost(query).and_then(|c| self.admission.admit(c));
+            match verdict {
+                Ok(()) => {
+                    admitted.push(query.clone());
+                    outcomes.push(None); // filled from the executed batch
+                }
+                Err(rejection) => {
+                    match rejection {
+                        Rejection::OverBudget { .. } => smetrics::REJECTED_OVER_BUDGET.increment(),
+                        Rejection::InvalidVertex { .. } => {
+                            smetrics::REJECTED_INVALID_VERTEX.increment()
+                        }
+                    }
+                    outcomes.push(Some(Err(rejection)));
+                }
+            }
+        }
+        smetrics::QUERIES.add(admitted.len() as u64);
+        let mut responses = state.engine.execute_batch(&admitted, self.threads).into_iter();
+        let mut filled = Vec::with_capacity(outcomes.len());
+        for slot in outcomes {
+            match slot {
+                Some(outcome) => filled.push(outcome),
+                // The engine answers every admitted query; running dry here
+                // would be an engine bug, and a long-lived daemon reports
+                // it instead of panicking the connection thread.
+                None => match responses.next() {
+                    Some(response) => filled.push(Ok(response)),
+                    None => {
+                        return Response::Error(ServeError::BadRequest {
+                            detail: "internal error: the engine answered fewer queries than \
+                                     were admitted"
+                                .into(),
+                        })
+                    }
+                },
+            }
+        }
+        Response::Batch(filled)
+    }
+
+    /// Parse and apply a delta through a graceful rollout: rebuild the
+    /// replacement index off to the side (clean shards share segments
+    /// with the live index), stand up a fresh engine over it, swap one
+    /// `Arc`. In-flight batches finish on the generation they started
+    /// on; the old engine (and its pinned pool) tears down when the
+    /// last of them drops it.
+    fn roll_delta(&self, text: &str) -> Response {
+        let delta = match GraphDelta::parse_text(text) {
+            Ok(delta) => delta,
+            Err(e) => return Response::Error(ServeError::Delta { detail: e.to_string() }),
+        };
+        let mut dynamic = self.dynamic.lock();
+        let Some((graph, weights)) = dynamic.as_ref() else {
+            return Response::Error(ServeError::NotDynamic);
+        };
+        let current = self.current();
+        let rebuilt = current.engine.index().rebuilt_with_delta(graph, weights, &delta);
+        let (next_index, new_graph, new_weights, stats) = match rebuilt {
+            Ok(parts) => parts,
+            Err(e) => return Response::Error(ServeError::Delta { detail: e.to_string() }),
+        };
+        let engine =
+            ShardedEngine::with_options(Arc::new(next_index), self.threads, self.cache_capacity);
+        let cost = CostModel::from_index(engine.index());
+        *self.state.write().unwrap_or_else(|e| e.into_inner()) =
+            Arc::new(EngineState { engine, cost });
+        *dynamic = Some((new_graph, new_weights));
+        self.rollouts.fetch_add(1, Ordering::AcqRel);
+        smetrics::ROLLOUTS.increment();
+        Response::DeltaApplied(DeltaOutcome {
+            total_sets: stats.total_sets as u64,
+            resampled_sets: stats.resampled_sets as u64,
+            inserted_edges: stats.inserted_edges as u64,
+            deleted_edges: stats.deleted_edges as u64,
+            reweighted_edges: stats.reweighted_edges as u64,
+            edges_after: stats.num_edges_after as u64,
+        })
+    }
+
+    /// One housekeeping observation: roll the racy depth peeks into the
+    /// max-over-window gauges.
+    fn sample(&self, depths: &mut QueueDepthSampler, inflight: &mut MaxWindow) {
+        let shared = imm_exec::global().queue_depths();
+        let pinned = self.current().engine.queue_depths();
+        depths.sample(&shared, &pinned);
+        smetrics::INFLIGHT_PEAK.set(inflight.record(self.admission.inflight() as u64) as f64);
+    }
+}
+
+fn accept_loop(server: Arc<Server>, listener: Listener, address: Listen) {
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    let mut depth_sampler = QueueDepthSampler::new(server.sample_window);
+    let mut inflight_window = MaxWindow::new(server.sample_window);
+    let mut last_tick = Instant::now();
+    let poll = server.tick.min(Duration::from_millis(10)).max(Duration::from_millis(1));
+
+    while !server.shutdown_requested() {
+        match listener.accept() {
+            Ok(stream) => {
+                smetrics::CONNECTIONS.increment();
+                let conn_server = Arc::clone(&server);
+                let handle = thread::Builder::new()
+                    .name("imm-serve-conn".into())
+                    .spawn(move || serve_connection(conn_server, stream));
+                match handle {
+                    Ok(handle) => connections.push(handle),
+                    Err(e) => eprintln!("[imm-serve] failed to spawn connection thread: {e}"),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(poll),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[imm-serve] accept failed: {e}");
+                thread::sleep(poll);
+            }
+        }
+        if last_tick.elapsed() >= server.tick {
+            server.sample(&mut depth_sampler, &mut inflight_window);
+            last_tick = Instant::now();
+            connections.retain(|c| !c.is_finished());
+        }
+    }
+
+    // Drain: connection loops observe the shutdown flag within one read
+    // timeout and return; join them all before releasing the socket.
+    for connection in connections {
+        let _ = connection.join();
+    }
+    if let Listen::Unix(path) = &address {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Strict request/response loop over one connection. Any protocol error
+/// earns a best-effort structured error frame and a dropped connection
+/// (after garbage the stream position is untrustworthy).
+fn serve_connection(server: Arc<Server>, mut stream: Stream) {
+    // The read timeout doubles as the shutdown-check cadence and as the
+    // half-written-frame guard (a stalled mid-frame read times out into
+    // a structured Truncated error instead of hanging the thread).
+    let timeout = server.tick.max(Duration::from_millis(10));
+    if stream.set_read_timeout(Some(timeout)).is_err() {
+        return;
+    }
+    loop {
+        if server.shutdown_requested() {
+            return;
+        }
+        match protocol::read_frame(&mut stream, server.max_frame_len) {
+            Ok(FrameRead::Eof) => return,
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Frame(payload)) => match protocol::decode_request(&payload) {
+                Ok(request) => {
+                    let (response, flow) = server.handle(request);
+                    let sent =
+                        protocol::write_frame(&mut stream, &protocol::encode_response(&response));
+                    if sent.is_err() || matches!(flow, Flow::Close) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    smetrics::PROTOCOL_ERRORS.increment();
+                    let reply = Response::Error(ServeError::BadRequest { detail: e.to_string() });
+                    let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
+                    return;
+                }
+            },
+            Err(e) => {
+                smetrics::PROTOCOL_ERRORS.increment();
+                let reply = Response::Error(ServeError::BadRequest { detail: e.to_string() });
+                let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
+                return;
+            }
+        }
+    }
+}
+
+/// Handle on a running daemon: the resolved listen address plus
+/// stop/join controls.
+pub struct ServerHandle {
+    address: Listen,
+    thread: thread::JoinHandle<()>,
+    server: Arc<Server>,
+}
+
+impl ServerHandle {
+    /// The address clients should dial (TCP port 0 already resolved).
+    pub fn address(&self) -> &Listen {
+        &self.address
+    }
+
+    /// Completed rollouts so far.
+    pub fn rollouts(&self) -> u64 {
+        self.server.rollouts.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown without a client connection (the accept loop
+    /// notices within one tick). The `shutdown` RPC verb does the same
+    /// from the wire.
+    pub fn stop(&self) {
+        self.server.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Wait for the daemon to exit (all connections drained, unix socket
+    /// file removed).
+    pub fn join(self) -> thread::Result<()> {
+        self.thread.join()
+    }
+}

@@ -1,0 +1,338 @@
+//! The daemon's acceptance property: a query answered over the socket is
+//! **byte-identical** to the same query answered by an in-process
+//! [`ShardedEngine`] over the same index — floating-point estimates
+//! included, compared with `==` — across shard counts, over unix and TCP
+//! transports, and after rolling `apply_delta` rollouts. Plus the
+//! admission-control contract: over-budget queries are rejected with
+//! structured costs while their cheap neighbours keep serving
+//! byte-identically, and a full in-flight queue sheds whole requests.
+
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, CsrGraph, EdgeWeights, GraphDelta};
+use imm_rrr::{BitSet, NodeId};
+use imm_serve::{
+    Client, ClientError, CostModel, Listen, Rejection, ServeError, Server, ServerConfig,
+};
+use imm_service::{Query, SampleSpec, SketchIndex};
+use imm_shard::{ShardedEngine, ShardedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const THETA: usize = 150;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn fixture() -> (CsrGraph, EdgeWeights, SketchIndex) {
+    let mut rng = SmallRng::seed_from_u64(0xA5);
+    let graph = CsrGraph::from_edge_list(&generators::social_network(120, 5, 0.3, &mut rng));
+    let weights = EdgeWeights::constant(&graph, 0.2);
+    let spec = SampleSpec::new(DiffusionModel::IndependentCascade, 0x5EED);
+    let index =
+        SketchIndex::sample(&graph, &weights, spec, THETA, 2, "socket-parity").expect("sample");
+    (graph, weights, index)
+}
+
+/// The full query vocabulary: plain and audience-masked Top-K, spreads,
+/// marginals — all over seeded random vertices inside the vertex space.
+fn query_battery(num_nodes: usize, probe_seed: u64) -> Vec<Query> {
+    let mut probe = SmallRng::seed_from_u64(probe_seed);
+    let n = num_nodes as u32;
+    let mut queries: Vec<Query> = [1usize, 8, 3, 15].into_iter().map(Query::top_k).collect();
+    for _ in 0..3 {
+        let seeds: Vec<NodeId> =
+            (0..probe.gen_range(1..4)).map(|_| probe.gen_range(0..n)).collect();
+        queries.push(Query::Spread { seeds });
+    }
+    for _ in 0..3 {
+        let seeds: Vec<NodeId> =
+            (0..probe.gen_range(1..3)).map(|_| probe.gen_range(0..n)).collect();
+        queries.push(Query::Marginal { seeds, candidate: probe.gen_range(0..n) });
+    }
+    for _ in 0..2 {
+        let audience = BitSet::from_iter_with_capacity(
+            num_nodes,
+            (0..probe.gen_range(1..20)).map(|_| probe.gen_range(0..num_nodes)),
+        );
+        queries.push(Query::audience_top_k(probe.gen_range(1..6), audience));
+    }
+    queries
+}
+
+fn unix_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("imm_serve_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn start(index: &SketchIndex, shards: usize, config: ServerConfig) -> imm_serve::ServerHandle {
+    let sharded = ShardedIndex::from_index(index.clone(), shards).expect("shardable");
+    Server::start(Arc::new(sharded), None, config, || "{}".into()).expect("server starts")
+}
+
+/// Remote answers must equal the in-process engine's with `==` — that
+/// comparison covers every f64 in the responses.
+fn assert_remote_matches_local(
+    client: &mut Client,
+    local: &ShardedEngine,
+    queries: &[Query],
+    context: &str,
+) {
+    let expected = local.execute_batch(queries, 2);
+    let remote = client.batch(queries).expect("batch call");
+    assert_eq!(remote.len(), expected.len(), "{context}: answer count");
+    for (i, (got, want)) in remote.iter().zip(expected.iter()).enumerate() {
+        match got {
+            Ok(response) => {
+                assert_eq!(response, want, "{context}: query {i} diverged over the socket")
+            }
+            Err(rejection) => panic!("{context}: query {i} unexpectedly rejected: {rejection}"),
+        }
+    }
+}
+
+/// Shard counts 1/2/4 over a unix socket: every response byte-identical
+/// to the in-process engine, before and after a rolling `apply_delta`.
+#[test]
+fn unix_socket_parity_across_shard_counts_and_rollouts() {
+    let (graph, weights, index) = fixture();
+    let delta = {
+        let (del_src, del_dst) = graph.edges().next().expect("graph has edges");
+        GraphDelta::new().insert(3, 77, 0.8).insert(110, 9, 0.6).delete(del_src, del_dst)
+    };
+
+    for shards in SHARD_COUNTS {
+        let context = format!("unix, {shards} shards");
+        let path = unix_path(&format!("parity-{shards}.sock"));
+        let sharded = ShardedIndex::from_index(index.clone(), shards).expect("shardable");
+        let mut config = ServerConfig::new(Listen::Unix(path.clone()));
+        config.threads = 2;
+        config.tick = Duration::from_millis(10);
+        let handle = Server::start(
+            Arc::new(sharded),
+            Some((graph.clone(), weights.clone())),
+            config,
+            || "{}".into(),
+        )
+        .expect("server starts");
+
+        let mut client =
+            Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+        client.ping().expect("ping");
+        let info = client.info().expect("info");
+        assert_eq!(info.shards as usize, shards, "{context}: shard count over the wire");
+        assert_eq!(info.nodes as usize, graph.num_nodes());
+        assert_eq!(info.rollouts, 0);
+
+        // Local mirror of the same generation.
+        let mut local = ShardedEngine::with_options(
+            Arc::new(ShardedIndex::from_index(index.clone(), shards).expect("shardable")),
+            2,
+            64,
+        );
+        let queries = query_battery(graph.num_nodes(), 0xBEE5 ^ shards as u64);
+        assert_remote_matches_local(&mut client, &local, &queries, &context);
+
+        // Rolling rollout over RPC; mirror it in process and re-compare.
+        let outcome = client.apply_delta(&delta.to_text()).expect("rollout");
+        let (_, _, local_stats) =
+            local.apply_delta(&graph, &weights, &delta).expect("local refresh");
+        assert_eq!(outcome.total_sets as usize, local_stats.total_sets, "{context}");
+        assert_eq!(outcome.resampled_sets as usize, local_stats.resampled_sets, "{context}");
+        assert_eq!(outcome.edges_after as usize, local_stats.num_edges_after, "{context}");
+        assert_eq!(client.info().expect("info").rollouts, 1, "{context}");
+        assert_remote_matches_local(
+            &mut client,
+            &local,
+            &queries,
+            &format!("{context}, post-rollout"),
+        );
+
+        // A connection opened *after* the rollout sees the same answers.
+        let mut late =
+            Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+        assert_remote_matches_local(
+            &mut late,
+            &local,
+            &queries,
+            &format!("{context}, post-rollout, fresh connection"),
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("accept loop exits");
+        assert!(!path.exists(), "{context}: socket file removed on shutdown");
+    }
+}
+
+/// The same parity over TCP: transport must not affect a single byte.
+#[test]
+fn tcp_parity_matches_in_process_engine() {
+    let (graph, _weights, index) = fixture();
+    let mut config = ServerConfig::new(Listen::Tcp("127.0.0.1:0".into()));
+    config.threads = 2;
+    config.tick = Duration::from_millis(10);
+    let handle = start(&index, 2, config);
+    match handle.address() {
+        Listen::Tcp(addr) => {
+            assert!(!addr.ends_with(":0"), "port 0 must be resolved, got {addr}")
+        }
+        other => panic!("expected a TCP address, got {other}"),
+    }
+
+    let local = ShardedEngine::with_options(
+        Arc::new(ShardedIndex::from_index(index.clone(), 2).expect("shardable")),
+        2,
+        64,
+    );
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+    let queries = query_battery(graph.num_nodes(), 0x7CB);
+    assert_remote_matches_local(&mut client, &local, &queries, "tcp, 2 shards");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+}
+
+/// Admission control: a budget between the cheap and expensive query
+/// costs rejects exactly the expensive ones — with the estimate and the
+/// budget in the rejection — while the cheap ones keep serving
+/// byte-identically. Invalid vertices are structured rejections too (the
+/// in-process engine would panic; the daemon must not).
+#[test]
+fn over_budget_queries_are_rejected_while_cheap_ones_serve() {
+    let (graph, _weights, index) = fixture();
+    let sharded = ShardedIndex::from_index(index.clone(), 2).expect("shardable");
+    let cost_model = CostModel::from_index(&sharded);
+
+    let cheap = Query::Spread { seeds: vec![0] };
+    let expensive = Query::top_k(15);
+    let cheap_cost = cost_model.cost(&cheap).expect("priceable");
+    let expensive_cost = cost_model.cost(&expensive).expect("priceable");
+    assert!(
+        cheap_cost < expensive_cost,
+        "fixture must separate the costs ({cheap_cost} vs {expensive_cost})"
+    );
+    let budget = (cheap_cost + expensive_cost) / 2;
+
+    let mut config = ServerConfig::new(Listen::Unix(unix_path("admission.sock")));
+    config.threads = 2;
+    config.budget = Some(budget);
+    config.tick = Duration::from_millis(10);
+    let handle = start(&index, 2, config);
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+
+    let out_of_range = graph.num_nodes() as u32 + 7;
+    let batch = vec![cheap.clone(), expensive.clone(), Query::Spread { seeds: vec![out_of_range] }];
+    let outcomes = client.batch(&batch).expect("batch call");
+
+    // Slot 0: cheap, admitted, byte-identical to the local engine.
+    let local = ShardedEngine::with_options(Arc::new(sharded), 2, 64);
+    let expected = local.execute_batch(std::slice::from_ref(&cheap), 1);
+    assert_eq!(outcomes[0].as_ref().expect("cheap query admitted"), &expected[0]);
+
+    // Slot 1: over budget, with the exact estimate echoed back.
+    match &outcomes[1] {
+        Err(Rejection::OverBudget { estimated_cost, budget: b }) => {
+            assert_eq!(*estimated_cost, expensive_cost);
+            assert_eq!(*b, budget);
+        }
+        other => panic!("expected an over-budget rejection, got {other:?}"),
+    }
+
+    // Slot 2: invalid vertex, named in the rejection.
+    match &outcomes[2] {
+        Err(Rejection::InvalidVertex { vertex, num_nodes }) => {
+            assert_eq!(*vertex, out_of_range);
+            assert_eq!(*num_nodes, graph.num_nodes() as u64);
+        }
+        other => panic!("expected an invalid-vertex rejection, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+}
+
+/// A zero-size in-flight queue sheds every batch with a structured
+/// queue-full error — and the control verbs (ping, info, shutdown) keep
+/// working, so an overloaded daemon stays operable.
+#[test]
+fn full_inflight_queue_sheds_batches_with_a_structured_error() {
+    let (_graph, _weights, index) = fixture();
+    let mut config = ServerConfig::new(Listen::Unix(unix_path("queue-full.sock")));
+    config.threads = 2;
+    config.max_inflight = 0;
+    config.tick = Duration::from_millis(10);
+    let handle = start(&index, 1, config);
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+
+    client.ping().expect("control verbs still answer");
+    match client.batch(&[Query::top_k(2)]) {
+        Err(ClientError::Server(ServeError::QueueFull { limit, .. })) => assert_eq!(limit, 0),
+        other => panic!("expected a queue-full error, got {other:?}"),
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+}
+
+/// A static daemon (no graph/weights pair) answers rollout requests with
+/// `not-dynamic`, and garbage delta text is a structured delta error —
+/// both leave the daemon serving.
+#[test]
+fn static_daemon_rejects_rollouts_structurally() {
+    let (graph, weights, index) = fixture();
+    let mut config = ServerConfig::new(Listen::Unix(unix_path("static.sock")));
+    config.threads = 2;
+    config.tick = Duration::from_millis(10);
+    let handle = start(&index, 2, config);
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+
+    match client.apply_delta("+ 0 1 0.5\n") {
+        Err(ClientError::Server(ServeError::NotDynamic)) => {}
+        other => panic!("expected not-dynamic, got {other:?}"),
+    }
+    client.ping().expect("still serving after the refusal");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+
+    // A dynamic daemon rejects garbage delta text without rolling over.
+    let mut config = ServerConfig::new(Listen::Unix(unix_path("bad-delta.sock")));
+    config.threads = 2;
+    config.tick = Duration::from_millis(10);
+    let sharded = ShardedIndex::from_index(index.clone(), 2).expect("shardable");
+    let handle = Server::start(Arc::new(sharded), Some((graph, weights)), config, || "{}".into())
+        .expect("server starts");
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+    match client.apply_delta("this is not a delta\n") {
+        Err(ClientError::Server(ServeError::Delta { .. })) => {}
+        other => panic!("expected a delta error, got {other:?}"),
+    }
+    assert_eq!(client.info().expect("info").rollouts, 0, "no rollout happened");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+}
+
+/// The metrics verb returns whatever the provider renders — the CLI
+/// wires the workspace registry here; the wire just carries it.
+#[test]
+fn metrics_verb_round_trips_the_provider_payload() {
+    let (_graph, _weights, index) = fixture();
+    let mut config = ServerConfig::new(Listen::Unix(unix_path("metrics.sock")));
+    config.threads = 1;
+    config.tick = Duration::from_millis(10);
+    let sharded = ShardedIndex::from_index(index.clone(), 1).expect("shardable");
+    let handle =
+        Server::start(Arc::new(sharded), None, config, || r#"{"registry":{"metrics":[]}}"#.into())
+            .expect("server starts");
+    let mut client =
+        Client::connect_with_retry(handle.address(), Duration::from_secs(5)).expect("connect");
+    assert_eq!(client.metrics_json().expect("metrics"), r#"{"registry":{"metrics":[]}}"#);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("accept loop exits");
+}

@@ -446,6 +446,16 @@ impl ShardedEngine {
         self.pool.num_workers()
     }
 
+    /// Point-in-time queue depth of each pinned shard cell.
+    ///
+    /// This is a racy snapshot (a depth can change before the vector
+    /// returns) — callers wanting a *metric* should sample it
+    /// periodically into a max-over-window gauge (see
+    /// `imm_exec::QueueDepthSampler`) rather than report one read.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.pool.queue_depths()
+    }
+
     /// Refresh the served index against a graph mutation (shard-routed;
     /// see [`ShardedIndex::apply_delta`]), then reset the distributed
     /// greedy state and drop the response cache.

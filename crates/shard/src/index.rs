@@ -174,6 +174,27 @@ impl ShardedIndex {
             + self.segments.iter().map(|s| s.memory_bytes()).sum::<usize>()
     }
 
+    /// Build the *replacement* index for a rolling refresh, leaving `self`
+    /// untouched: clone, apply the delta to the clone, and hand back the
+    /// refreshed index alongside the mutated graph pair and stats.
+    ///
+    /// Because dirty-shard rebuild swaps in new `Arc<ShardSegment>`s and
+    /// leaves clean shards alone, the clone **shares every clean shard's
+    /// segment** with the original — this is the graceful-rollout lever
+    /// for a serving daemon: queries keep scattering over the old index
+    /// while the replacement is assembled off to the side, and the swap
+    /// is one pointer store.
+    pub fn rebuilt_with_delta(
+        &self,
+        graph: &CsrGraph,
+        weights: &EdgeWeights,
+        delta: &GraphDelta,
+    ) -> Result<(Self, CsrGraph, EdgeWeights, RefreshStats), DynamicError> {
+        let mut next = self.clone();
+        let (new_graph, new_weights, stats) = next.apply_delta(graph, weights, delta)?;
+        Ok((next, new_graph, new_weights, stats))
+    }
+
     /// Refresh the sharded index against `delta` — the shard-routed mirror
     /// of [`SketchIndex::apply_delta`].
     ///

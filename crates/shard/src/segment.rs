@@ -101,6 +101,14 @@ impl ShardSegment {
         (self.postings_offsets[v as usize + 1] - self.postings_offsets[v as usize]) as u64
     }
 
+    /// Total postings entries of the shard (Σ over vertices of
+    /// [`ShardSegment::degree`]) — the shard's contribution to a serving
+    /// cost model.
+    #[inline]
+    pub fn postings_entries(&self) -> u64 {
+        self.postings.len() as u64
+    }
+
     /// Borrow the shard's sets out of the shared collection (zero-copy).
     #[inline]
     pub fn slice<'a>(&self, collection: &'a RrrCollection) -> CollectionSlice<'a> {

@@ -10,5 +10,6 @@ pub use imm_memsim as memsim;
 pub use imm_numa as numa;
 pub use imm_obs as obs;
 pub use imm_rrr as rrr;
+pub use imm_serve as serve;
 pub use imm_service as service;
 pub use imm_shard as shard;
