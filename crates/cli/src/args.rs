@@ -30,17 +30,21 @@ USAGE:
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
                             [--shards <N>] [--threads <T>] [--metrics]
   efficient-imm update-index --index <FILE> (--graph <FILE> | --dataset <NAME>)
-                            --delta <FILE> [--output <FILE>]
+                            --delta <FILE> [--output <FILE>] [--journal <FILE>]
   efficient-imm split-index --index <FILE> --shards <N> --output <PREFIX>
   efficient-imm serve       --index <FILE> (--socket <PATH> | --tcp <ADDR>)
                             [--graph <FILE> | --dataset <NAME>] [--shards <N>]
                             [--threads <T>] [--max-cost <C>]
                             [--max-inflight <N>] [--tick-ms <MS>]
+                            [--idle-timeout-ms <MS>] [--deadline-ms <MS>]
+                            [--journal <FILE>]
   efficient-imm client      (--socket <PATH> | --tcp <ADDR>) [--wait-ms <MS>]
                             [--top-k <K1,K2,..>] [--audience <V1,V2,..>]
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
                             [--apply-delta <FILE>] [--ping] [--info]
-                            [--metrics] [--shutdown]
+                            [--metrics] [--shutdown] [--retries <N>]
+                            [--retry-backoff-ms <MS>]
+                            [--request-timeout-ms <MS>]
   efficient-imm help
 
 `build-index` samples RRR sets once (the expensive phase) and freezes them
@@ -67,12 +71,21 @@ sends the shutdown verb. Pass the snapshot's original --graph/--dataset to
 enable rolling `apply-delta` rollouts (queries keep serving on the old
 shards until the refreshed index swaps in); --max-cost rejects queries
 whose postings-size cost estimate exceeds the budget, and --max-inflight
-bounds concurrently served requests. `client` dials a running daemon:
-query flags mirror `query` and print the same response JSON (remote
-answers are byte-identical to in-process serving); --ping/--info/
---metrics/--shutdown drive the control verbs; --apply-delta sends a delta
-file through a rolling refresh; --wait-ms retries the connection while a
-just-started daemon binds its socket.
+bounds concurrently served requests. --idle-timeout-ms sheds connections
+that stay silent past the limit (a structured idle-timeout goodbye, then
+close); --deadline-ms bounds each query batch's execution, answering the
+queries the deadline cut with structured deadline-exceeded rejections;
+--journal appends every accepted apply-delta rollout to a crash-safe
+delta journal before the new index swaps in, and replays unsnapshotted
+entries from it at startup. `client` dials a running daemon: query flags
+mirror `query` and print the same response JSON (remote answers are
+byte-identical to in-process serving); --ping/--info/--metrics/--shutdown
+drive the control verbs; --apply-delta sends a delta file through a
+rolling refresh; --wait-ms retries the connection while a just-started
+daemon binds its socket. Idempotent verbs (ping, info, metrics, batch)
+are retried on lost connections and timeouts with capped exponential
+backoff: --retries caps the retries per call, --retry-backoff-ms sets
+the base backoff, and --request-timeout-ms bounds each round trip.
 
 Every parallel phase runs on one persistent process-wide worker pool, sized
 once at startup: --threads (where accepted) wins, then the IMM_THREADS
@@ -167,6 +180,10 @@ pub struct UpdateIndexArgs {
     pub delta: String,
     /// Where the refreshed snapshot is written (defaults to `--index`).
     pub output: Option<String>,
+    /// The serving daemon's delta journal: pending (unsnapshotted)
+    /// entries are replayed before the new delta applies, and the journal
+    /// is cleared after an in-place refresh lands (absent → no journal).
+    pub journal: Option<String>,
 }
 
 /// Which stored form a `query` serves from.
@@ -230,6 +247,13 @@ pub struct ServeArgs {
     pub max_inflight: usize,
     /// Housekeeping cadence in milliseconds (queue-depth sampling).
     pub tick_ms: u64,
+    /// Shed connections idle past this many milliseconds (absent → never).
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-batch execution deadline in milliseconds (absent → unbounded).
+    pub deadline_ms: Option<u64>,
+    /// Crash-safe delta journal path: accepted rollouts are appended
+    /// before the swap and replayed at startup (absent → no journal).
+    pub journal: Option<String>,
 }
 
 /// The query batch a `client` invocation sends, in `query`-flag form.
@@ -286,6 +310,13 @@ pub struct ClientArgs {
     pub actions: Vec<ClientAction>,
     /// Connection-retry budget in milliseconds (0 = one attempt).
     pub wait_ms: u64,
+    /// Retries per idempotent call on lost connections / timeouts.
+    pub retries: u32,
+    /// Base backoff between retries in milliseconds (doubles, capped).
+    pub retry_backoff_ms: u64,
+    /// Per-round-trip timeout in milliseconds (absent → the policy
+    /// default).
+    pub request_timeout_ms: Option<u64>,
 }
 
 /// A fully parsed command.
@@ -503,10 +534,15 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let max_cost = flags
-        .get("--max-cost")
-        .map(|raw| raw.parse::<u64>().map_err(|_| format!("invalid value '{raw}' for --max-cost")))
-        .transpose()?;
+    let optional_u64 = |name: &str| {
+        flags
+            .get(name)
+            .map(|raw| raw.parse::<u64>().map_err(|_| format!("invalid value '{raw}' for {name}")))
+            .transpose()
+    };
+    let max_cost = optional_u64("--max-cost")?;
+    let idle_timeout_ms = optional_u64("--idle-timeout-ms")?;
+    let deadline_ms = optional_u64("--deadline-ms")?;
     Ok(ServeArgs {
         index: flags.get("--index").ok_or("serve requires --index")?.to_string(),
         source,
@@ -516,6 +552,9 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         max_cost,
         max_inflight: flags.get_parsed("--max-inflight", 64usize)?,
         tick_ms: flags.get_parsed("--tick-ms", 50u64)?,
+        idle_timeout_ms,
+        deadline_ms,
+        journal: flags.get("--journal").map(|s| s.to_string()),
     })
 }
 
@@ -560,7 +599,21 @@ fn parse_client(args: &[String]) -> Result<ClientArgs, String> {
                     --apply-delta, --ping, --info, --metrics, --shutdown"
             .into());
     }
-    Ok(ClientArgs { address, actions, wait_ms: flags.get_parsed("--wait-ms", 0u64)? })
+    let request_timeout_ms = flags
+        .get("--request-timeout-ms")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("invalid value '{raw}' for --request-timeout-ms"))
+        })
+        .transpose()?;
+    Ok(ClientArgs {
+        address,
+        actions,
+        wait_ms: flags.get_parsed("--wait-ms", 0u64)?,
+        retries: flags.get_parsed("--retries", 3u32)?,
+        retry_backoff_ms: flags.get_parsed("--retry-backoff-ms", 10u64)?,
+        request_timeout_ms,
+    })
 }
 
 /// Parse the raw CLI arguments into a [`Command`].
@@ -650,6 +703,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 source: flags.source()?,
                 delta: flags.get("--delta").ok_or("update-index requires --delta")?.to_string(),
                 output: flags.get("--output").map(|s| s.to_string()),
+                journal: flags.get("--journal").map(|s| s.to_string()),
             }))
         }
         "split-index" => {
@@ -864,6 +918,7 @@ mod tests {
                 source: GraphSource::File("g.txt".into()),
                 delta: "churn.delta".into(),
                 output: None,
+                journal: None,
             })
         );
         let cmd = parse(&sv(&[
@@ -876,12 +931,15 @@ mod tests {
             "churn.delta",
             "--output",
             "g2.sketch",
+            "--journal",
+            "g.journal",
         ]))
         .unwrap();
         match cmd {
             Command::UpdateIndex(u) => {
                 assert_eq!(u.output.as_deref(), Some("g2.sketch"));
                 assert_eq!(u.source, GraphSource::Dataset("com-DBLP".into()));
+                assert_eq!(u.journal.as_deref(), Some("g.journal"));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1017,6 +1075,12 @@ mod tests {
             "8",
             "--tick-ms",
             "25",
+            "--idle-timeout-ms",
+            "4000",
+            "--deadline-ms",
+            "250",
+            "--journal",
+            "g.journal",
         ]))
         .unwrap();
         assert_eq!(
@@ -1030,6 +1094,9 @@ mod tests {
                 max_cost: Some(5000),
                 max_inflight: 8,
                 tick_ms: 25,
+                idle_timeout_ms: Some(4000),
+                deadline_ms: Some(250),
+                journal: Some("g.journal".into()),
             })
         );
         assert_eq!(pool_threads(&cmd), Some(3));
@@ -1053,6 +1120,9 @@ mod tests {
                 assert_eq!(args.max_cost, None);
                 assert_eq!(args.max_inflight, 64);
                 assert_eq!(args.tick_ms, 50);
+                assert_eq!(args.idle_timeout_ms, None, "idle shedding is opt-in");
+                assert_eq!(args.deadline_ms, None, "batch deadlines are opt-in");
+                assert_eq!(args.journal, None, "journaling is opt-in");
             }
             other => panic!("expected serve, got {other:?}"),
         }
@@ -1077,6 +1147,19 @@ mod tests {
         assert!(
             parse(&sv(&["serve", "--index", "g", "--socket", "a", "--max-cost", "lots"])).is_err()
         );
+        assert!(parse(&sv(&[
+            "serve",
+            "--index",
+            "g",
+            "--socket",
+            "a",
+            "--idle-timeout-ms",
+            "soon"
+        ]))
+        .is_err());
+        assert!(
+            parse(&sv(&["serve", "--index", "g", "--socket", "a", "--deadline-ms", "x"])).is_err()
+        );
     }
 
     #[test]
@@ -1099,6 +1182,9 @@ mod tests {
         let Command::Client(args) = cmd else { panic!("expected client") };
         assert_eq!(args.address, Listen::Unix("/tmp/imm.sock".into()));
         assert_eq!(args.wait_ms, 500);
+        assert_eq!(args.retries, 3, "retries default to the policy's");
+        assert_eq!(args.retry_backoff_ms, 10);
+        assert_eq!(args.request_timeout_ms, None);
         // Regardless of flag order on the line: ping, then the batch, then
         // metrics, with shutdown always last.
         assert_eq!(
@@ -1125,12 +1211,25 @@ mod tests {
             "--info",
             "--apply-delta",
             "churn.delta",
+            "--retries",
+            "7",
+            "--retry-backoff-ms",
+            "25",
+            "--request-timeout-ms",
+            "2000",
         ]))
         .unwrap();
         let Command::Client(args) = cmd else { panic!("expected client") };
         assert_eq!(
             args.actions,
             vec![ClientAction::Info, ClientAction::ApplyDelta { path: "churn.delta".into() },]
+        );
+        assert_eq!(args.retries, 7);
+        assert_eq!(args.retry_backoff_ms, 25);
+        assert_eq!(args.request_timeout_ms, Some(2000));
+        assert!(
+            parse(&sv(&["client", "--socket", "s", "--ping", "--retries", "many"])).is_err(),
+            "a non-numeric retry count is rejected"
         );
 
         // No action at all, and missing addresses, are rejected.

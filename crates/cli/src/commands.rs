@@ -11,8 +11,8 @@ use imm_bench::datasets::{find, Scale};
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, io, properties, CsrGraph, EdgeWeights, GraphDelta, WeightModel};
 use imm_rrr::{AdaptivePolicy, BitSet};
-use imm_serve::{Client, Rejection, Server, ServerConfig};
-use imm_service::{Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
+use imm_serve::{Client, ClientError, Rejection, RetryClient, RetryPolicy, Server, ServerConfig};
+use imm_service::{DeltaJournal, Query, QueryEngine, QueryResponse, SampleSpec, SketchIndex};
 use imm_shard::{ShardedEngine, ShardedIndex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -235,6 +235,13 @@ fn build_index(args: &BuildIndexArgs) -> Result<(), CliError> {
 /// graph revision (original source + replay of the snapshot's delta log),
 /// apply the new batch through `SketchIndex::apply_delta`, and persist the
 /// refreshed snapshot — resampling only the RRR sets the batch touched.
+///
+/// With `--journal` the serving daemon's delta journal is honored:
+/// entries the snapshot has not folded in yet (accepted rollouts that
+/// outlived a crashed or killed daemon) are replayed *before* the new
+/// delta applies, and the journal is cleared once an in-place refresh
+/// has durably landed — so a daemon restart on the refreshed snapshot
+/// replays nothing twice.
 fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
     let mut index = SketchIndex::load_from_path(&args.index)
         .map_err(|e| format!("cannot load {}: {e}", args.index))?;
@@ -264,6 +271,32 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
         weights = next_weights;
     }
 
+    // Daemon-accepted rollouts the snapshot has not folded in yet: the
+    // journal entries at or past the snapshot's revision. They replay in
+    // journal order, exactly as the daemon served them.
+    let journal_path = args.journal.as_ref().map(std::path::PathBuf::from);
+    let mut journal_replayed = 0u64;
+    if let Some(journal) = &journal_path {
+        let snapshot_revision = replay.len() as u64;
+        let entries = DeltaJournal::read_entries(journal)
+            .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
+        for entry in entries {
+            if entry.applied_index < snapshot_revision {
+                continue; // already durable in the snapshot
+            }
+            let delta = GraphDelta::parse_text(&entry.text).map_err(|e| {
+                format!("journal entry {} is not a valid delta: {e}", entry.applied_index)
+            })?;
+            let (next_graph, next_weights, _) =
+                index.apply_delta(&graph, &weights, &delta).map_err(|e| {
+                    format!("replaying journal entry {} failed: {e}", entry.applied_index)
+                })?;
+            graph = next_graph;
+            weights = next_weights;
+            journal_replayed += 1;
+        }
+    }
+
     let text = std::fs::read_to_string(&args.delta)
         .map_err(|e| format!("cannot read {}: {e}", args.delta))?;
     let delta = GraphDelta::parse_text(&text).map_err(|e| e.to_string())?;
@@ -277,13 +310,21 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
         .delta_log
         .len();
 
-    // Write-then-rename so the default in-place refresh can never destroy
-    // the only copy of the snapshot on a crash or disk-full mid-write.
+    // The save is crash-safe end to end (temp file, fsync, atomic
+    // rename), so the default in-place refresh can never destroy the
+    // only copy of the snapshot — a kill mid-write leaves the old
+    // generation plus a `.tmp` the next load sweeps.
     let output = args.output.as_deref().unwrap_or(&args.index);
-    let staging = format!("{output}.tmp");
-    index.save_to_path(&staging).map_err(|e| format!("cannot write {staging}: {e}"))?;
-    std::fs::rename(&staging, output)
-        .map_err(|e| format!("cannot move {staging} into place at {output}: {e}"))?;
+    index.save_to_path(output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    if let Some(journal) = &journal_path {
+        // Only an in-place refresh supersedes the journal; writing the
+        // refreshed snapshot elsewhere leaves the original still behind
+        // the journal's entries.
+        if output == args.index {
+            DeltaJournal::clear(journal)
+                .map_err(|e| format!("cannot clear journal {}: {e}", journal.display()))?;
+        }
+    }
     let json = serde_json::json!({
         "input": name,
         "snapshot": output,
@@ -295,6 +336,7 @@ fn update_index(args: &UpdateIndexArgs) -> Result<(), CliError> {
         "reweighted_edges": stats.reweighted_edges,
         "edges_after": stats.num_edges_after,
         "applied_deltas_total": applied_deltas_total,
+        "journal_entries_replayed": journal_replayed,
         "refresh_seconds": refresh_seconds,
     });
     println!("{}", pretty(&json));
@@ -512,9 +554,17 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
 /// `apply-delta` rollouts. Without a source the daemon serves statically
 /// and answers rollout requests with a structured `not-dynamic` error.
 fn serve(args: &ServeArgs) -> Result<(), CliError> {
-    let index = SketchIndex::load_from_path(&args.index)
+    let mut index = SketchIndex::load_from_path(&args.index)
         .map_err(|e| format!("cannot load {}: {e}", args.index))?;
 
+    let journal_path = args.journal.as_ref().map(std::path::PathBuf::from);
+    if journal_path.is_some() && args.source.is_none() {
+        return Err("--journal records apply-delta rollouts, which need the snapshot's \
+                    original --graph/--dataset; a static daemon cannot accept or replay them"
+            .into());
+    }
+
+    let mut journal_replayed = 0u64;
     let dynamic = match &args.source {
         None => None,
         Some(source) => {
@@ -547,10 +597,38 @@ fn serve(args: &ServeArgs) -> Result<(), CliError> {
                 graph = next_graph;
                 weights = next_weights;
             }
+
+            // Rollouts a previous daemon accepted and journaled but never
+            // snapshotted (it crashed or was killed first) replay here, so
+            // the served revision picks up exactly where the journal ends.
+            if let Some(journal) = &journal_path {
+                let snapshot_revision = replay.len() as u64;
+                let entries = DeltaJournal::read_entries(journal)
+                    .map_err(|e| format!("cannot read journal {}: {e}", journal.display()))?;
+                for entry in entries {
+                    if entry.applied_index < snapshot_revision {
+                        continue; // already durable in the snapshot
+                    }
+                    let delta = GraphDelta::parse_text(&entry.text).map_err(|e| {
+                        format!("journal entry {} is not a valid delta: {e}", entry.applied_index)
+                    })?;
+                    let (next_graph, next_weights, _) =
+                        index.apply_delta(&graph, &weights, &delta).map_err(|e| {
+                            format!("replaying journal entry {} failed: {e}", entry.applied_index)
+                        })?;
+                    graph = next_graph;
+                    weights = next_weights;
+                    journal_replayed += 1;
+                }
+            }
             Some((graph, weights))
         }
     };
     let dynamic_enabled = dynamic.is_some();
+
+    // New rollouts journal after the revision the daemon starts at
+    // (snapshot log plus everything just replayed).
+    let journal_base = index.provenance().map(|p| p.delta_log.len() as u64).unwrap_or(0);
 
     let sharded = ShardedIndex::from_index(index, args.shards)
         .map_err(|e| format!("cannot shard {}: {e}", args.index))?;
@@ -560,6 +638,10 @@ fn serve(args: &ServeArgs) -> Result<(), CliError> {
     config.budget = args.max_cost;
     config.max_inflight = args.max_inflight;
     config.tick = Duration::from_millis(args.tick_ms.max(1));
+    config.idle_timeout = args.idle_timeout_ms.map(Duration::from_millis);
+    config.batch_deadline = args.deadline_ms.map(Duration::from_millis);
+    config.journal = journal_path;
+    config.journal_base = journal_base;
     let handle = Server::start(Arc::new(sharded), dynamic, config, || {
         pretty(&imm_bench::obs::registry_json())
     })
@@ -568,6 +650,9 @@ fn serve(args: &ServeArgs) -> Result<(), CliError> {
     // The startup line doubles as the readiness signal scripts wait for —
     // and carries the kernel-resolved address when `--tcp` asked for
     // port 0.
+    if journal_replayed > 0 {
+        println!("replayed {journal_replayed} pending journal entries");
+    }
     println!(
         "serving {} on {} ({} shards, {} threads, dynamic: {})",
         args.index,
@@ -582,11 +667,11 @@ fn serve(args: &ServeArgs) -> Result<(), CliError> {
 /// Materialize a `client` batch against the *served* index: audience
 /// bitmaps must be sized to the daemon's vertex space, which the client
 /// learns over the `info` verb (it has no local index to size them from).
-fn remote_queries(client: &mut Client, spec: &BatchSpec) -> Result<Vec<Query>, CliError> {
+fn remote_queries(client: &mut RetryClient, spec: &BatchSpec) -> Result<Vec<Query>, CliError> {
     let audience = match &spec.audience {
         None => None,
         Some(vertices) => {
-            let nodes = client.info().map_err(|e| e.to_string())?.nodes as usize;
+            let nodes = client.info().map_err(|e| client_failure("info", e))?.nodes as usize;
             // Out-of-range audience vertices select no sets; dropping them
             // mirrors the local `query` command.
             Some(BitSet::from_iter_with_capacity(
@@ -625,26 +710,67 @@ fn rejection_json(rejection: &Rejection) -> serde_json::Value {
             "vertex": vertex,
             "num_nodes": num_nodes,
         }),
+        Rejection::DeadlineExceeded { elapsed_ms, deadline_ms } => serde_json::json!({
+            "rejected": "deadline-exceeded",
+            "elapsed_ms": elapsed_ms,
+            "deadline_ms": deadline_ms,
+        }),
+    }
+}
+
+/// Render a client failure for the CLI exit path. The typed transport
+/// failures name themselves — a lost connection or an expired request
+/// timeout after the retries ran out reads differently from a daemon
+/// that *answered* with an error — so scripts can branch on the message.
+fn client_failure(verb: &str, error: ClientError) -> CliError {
+    match error {
+        ClientError::ConnectionLost { .. } => {
+            format!("connection lost: {verb} failed after exhausting its retries: {error}")
+        }
+        ClientError::TimedOut { .. } => {
+            format!("timed out: {verb} failed after exhausting its retries: {error}")
+        }
+        error => format!("{verb} failed: {error}"),
     }
 }
 
 /// Talk to a serving daemon: run the requested actions in order and
 /// print one JSON report. Batch responses reuse [`response_json`], so a
 /// remote answer renders byte-identically to the local `query` command's.
+///
+/// The connection is a [`RetryClient`]: idempotent verbs retry lost
+/// connections and timeouts with capped, jittered exponential backoff
+/// (reconnecting as needed — a daemon restart mid-invocation is
+/// survivable), while `apply-delta` and `shutdown` get exactly one
+/// attempt each.
 fn client(args: &ClientArgs) -> Result<(), CliError> {
-    let mut client = Client::connect_with_retry(&args.address, Duration::from_millis(args.wait_ms))
-        .map_err(|e| e.to_string())?;
+    // `--wait-ms` keeps its readiness-gate meaning: retry the *initial*
+    // dial while a just-started daemon binds its socket.
+    if args.wait_ms > 0 {
+        Client::connect_with_retry(&args.address, Duration::from_millis(args.wait_ms))
+            .map_err(|e| e.to_string())?;
+    }
+    let policy = RetryPolicy {
+        attempts: args.retries.saturating_add(1),
+        base_backoff: Duration::from_millis(args.retry_backoff_ms),
+        request_timeout: args
+            .request_timeout_ms
+            .map(Duration::from_millis)
+            .or(RetryPolicy::default().request_timeout),
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryClient::new(args.address.clone(), policy);
 
     let mut report: Vec<(String, serde_json::Value)> =
         vec![("address".into(), serde_json::json!(args.address.to_string()))];
     for action in &args.actions {
         match action {
             ClientAction::Ping => {
-                client.ping().map_err(|e| e.to_string())?;
+                client.ping().map_err(|e| client_failure("ping", e))?;
                 report.push(("ping".into(), serde_json::json!("pong")));
             }
             ClientAction::Info => {
-                let info = client.info().map_err(|e| e.to_string())?;
+                let info = client.info().map_err(|e| client_failure("info", e))?;
                 report.push((
                     "info".into(),
                     serde_json::json!({
@@ -658,7 +784,7 @@ fn client(args: &ClientArgs) -> Result<(), CliError> {
                 ));
             }
             ClientAction::Metrics => {
-                let raw = client.metrics_json().map_err(|e| e.to_string())?;
+                let raw = client.metrics_json().map_err(|e| client_failure("metrics", e))?;
                 // The daemon sends rendered JSON; embed it structurally,
                 // falling back to a string if it ever fails to parse.
                 let value = serde_json::from_str(&raw).unwrap_or(serde_json::Value::String(raw));
@@ -666,7 +792,7 @@ fn client(args: &ClientArgs) -> Result<(), CliError> {
             }
             ClientAction::Batch(spec) => {
                 let queries = remote_queries(&mut client, spec)?;
-                let outcomes = client.batch(&queries).map_err(|e| e.to_string())?;
+                let outcomes = client.batch(&queries).map_err(|e| client_failure("batch", e))?;
                 let responses: Vec<serde_json::Value> = queries
                     .iter()
                     .zip(outcomes.iter())
@@ -680,7 +806,8 @@ fn client(args: &ClientArgs) -> Result<(), CliError> {
             ClientAction::ApplyDelta { path } => {
                 let text = std::fs::read_to_string(path)
                     .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let outcome = client.apply_delta(&text).map_err(|e| e.to_string())?;
+                let outcome =
+                    client.apply_delta(&text).map_err(|e| client_failure("apply-delta", e))?;
                 report.push((
                     "delta".into(),
                     serde_json::json!({
@@ -694,7 +821,7 @@ fn client(args: &ClientArgs) -> Result<(), CliError> {
                 ));
             }
             ClientAction::Shutdown => {
-                client.shutdown().map_err(|e| e.to_string())?;
+                client.shutdown().map_err(|e| client_failure("shutdown", e))?;
                 report.push(("shutdown".into(), serde_json::json!("acknowledged")));
             }
         }
@@ -1080,6 +1207,7 @@ mod tests {
                 source: GraphSource::File(graph_path.to_string_lossy().into_owned()),
                 delta: delta_path.to_string_lossy().into_owned(),
                 output: None,
+                journal: None,
             }))
         };
         update(&delta1_path).unwrap();
@@ -1120,6 +1248,7 @@ mod tests {
             source: GraphSource::Dataset("com-Amazon".into()),
             delta: "/nonexistent/u.delta".into(),
             output: None,
+            journal: None,
         }))
         .unwrap_err();
         assert!(err.contains("cannot load"));
@@ -1138,6 +1267,7 @@ mod tests {
             source: GraphSource::Dataset("com-Amazon".into()),
             delta: "/nonexistent/u.delta".into(),
             output: None,
+            journal: None,
         }))
         .unwrap_err();
         assert!(err.contains("static snapshot"), "unexpected error: {err}");
@@ -1173,6 +1303,9 @@ mod tests {
             max_cost: None,
             max_inflight: 8,
             tick_ms: 10,
+            idle_timeout_ms: None,
+            deadline_ms: None,
+            journal: None,
         };
         let daemon = std::thread::spawn(move || execute(Command::Serve(serve_args)));
 
@@ -1194,6 +1327,9 @@ mod tests {
                 ClientAction::Shutdown,
             ],
             wait_ms: 5_000,
+            retries: 3,
+            retry_backoff_ms: 10,
+            request_timeout_ms: None,
         }))
         .unwrap();
 
@@ -1205,6 +1341,9 @@ mod tests {
             address: imm_serve::Listen::Unix(socket_path.clone()),
             actions: vec![ClientAction::Ping],
             wait_ms: 0,
+            retries: 0,
+            retry_backoff_ms: 1,
+            request_timeout_ms: None,
         }))
         .unwrap_err();
         assert!(err.contains("connect"), "unexpected error: {err}");

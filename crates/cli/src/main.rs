@@ -19,6 +19,19 @@ mod commands;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    // The deterministic fault-injection harness: IMM_FAULT_PLAN (a
+    // `key=value,..` spec, e.g. `seed=3,io_error=0.01`) arms every
+    // fault hook in the process — the chaos smoke and the kill-mid-save
+    // e2e drive the real binary through it. Unset, the hooks stay
+    // zero-cost no-ops.
+    match imm_fault::install_from_env("IMM_FAULT_PLAN") {
+        Ok(None) => {}
+        Ok(Some(plan)) => eprintln!("fault plan armed: {:?}", plan.config()),
+        Err(e) => {
+            eprintln!("error: invalid IMM_FAULT_PLAN: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match args::parse(&argv) {
         Ok(command) => {

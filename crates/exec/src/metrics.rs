@@ -98,6 +98,13 @@ pub static PINNED_QUEUE_DEPTH_MAX: Gauge = Gauge::new(
     Unit::Count,
 );
 
+/// Dead pinned workers respawned by pool supervision. Nonzero only
+/// under injected faults or a worker-loop bug; alert-worthy either way.
+pub static PINNED_WORKER_RESTARTS: Counter = Counter::new(
+    "exec_worker_restarts",
+    "Dead pinned shard workers respawned and re-pinned by pool supervision",
+);
+
 /// Turns racy queue-depth peeks into max-over-window gauges.
 ///
 /// Owned by whatever drives the process's housekeeping cadence (the
@@ -163,11 +170,13 @@ pub fn register() {
     ONCE.call_once(|| {
         let mut metrics: Vec<&'static dyn Metric> =
             registry().into_iter().map(|c| c as &'static dyn Metric).collect();
-        // The sampled queue-depth gauges join the obs registry but NOT
-        // `registry()` — that list's names/order are pinned byte-stable
-        // to PR 6 for counter-delta consumers.
+        // The sampled queue-depth gauges and the supervision counter
+        // join the obs registry but NOT `registry()` — that list's
+        // names/order are pinned byte-stable to PR 6 for counter-delta
+        // consumers.
         metrics.push(&SHARED_QUEUE_DEPTH_MAX as &'static dyn Metric);
         metrics.push(&PINNED_QUEUE_DEPTH_MAX as &'static dyn Metric);
+        metrics.push(&PINNED_WORKER_RESTARTS as &'static dyn Metric);
         imm_obs::register(&metrics);
     });
 }

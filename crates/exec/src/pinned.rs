@@ -27,13 +27,24 @@
 //! caught by whichever thread ran it, recorded on the in-flight gather,
 //! and re-thrown on the scattering thread once the round drains — workers
 //! and cell locks are never poisoned.
+//!
+//! # Supervision
+//!
+//! A worker *thread* dying (a bug in the loop itself, or an injected
+//! `imm-fault` panic) is survivable too: every queued envelope carries a
+//! drop guard that marks its gather slot lost instead of leaving the
+//! scattering thread parked forever, [`PinnedPool::try_scatter`] turns
+//! lost slots into a structured [`ScatterError`], and the next scatter
+//! respawns the dead worker over the same cell affinity (counted by
+//! `exec_worker_restarts`). Requests degrade to errors; the pool and its
+//! pinned state never poison.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle, Thread};
 
@@ -67,9 +78,33 @@ pub enum WakeMode {
     Never,
 }
 
+/// A scatter that could not complete because worker threads died while
+/// holding its envelopes. The affected response slots are gone; the
+/// pool itself stays healthy and respawns the workers on the next
+/// scatter, so retrying the request is safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScatterError {
+    /// How many of the scattered requests were lost.
+    pub lost: usize,
+}
+
+impl fmt::Display for ScatterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scattered request(s) lost to a dead pinned worker (the pool \
+             respawns dead workers on the next scatter; retry is safe)",
+            self.lost
+        )
+    }
+}
+
+impl std::error::Error for ScatterError {}
+
 /// One in-flight scatter: completion count, response slots, owner wakeup.
 struct GatherShared<R> {
     pending: AtomicUsize,
+    lost: AtomicUsize,
     owner: Thread,
     owner_parked: AtomicBool,
     slots: Box<[UnsafeCell<Option<R>>]>,
@@ -85,6 +120,7 @@ impl<R> GatherShared<R> {
     fn new(owner: Thread, len: usize) -> Self {
         GatherShared {
             pending: AtomicUsize::new(len),
+            lost: AtomicUsize::new(0),
             owner,
             owner_parked: AtomicBool::new(false),
             slots: (0..len).map(|_| UnsafeCell::new(None)).collect(),
@@ -109,10 +145,27 @@ impl<R> GatherShared<R> {
 }
 
 /// One queued request: payload, its response slot, its gather.
+///
+/// The `Drop` impl is the crash-safety half of the gather protocol: if
+/// an envelope is destroyed without being served (the thread that
+/// popped it died mid-flight), it still completes its gather — as a
+/// *lost* slot — so the scattering thread unblocks with a structured
+/// error instead of parking forever on a count that can no longer
+/// reach zero.
 struct Envelope<P: Pinned> {
-    request: P::Request,
+    request: Option<P::Request>,
     slot: usize,
     gather: Arc<GatherShared<P::Response>>,
+    done: bool,
+}
+
+impl<P: Pinned> Drop for Envelope<P> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.gather.lost.fetch_add(1, Ordering::SeqCst);
+            self.gather.complete_one();
+        }
+    }
 }
 
 struct CellInner<P: Pinned> {
@@ -133,20 +186,63 @@ impl<P: Pinned> Cell<P> {
 }
 
 /// Serve one envelope against the locked cell state.
-fn serve_one<P: Pinned>(inner: &mut CellInner<P>, envelope: Envelope<P>, served_by: &Counter) {
-    let Envelope { request, slot, gather } = envelope;
+fn serve_one<P: Pinned>(inner: &mut CellInner<P>, mut envelope: Envelope<P>, served_by: &Counter) {
+    let request = envelope.request.take().expect("an envelope is served at most once");
     served_by.increment();
     match panic::catch_unwind(AssertUnwindSafe(|| inner.pinned.serve(request))) {
-        Ok(response) => unsafe { *gather.slots[slot].get() = Some(response) },
-        Err(payload) => gather.store_panic(payload),
+        Ok(response) => unsafe { *envelope.gather.slots[envelope.slot].get() = Some(response) },
+        Err(payload) => envelope.gather.store_panic(payload),
     }
-    gather.complete_one();
+    envelope.done = true;
+    envelope.gather.complete_one();
 }
 
 struct PinnedWorker {
     parked: Arc<AtomicBool>,
     thread: Thread,
     join: Option<JoinHandle<()>>,
+}
+
+/// Dead-worker ledger shared between worker threads and the pool.
+struct Deaths {
+    count: AtomicUsize,
+    indices: Mutex<Vec<usize>>,
+}
+
+impl Deaths {
+    fn new() -> Self {
+        Deaths { count: AtomicUsize::new(0), indices: Mutex::new(Vec::new()) }
+    }
+
+    fn record(&self, worker: usize) {
+        self.indices.lock().unwrap_or_else(PoisonError::into_inner).push(worker);
+        // Publish after the index so a reader seeing the count finds it.
+        self.count.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn take(&self) -> Vec<usize> {
+        let mut indices = self.indices.lock().unwrap_or_else(PoisonError::into_inner);
+        let dead = std::mem::take(&mut *indices);
+        self.count.fetch_sub(dead.len(), Ordering::SeqCst);
+        dead
+    }
+}
+
+/// Runs on the worker's own thread: if the loop unwinds (only possible
+/// through an injected fault or a bug in the loop itself — `serve`
+/// panics are caught), report the death so the pool can respawn. A
+/// normal shutdown return does not report.
+struct DeathSentinel {
+    worker: usize,
+    deaths: Arc<Deaths>,
+}
+
+impl Drop for DeathSentinel {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.deaths.record(self.worker);
+        }
+    }
 }
 
 fn pinned_worker_loop<P: Pinned>(
@@ -162,6 +258,11 @@ fn pinned_worker_loop<P: Pinned>(
         for ci in owned() {
             let mut inner = cells[ci].lock();
             while let Some(envelope) = inner.queue.pop_front() {
+                // Outside the request-level catch_unwind on purpose: an
+                // injected panic here kills the whole worker thread (with
+                // the envelope in hand), which is exactly the failure the
+                // supervision path exists to absorb.
+                imm_fault::worker_panic_point("exec.pinned.worker");
                 serve_one(&mut inner, envelope, &metrics::PINNED_SERVED_WORKER);
                 progressed = true;
             }
@@ -189,9 +290,39 @@ fn pinned_worker_loop<P: Pinned>(
 /// the [module docs](self) for the execution model.
 pub struct PinnedPool<P: Pinned> {
     cells: Arc<[Cell<P>]>,
-    workers: Box<[PinnedWorker]>,
+    // Guarded so supervision can swap dead workers for fresh ones; the
+    // lock is uncontended on the serving path (scatters already allocate
+    // a batch vector, one clean mutex is noise next to that).
+    workers: Mutex<Vec<PinnedWorker>>,
+    worker_slots: usize,
     shutdown: Arc<AtomicBool>,
+    deaths: Arc<Deaths>,
+    restarts: AtomicU64,
     mode: WakeMode,
+}
+
+fn spawn_pinned_worker<P: Pinned>(
+    w: usize,
+    stride: usize,
+    cells: &Arc<[Cell<P>]>,
+    shutdown: &Arc<AtomicBool>,
+    deaths: &Arc<Deaths>,
+) -> PinnedWorker {
+    let parked = Arc::new(AtomicBool::new(false));
+    let handle = thread::Builder::new()
+        .name(format!("imm-pin-{w}"))
+        .spawn({
+            let cells = Arc::clone(cells);
+            let parked = Arc::clone(&parked);
+            let shutdown = Arc::clone(shutdown);
+            let deaths = Arc::clone(deaths);
+            move || {
+                let _sentinel = DeathSentinel { worker: w, deaths };
+                pinned_worker_loop(cells, w, stride, parked, shutdown)
+            }
+        })
+        .expect("spawn imm-pin worker");
+    PinnedWorker { parked, thread: handle.thread().clone(), join: Some(handle) }
 }
 
 impl<P: Pinned> PinnedPool<P> {
@@ -215,22 +346,55 @@ impl<P: Pinned> PinnedPool<P> {
         };
         let worker_count = if use_workers { threads.saturating_sub(1).min(cells.len()) } else { 0 };
         let shutdown = Arc::new(AtomicBool::new(false));
+        let deaths = Arc::new(Deaths::new());
         let workers = (0..worker_count)
-            .map(|w| {
-                let parked = Arc::new(AtomicBool::new(false));
-                let handle = thread::Builder::new()
-                    .name(format!("imm-pin-{w}"))
-                    .spawn({
-                        let cells = Arc::clone(&cells);
-                        let parked = Arc::clone(&parked);
-                        let shutdown = Arc::clone(&shutdown);
-                        move || pinned_worker_loop(cells, w, worker_count, parked, shutdown)
-                    })
-                    .expect("spawn imm-pin worker");
-                PinnedWorker { parked, thread: handle.thread().clone(), join: Some(handle) }
-            })
+            .map(|w| spawn_pinned_worker(w, worker_count, &cells, &shutdown, &deaths))
             .collect();
-        PinnedPool { cells, workers, shutdown, mode }
+        PinnedPool {
+            cells,
+            workers: Mutex::new(workers),
+            worker_slots: worker_count,
+            shutdown,
+            deaths,
+            restarts: AtomicU64::new(0),
+            mode,
+        }
+    }
+
+    fn lock_workers(&self) -> MutexGuard<'_, Vec<PinnedWorker>> {
+        self.workers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Respawn any workers whose threads died, re-pinning them to the
+    /// same cell affinity (`worker index` + original stride). Called at
+    /// the top of every scatter; a single relaxed-ish atomic check when
+    /// nothing died.
+    fn supervise(&self) {
+        if self.deaths.count.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut workers = self.lock_workers();
+        for w in self.deaths.take() {
+            metrics::PINNED_WORKER_RESTARTS.increment();
+            self.restarts.fetch_add(1, Ordering::Relaxed);
+            let fresh = spawn_pinned_worker(
+                w,
+                self.worker_slots,
+                &self.cells,
+                &self.shutdown,
+                &self.deaths,
+            );
+            let old = std::mem::replace(&mut workers[w], fresh);
+            if let Some(handle) = old.join {
+                // The thread already unwound; join only reaps it.
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// How many dead workers this pool has respawned over its lifetime.
+    pub fn worker_restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
     }
 
     /// Number of cells (shards).
@@ -245,7 +409,7 @@ impl<P: Pinned> PinnedPool<P> {
 
     /// Number of dedicated worker threads (0 means fully inline serving).
     pub fn num_workers(&self) -> usize {
-        self.workers.len()
+        self.worker_slots
     }
 
     /// The wake policy this pool was built with.
@@ -292,15 +456,30 @@ impl<P: Pinned> PinnedPool<P> {
     /// queues it filled, and with zero workers serves everything itself.
     ///
     /// If any `serve` panics, the round still drains fully and the first
-    /// panic payload is re-thrown here.
+    /// panic payload is re-thrown here. A worker *thread* death (only
+    /// possible under injected faults or a runtime bug) panics too;
+    /// callers that want to degrade gracefully use
+    /// [`try_scatter`](Self::try_scatter).
     pub fn scatter<I>(&self, requests: I) -> Vec<P::Response>
     where
         I: IntoIterator<Item = (usize, P::Request)>,
     {
+        self.try_scatter(requests).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`scatter`](Self::scatter), but a worker-thread death surfaces as
+    /// a structured [`ScatterError`] instead of a panic. Dead workers
+    /// found at entry are respawned (and re-pinned to their cells)
+    /// before any request is enqueued.
+    pub fn try_scatter<I>(&self, requests: I) -> Result<Vec<P::Response>, ScatterError>
+    where
+        I: IntoIterator<Item = (usize, P::Request)>,
+    {
         metrics::PINNED_SCATTERS.increment();
-        if self.workers.is_empty() {
-            return self.scatter_inline(requests);
+        if self.worker_slots == 0 {
+            return Ok(self.scatter_inline(requests));
         }
+        self.supervise();
         self.scatter_queued(requests)
     }
 
@@ -334,7 +513,7 @@ impl<P: Pinned> PinnedPool<P> {
 
     /// Worker path: enqueue envelopes, wake owners, help drain, park for
     /// stragglers.
-    fn scatter_queued<I>(&self, requests: I) -> Vec<P::Response>
+    fn scatter_queued<I>(&self, requests: I) -> Result<Vec<P::Response>, ScatterError>
     where
         I: IntoIterator<Item = (usize, P::Request)>,
     {
@@ -343,7 +522,8 @@ impl<P: Pinned> PinnedPool<P> {
         let mut touched: Vec<usize> = Vec::with_capacity(batch.len());
         for (slot, (cell, request)) in batch.into_iter().enumerate() {
             metrics::PINNED_ENQUEUED.increment();
-            let envelope = Envelope { request, slot, gather: Arc::clone(&gather) };
+            let envelope =
+                Envelope { request: Some(request), slot, gather: Arc::clone(&gather), done: false };
             self.cells[cell].lock().queue.push_back(envelope);
             if !touched.contains(&cell) {
                 touched.push(cell);
@@ -352,13 +532,16 @@ impl<P: Pinned> PinnedPool<P> {
         // Publish-then-check-parked needs a StoreLoad barrier on both
         // sides (Dekker); the worker park loop carries the matching fence.
         fence(Ordering::SeqCst);
-        let mut woken = vec![false; self.workers.len()];
-        for &cell in &touched {
-            let w = cell % self.workers.len();
-            if !woken[w] && self.workers[w].parked.load(Ordering::SeqCst) {
-                woken[w] = true;
-                metrics::PINNED_UNPARKS.increment();
-                self.workers[w].thread.unpark();
+        {
+            let workers = self.lock_workers();
+            let mut woken = vec![false; workers.len()];
+            for &cell in &touched {
+                let w = cell % workers.len();
+                if !woken[w] && workers[w].parked.load(Ordering::SeqCst) {
+                    woken[w] = true;
+                    metrics::PINNED_UNPARKS.increment();
+                    workers[w].thread.unpark();
+                }
             }
         }
         // Help: drain every queue we filled. Whatever a worker already
@@ -386,23 +569,28 @@ impl<P: Pinned> PinnedPool<P> {
         if let Some(payload) = gather.panic.lock().unwrap_or_else(PoisonError::into_inner).take() {
             panic::resume_unwind(payload);
         }
+        let lost = gather.lost.load(Ordering::SeqCst);
+        if lost > 0 {
+            return Err(ScatterError { lost });
+        }
         // All servers are done (pending == 0 observed SeqCst): the slots
         // are exclusively ours now.
-        gather
+        Ok(gather
             .slots
             .iter()
             .map(|slot| unsafe { (*slot.get()).take() }.expect("gather slot filled"))
-            .collect()
+            .collect())
     }
 }
 
 impl<P: Pinned> Drop for PinnedPool<P> {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for worker in self.workers.iter() {
+        let mut workers = self.lock_workers();
+        for worker in workers.iter() {
             worker.thread.unpark();
         }
-        for worker in self.workers.iter_mut() {
+        for worker in workers.iter_mut() {
             if let Some(handle) = worker.join.take() {
                 let _ = handle.join();
             }
@@ -414,7 +602,8 @@ impl<P: Pinned> fmt::Debug for PinnedPool<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PinnedPool")
             .field("cells", &self.cells.len())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.worker_slots)
+            .field("restarts", &self.worker_restarts())
             .field("mode", &self.mode)
             .finish()
     }

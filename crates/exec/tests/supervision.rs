@@ -1,0 +1,165 @@
+//! Pinned-pool supervision under injected worker deaths.
+//!
+//! `imm-fault`'s `worker_panic_point` sits in the pinned worker loop
+//! *outside* the request-level `catch_unwind`, so an injected panic
+//! kills the worker thread with an envelope in hand — the failure mode
+//! PR 6's scope-level panic propagation could not absorb. These tests
+//! prove the three supervision guarantees end to end:
+//!
+//! 1. no hang: the scattering thread unblocks with a structured
+//!    [`ScatterError`] instead of parking on a gather that can never
+//!    complete;
+//! 2. no poisoning: cells and their pinned state keep serving;
+//! 3. self-healing: the next scatter respawns the dead worker over the
+//!    same cell affinity and answers correctly again.
+
+use imm_exec::{Pinned, PinnedPool, WakeMode};
+use imm_fault::FaultConfig;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Injected worker panics unwind with the default hook's backtrace
+/// noise; keep the test output readable but forward real panics.
+fn quiet_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected fault"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+struct SlowAdder {
+    base: u64,
+}
+
+impl Pinned for SlowAdder {
+    type Request = u64;
+    type Response = u64;
+    fn serve(&mut self, request: u64) -> u64 {
+        // Slow enough that a woken worker reliably reaches its queue
+        // while the scattering thread is still help-draining.
+        std::thread::sleep(Duration::from_micros(300));
+        self.base + request
+    }
+}
+
+fn pool(cells: usize, threads: usize) -> PinnedPool<SlowAdder> {
+    let states = (0..cells).map(|i| SlowAdder { base: (i as u64) * 1000 }).collect();
+    PinnedPool::with_wake_mode(states, threads, WakeMode::Always)
+}
+
+fn batch(cells: usize, per_cell: u64) -> Vec<(usize, u64)> {
+    (0..cells).flat_map(|c| (0..per_cell).map(move |r| (c, r))).collect()
+}
+
+fn expected(requests: &[(usize, u64)]) -> Vec<u64> {
+    requests.iter().map(|&(c, r)| (c as u64) * 1000 + r).collect()
+}
+
+#[test]
+fn injected_worker_death_degrades_structurally_and_pool_self_heals() {
+    quiet_injected_panics();
+    let pool = pool(8, 3);
+    assert!(pool.num_workers() >= 1, "this test needs real workers");
+    let requests = batch(8, 40);
+
+    // Exactly one injected death: the first envelope a worker pops
+    // panics the worker thread; the budget then goes quiet.
+    imm_fault::with_plan(
+        FaultConfig { worker_panic: 1.0, max_faults: 1, ..FaultConfig::seeded(1) },
+        |plan| {
+            let mut degraded = None;
+            for round in 0..200 {
+                match pool.try_scatter(requests.clone()) {
+                    Err(e) => {
+                        assert!(e.lost >= 1, "a death must lose at least the held envelope");
+                        degraded = Some(round);
+                        break;
+                    }
+                    // The help-drain can win the race and serve the whole
+                    // round before any worker pops; results must then be
+                    // exactly right.
+                    Ok(out) => assert_eq!(out, expected(&requests), "round {round}"),
+                }
+            }
+            degraded.expect("200 rounds of worker-first traffic must hit the injected death");
+            assert_eq!(plan.injected(), 1, "budget capped the plan at one death");
+
+            // Self-heal: the very next scatter respawns the worker and
+            // answers byte-identically (the plan's budget is spent, so
+            // nothing new is injected).
+            let healed = pool.try_scatter(requests.clone()).expect("pool must self-heal");
+            assert_eq!(healed, expected(&requests));
+            assert_eq!(pool.worker_restarts(), 1, "exactly one worker was respawned");
+        },
+    );
+}
+
+#[test]
+fn repeated_deaths_never_hang_and_always_heal() {
+    quiet_injected_panics();
+    let pool = pool(4, 3);
+    assert!(pool.num_workers() >= 1);
+    let requests = batch(4, 25);
+
+    imm_fault::with_plan(
+        // Every 50th worker pop dies, forever: several deaths across the
+        // run, interleaved with healthy rounds.
+        FaultConfig { worker_panic: 0.02, ..FaultConfig::seeded(7) },
+        |_| {
+            let mut errors = 0;
+            for round in 0..120 {
+                match pool.try_scatter(requests.clone()) {
+                    Ok(out) => assert_eq!(out, expected(&requests), "round {round}"),
+                    Err(e) => {
+                        assert!(e.lost >= 1);
+                        errors += 1;
+                    }
+                }
+            }
+            // Structured errors are allowed; silent wrong answers and
+            // hangs are not (reaching this line proves no hang).
+            assert!(errors <= 120);
+        },
+    );
+
+    // Plan cleared: the pool must serve perfectly again.
+    for _ in 0..10 {
+        assert_eq!(pool.scatter(requests.clone()), expected(&requests));
+    }
+}
+
+#[test]
+fn call_and_with_cell_survive_a_dead_worker() {
+    quiet_injected_panics();
+    let pool = pool(2, 2);
+    assert!(pool.num_workers() >= 1);
+    let requests = batch(2, 30);
+
+    imm_fault::with_plan(
+        FaultConfig { worker_panic: 1.0, max_faults: 1, ..FaultConfig::seeded(3) },
+        |plan| {
+            for _ in 0..200 {
+                if pool.try_scatter(requests.clone()).is_err() {
+                    break;
+                }
+            }
+            assert_eq!(plan.injected(), 1, "the worker must have died");
+            // Direct cell access works while the worker is down: the
+            // dead thread dropped its cell lock when it unwound.
+            assert_eq!(pool.call(0, 5), 5);
+            assert_eq!(pool.call(1, 5), 1005);
+            pool.with_cell(0, |a| a.base = 9000);
+            assert_eq!(pool.call(0, 5), 9005);
+            pool.with_cell(0, |a| a.base = 0);
+        },
+    );
+}

@@ -46,7 +46,7 @@ pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, CostModel};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryClient, RetryPolicy};
 pub use protocol::{
     DeltaOutcome, ProtocolError, Rejection, Request, Response, ServeError, ServerInfo,
     DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,

@@ -54,6 +54,29 @@ pub static ROLLOUTS: Counter = Counter::new(
     "Graceful apply_delta rollouts completed by the daemon since startup",
 );
 
+/// Queries cut by the per-batch execution deadline (each answered with a
+/// structured `DeadlineExceeded` rejection, not dropped).
+pub static DEADLINE_EXCEEDED: Counter = Counter::new(
+    "serve_deadline_exceeded",
+    "Queries cut by the per-batch execution deadline with a structured rejection",
+);
+
+/// Connections closed by the idle timeout (slow-loris shedding); each
+/// gets a structured `IdleTimeout` goodbye frame first.
+pub static CONN_TIMEOUTS: Counter = Counter::new(
+    "serve_conn_timeouts",
+    "Idle client connections closed by the daemon's idle timeout",
+);
+
+/// Retries issued by the retrying client (reconnects and re-sends of
+/// idempotent requests after timeouts, lost connections, or degraded
+/// answers). Client-side, but registered here so one process's registry
+/// tells the whole fault-handling story.
+pub static RETRIES: Counter = Counter::new(
+    "serve_retries",
+    "Idempotent requests re-sent by the retrying client after a retryable failure",
+);
+
 /// Max-over-window in-flight request count, published by the daemon's
 /// housekeeping tick (the raw counter is a racy instantaneous read).
 pub static INFLIGHT_PEAK: Gauge = Gauge::new(
@@ -76,6 +99,9 @@ pub fn register() {
             &REJECTED_INVALID_VERTEX,
             &PROTOCOL_ERRORS,
             &ROLLOUTS,
+            &DEADLINE_EXCEEDED,
+            &CONN_TIMEOUTS,
+            &RETRIES,
             &INFLIGHT_PEAK,
         ]);
     });
@@ -99,6 +125,9 @@ mod tests {
             "serve_rejected_invalid_vertex",
             "serve_protocol_errors",
             "serve_rollouts",
+            "serve_deadline_exceeded",
+            "serve_conn_timeouts",
+            "serve_retries",
             "serve_inflight_peak",
         ] {
             assert_eq!(

@@ -485,6 +485,15 @@ pub enum Rejection {
         /// Exclusive upper bound of the vertex space.
         num_nodes: u64,
     },
+    /// The batch's execution deadline expired before this query ran; its
+    /// admitted neighbours that finished in time still answer. Safe to
+    /// retry (against a less loaded server or a larger deadline).
+    DeadlineExceeded {
+        /// How long the batch had been executing when the query was cut.
+        elapsed_ms: u64,
+        /// The server's configured per-batch deadline.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for Rejection {
@@ -497,6 +506,11 @@ impl fmt::Display for Rejection {
             Rejection::InvalidVertex { vertex, num_nodes } => {
                 write!(f, "query rejected: vertex {vertex} outside the vertex space {num_nodes}")
             }
+            Rejection::DeadlineExceeded { elapsed_ms, deadline_ms } => write!(
+                f,
+                "query cut by the batch deadline: {elapsed_ms} ms elapsed of the \
+                 {deadline_ms} ms budget"
+            ),
         }
     }
 }
@@ -523,6 +537,21 @@ pub enum ServeError {
         /// Human-readable cause.
         detail: String,
     },
+    /// The connection sat idle past the server's idle timeout; the
+    /// server closes it after this frame (slow-loris shedding). Clients
+    /// reconnect on the next call.
+    IdleTimeout {
+        /// How long the connection had been idle.
+        idle_ms: u64,
+    },
+    /// The request hit degraded serving machinery (a shard worker died
+    /// mid-scatter). The pool respawns dead workers and the engine
+    /// rebuilds dirty sessions on the next request, so an immediate
+    /// retry of an idempotent request is safe and expected.
+    Degraded {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -537,6 +566,12 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Delta { detail } => write!(f, "delta failed: {detail}"),
             ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::IdleTimeout { idle_ms } => {
+                write!(f, "connection idle for {idle_ms} ms; the server is closing it")
+            }
+            ServeError::Degraded { detail } => {
+                write!(f, "degraded serving (safe to retry): {detail}")
+            }
         }
     }
 }
@@ -635,9 +670,12 @@ const ERR_QUEUE_FULL: u8 = 0x00;
 const ERR_NOT_DYNAMIC: u8 = 0x01;
 const ERR_DELTA: u8 = 0x02;
 const ERR_BAD_REQUEST: u8 = 0x03;
+const ERR_IDLE_TIMEOUT: u8 = 0x04;
+const ERR_DEGRADED: u8 = 0x05;
 
 const REJ_OVER_BUDGET: u8 = 0x00;
 const REJ_INVALID_VERTEX: u8 = 0x01;
+const REJ_DEADLINE: u8 = 0x02;
 
 /// Encode a request payload (frame it with [`write_frame`]).
 pub fn encode_request(request: &Request) -> Vec<u8> {
@@ -699,6 +737,11 @@ fn put_rejection(out: &mut Vec<u8>, rejection: &Rejection) {
             put_u32(out, *vertex);
             put_u64(out, *num_nodes);
         }
+        Rejection::DeadlineExceeded { elapsed_ms, deadline_ms } => {
+            put_u8(out, REJ_DEADLINE);
+            put_u64(out, *elapsed_ms);
+            put_u64(out, *deadline_ms);
+        }
     }
 }
 
@@ -710,6 +753,9 @@ fn get_rejection(r: &mut Reader<'_>) -> Result<Rejection, ProtocolError> {
         }
         REJ_INVALID_VERTEX => {
             Ok(Rejection::InvalidVertex { vertex: r.u32(CTX)?, num_nodes: r.u64(CTX)? })
+        }
+        REJ_DEADLINE => {
+            Ok(Rejection::DeadlineExceeded { elapsed_ms: r.u64(CTX)?, deadline_ms: r.u64(CTX)? })
         }
         tag => Err(ProtocolError::UnknownTag { context: CTX, tag }),
     }
@@ -731,6 +777,14 @@ fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
             put_u8(out, ERR_BAD_REQUEST);
             put_str(out, detail);
         }
+        ServeError::IdleTimeout { idle_ms } => {
+            put_u8(out, ERR_IDLE_TIMEOUT);
+            put_u64(out, *idle_ms);
+        }
+        ServeError::Degraded { detail } => {
+            put_u8(out, ERR_DEGRADED);
+            put_str(out, detail);
+        }
     }
 }
 
@@ -741,6 +795,8 @@ fn get_serve_error(r: &mut Reader<'_>) -> Result<ServeError, ProtocolError> {
         ERR_NOT_DYNAMIC => Ok(ServeError::NotDynamic),
         ERR_DELTA => Ok(ServeError::Delta { detail: r.str(CTX)? }),
         ERR_BAD_REQUEST => Ok(ServeError::BadRequest { detail: r.str(CTX)? }),
+        ERR_IDLE_TIMEOUT => Ok(ServeError::IdleTimeout { idle_ms: r.u64(CTX)? }),
+        ERR_DEGRADED => Ok(ServeError::Degraded { detail: r.str(CTX)? }),
         tag => Err(ProtocolError::UnknownTag { context: CTX, tag }),
     }
 }
@@ -885,6 +941,7 @@ mod tests {
                 }),
                 Err(Rejection::OverBudget { estimated_cost: 10, budget: 4 }),
                 Err(Rejection::InvalidVertex { vertex: 7, num_nodes: 5 }),
+                Err(Rejection::DeadlineExceeded { elapsed_ms: 120, deadline_ms: 100 }),
                 Ok(QueryResponse::Spread { coverage_fraction: -0.0, estimate: f64::INFINITY }),
                 Ok(QueryResponse::Marginal { gain_fraction: f64::MIN_POSITIVE, gain: 1e-308 }),
             ]),
@@ -910,6 +967,10 @@ mod tests {
             Response::Error(ServeError::NotDynamic),
             Response::Error(ServeError::Delta { detail: "row 3: bad weight".into() }),
             Response::Error(ServeError::BadRequest { detail: "empty".into() }),
+            Response::Error(ServeError::IdleTimeout { idle_ms: 30_000 }),
+            Response::Error(ServeError::Degraded {
+                detail: "2 scattered request(s) lost to a dead pinned worker".into(),
+            }),
         ];
         for response in responses {
             let decoded = decode_response(&encode_response(&response)).expect("round trip");

@@ -38,6 +38,7 @@ use crate::protocol::{
 use imm_exec::QueueDepthSampler;
 use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
 use imm_obs::MaxWindow;
+use imm_service::snapshot::DeltaJournal;
 use imm_service::QueryResponse;
 use imm_shard::{ShardedEngine, ShardedIndex};
 use parking_lot::Mutex;
@@ -88,10 +89,41 @@ impl Stream {
         }
     }
 
+    /// Connect with a bound on how long the dial itself may take. Unix
+    /// sockets connect (or fail) immediately and ignore the timeout; TCP
+    /// dials every resolved address with `TcpStream::connect_timeout`.
+    pub(crate) fn connect_timeout(address: &Listen, timeout: Duration) -> io::Result<Stream> {
+        match address {
+            Listen::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            Listen::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let mut last =
+                    io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing");
+                for resolved in addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            stream.set_nodelay(true)?;
+                            return Ok(Stream::Tcp(stream));
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        }
+    }
+
     pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         match self {
             Stream::Unix(s) => s.set_read_timeout(timeout),
             Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
         }
     }
 }
@@ -179,6 +211,26 @@ pub struct ServerConfig {
     pub sample_window: usize,
     /// Decoder cap on one frame's payload.
     pub max_frame_len: usize,
+    /// Close a connection that sends no frame for this long, after a
+    /// structured [`ServeError::IdleTimeout`] goodbye (slow-loris
+    /// shedding). `None` keeps connections open indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write timeout per connection: a peer that stops draining
+    /// its receive buffer cannot pin a connection thread forever.
+    pub write_timeout: Option<Duration>,
+    /// Execution deadline per batch request: queries that have not
+    /// started when it expires answer a structured
+    /// [`Rejection::DeadlineExceeded`] instead of running.
+    pub batch_deadline: Option<Duration>,
+    /// Journal file for `apply_delta` texts (crash safety): every delta
+    /// is appended and fsynced *before* the rollout commits, so a crash
+    /// between accepting a delta and persisting a refreshed snapshot can
+    /// replay it on restart. `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Delta-log length of the snapshot this daemon loaded: journal
+    /// entries are indexed from here so replay tooling can tell already-
+    /// persisted deltas from lost ones.
+    pub journal_base: u64,
 }
 
 impl ServerConfig {
@@ -196,6 +248,11 @@ impl ServerConfig {
             tick: Duration::from_millis(50),
             sample_window: 20,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            idle_timeout: None,
+            write_timeout: Some(Duration::from_secs(30)),
+            batch_deadline: None,
+            journal: None,
+            journal_base: 0,
         }
     }
 }
@@ -226,11 +283,18 @@ pub struct Server {
     rollouts: AtomicU64,
     shutdown: AtomicBool,
     metrics_provider: Box<dyn Fn() -> String + Send + Sync>,
+    /// Crash-safety journal for accepted deltas; appends serialize under
+    /// the `dynamic` rollout lock (`None` when journaling is off).
+    journal: Mutex<Option<DeltaJournal>>,
+    journal_base: u64,
     threads: usize,
     cache_capacity: usize,
     tick: Duration,
     sample_window: usize,
     max_frame_len: usize,
+    idle_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    batch_deadline: Option<Duration>,
 }
 
 impl Server {
@@ -252,6 +316,10 @@ impl Server {
         imm_exec::metrics::register();
         let engine = ShardedEngine::with_options(index, config.threads, config.cache_capacity);
         let cost = CostModel::from_index(engine.index());
+        let journal = match &config.journal {
+            Some(path) => Some(DeltaJournal::open(path)?),
+            None => None,
+        };
         let server = Arc::new(Server {
             state: RwLock::new(Arc::new(EngineState { engine, cost })),
             admission: Admission::new(config.budget, config.max_inflight),
@@ -259,11 +327,16 @@ impl Server {
             rollouts: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             metrics_provider: Box::new(metrics_provider),
+            journal: Mutex::new(journal),
+            journal_base: config.journal_base,
             threads: config.threads,
             cache_capacity: config.cache_capacity,
             tick: config.tick,
             sample_window: config.sample_window,
             max_frame_len: config.max_frame_len,
+            idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
+            batch_deadline: config.batch_deadline,
         });
 
         let (listener, address) = Listener::bind(&config.listen)?;
@@ -348,13 +421,25 @@ impl Server {
                         Rejection::InvalidVertex { .. } => {
                             smetrics::REJECTED_INVALID_VERTEX.increment()
                         }
+                        // Admission never produces a deadline rejection;
+                        // those come from `execute_with_deadline`.
+                        Rejection::DeadlineExceeded { .. } => {
+                            smetrics::DEADLINE_EXCEEDED.increment()
+                        }
                     }
                     outcomes.push(Some(Err(rejection)));
                 }
             }
         }
         smetrics::QUERIES.add(admitted.len() as u64);
-        let mut responses = state.engine.execute_batch(&admitted, self.threads).into_iter();
+        let executed = match self.execute_with_deadline(&state, &admitted) {
+            Ok(executed) => executed,
+            // A shard worker died mid-scatter: the pool respawns it and
+            // the engine rebuilds its session on the next request, so the
+            // whole batch degrades to one structured retryable error.
+            Err(e) => return Response::Error(ServeError::Degraded { detail: e.to_string() }),
+        };
+        let mut responses = executed.into_iter();
         let mut filled = Vec::with_capacity(outcomes.len());
         for slot in outcomes {
             match slot {
@@ -363,7 +448,7 @@ impl Server {
                 // would be an engine bug, and a long-lived daemon reports
                 // it instead of panicking the connection thread.
                 None => match responses.next() {
-                    Some(response) => filled.push(Ok(response)),
+                    Some(response) => filled.push(response),
                     None => {
                         return Response::Error(ServeError::BadRequest {
                             detail: "internal error: the engine answered fewer queries than \
@@ -375,6 +460,51 @@ impl Server {
             }
         }
         Response::Batch(filled)
+    }
+
+    /// Execute the admitted queries in bounded chunks, checking the
+    /// per-batch deadline between chunks: queries that have not started
+    /// when it expires answer a structured [`Rejection::DeadlineExceeded`]
+    /// instead of running (an in-flight chunk is allowed to finish — the
+    /// engine is not preemptible, and a chunk is small enough to bound
+    /// the overshoot).
+    fn execute_with_deadline(
+        &self,
+        state: &EngineState,
+        admitted: &[imm_service::Query],
+    ) -> Result<Vec<Result<QueryResponse, Rejection>>, imm_shard::ScatterError> {
+        let mut answers = Vec::with_capacity(admitted.len());
+        match self.batch_deadline {
+            None => {
+                answers.extend(
+                    state.engine.try_execute_batch(admitted, self.threads)?.into_iter().map(Ok),
+                );
+            }
+            Some(limit) => {
+                let started = Instant::now();
+                let chunk = self.threads.max(1) * 4;
+                let mut next = 0;
+                while next < admitted.len() {
+                    let elapsed = started.elapsed();
+                    if elapsed >= limit {
+                        let cut = (admitted.len() - next) as u64;
+                        smetrics::DEADLINE_EXCEEDED.add(cut);
+                        let rejection = Rejection::DeadlineExceeded {
+                            elapsed_ms: elapsed.as_millis() as u64,
+                            deadline_ms: limit.as_millis() as u64,
+                        };
+                        answers.extend((next..admitted.len()).map(|_| Err(rejection.clone())));
+                        break;
+                    }
+                    let end = (next + chunk).min(admitted.len());
+                    let executed =
+                        state.engine.try_execute_batch(&admitted[next..end], self.threads)?;
+                    answers.extend(executed.into_iter().map(Ok));
+                    next = end;
+                }
+            }
+        }
+        Ok(answers)
     }
 
     /// Parse and apply a delta through a graceful rollout: rebuild the
@@ -392,12 +522,34 @@ impl Server {
         let Some((graph, weights)) = dynamic.as_ref() else {
             return Response::Error(ServeError::NotDynamic);
         };
+        // Fault site: a rollout aborted before the rebuild even starts.
+        // The old generation keeps serving untouched; a retry is clean.
+        if let Err(fault) = imm_fault::fail_point("serve.rollout.begin") {
+            return Response::Error(ServeError::Delta { detail: fault.to_string() });
+        }
         let current = self.current();
         let rebuilt = current.engine.index().rebuilt_with_delta(graph, weights, &delta);
         let (next_index, new_graph, new_weights, stats) = match rebuilt {
             Ok(parts) => parts,
             Err(e) => return Response::Error(ServeError::Delta { detail: e.to_string() }),
         };
+        // Fault site: the replacement index is fully rebuilt but not yet
+        // committed. Failing here must discard it wholesale — the old
+        // generation serves byte-identically and a retry succeeds.
+        if let Err(fault) = imm_fault::fail_point("serve.rollout.commit") {
+            return Response::Error(ServeError::Delta { detail: fault.to_string() });
+        }
+        // Journal the accepted delta (fsynced) BEFORE the commit becomes
+        // visible: a crash after this point can replay the delta from the
+        // journal; a crash before it never claimed the delta was applied.
+        if let Some(journal) = self.journal.lock().as_mut() {
+            let applied_index = self.journal_base + self.rollouts.load(Ordering::Acquire);
+            if let Err(e) = journal.append(applied_index, text) {
+                return Response::Error(ServeError::Delta {
+                    detail: format!("delta journal append failed (rollout refused): {e}"),
+                });
+            }
+        }
         let engine =
             ShardedEngine::with_options(Arc::new(next_index), self.threads, self.cache_capacity);
         let cost = CostModel::from_index(engine.index());
@@ -472,42 +624,84 @@ fn accept_loop(server: Arc<Server>, listener: Listener, address: Listen) {
 
 /// Strict request/response loop over one connection. Any protocol error
 /// earns a best-effort structured error frame and a dropped connection
-/// (after garbage the stream position is untrustworthy).
-fn serve_connection(server: Arc<Server>, mut stream: Stream) {
-    // The read timeout doubles as the shutdown-check cadence and as the
+/// (after garbage the stream position is untrustworthy). A connection
+/// that sends nothing for the configured idle timeout gets a structured
+/// [`ServeError::IdleTimeout`] goodbye and a close — a slow-loris peer
+/// sheds itself instead of pinning a thread.
+fn serve_connection(server: Arc<Server>, stream: Stream) {
+    // The read timeout doubles as the shutdown-check cadence, the
     // half-written-frame guard (a stalled mid-frame read times out into
-    // a structured Truncated error instead of hanging the thread).
+    // a structured Truncated error instead of hanging the thread), and
+    // the idle clock's granularity.
     let timeout = server.tick.max(Duration::from_millis(10));
     if stream.set_read_timeout(Some(timeout)).is_err() {
         return;
     }
+    if stream.set_write_timeout(server.write_timeout).is_err() {
+        return;
+    }
+    // Under an installed fault plan the socket itself misbehaves:
+    // injected read/write errors, short writes, stalls. A no-op wrapper
+    // otherwise.
+    let mut stream = imm_fault::FaultyIo::new(stream, "serve.conn");
+    let mut idle = Duration::ZERO;
     loop {
         if server.shutdown_requested() {
             return;
         }
         match protocol::read_frame(&mut stream, server.max_frame_len) {
             Ok(FrameRead::Eof) => return,
-            Ok(FrameRead::Idle) => continue,
-            Ok(FrameRead::Frame(payload)) => match protocol::decode_request(&payload) {
-                Ok(request) => {
-                    let (response, flow) = server.handle(request);
-                    let sent =
-                        protocol::write_frame(&mut stream, &protocol::encode_response(&response));
-                    if sent.is_err() || matches!(flow, Flow::Close) {
+            Ok(FrameRead::Idle) => {
+                idle += timeout;
+                if let Some(limit) = server.idle_timeout {
+                    if idle >= limit {
+                        smetrics::CONN_TIMEOUTS.increment();
+                        let goodbye = Response::Error(ServeError::IdleTimeout {
+                            idle_ms: idle.as_millis() as u64,
+                        });
+                        let _ = protocol::write_frame(
+                            &mut stream,
+                            &protocol::encode_response(&goodbye),
+                        );
                         return;
                     }
                 }
-                Err(e) => {
-                    smetrics::PROTOCOL_ERRORS.increment();
-                    let reply = Response::Error(ServeError::BadRequest { detail: e.to_string() });
-                    let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
-                    return;
+                continue;
+            }
+            Ok(FrameRead::Frame(payload)) => {
+                idle = Duration::ZERO;
+                match protocol::decode_request(&payload) {
+                    Ok(request) => {
+                        let (response, flow) = server.handle(request);
+                        let sent = protocol::write_frame(
+                            &mut stream,
+                            &protocol::encode_response(&response),
+                        );
+                        if sent.is_err() || matches!(flow, Flow::Close) {
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        smetrics::PROTOCOL_ERRORS.increment();
+                        let reply =
+                            Response::Error(ServeError::BadRequest { detail: e.to_string() });
+                        let _ =
+                            protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
+                        return;
+                    }
                 }
-            },
+            }
             Err(e) => {
                 smetrics::PROTOCOL_ERRORS.increment();
-                let reply = Response::Error(ServeError::BadRequest { detail: e.to_string() });
-                let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
+                // Grammar violations earn a structured goodbye; raw
+                // transport failures don't — the socket is broken, and the
+                // client's own read will report the loss. (This also keeps
+                // injected socket faults looking like what they simulate:
+                // a lost connection, not a server-side complaint.)
+                if !matches!(e, protocol::ProtocolError::Io(_)) {
+                    let reply = Response::Error(ServeError::BadRequest { detail: e.to_string() });
+                    let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&reply));
+                }
                 return;
             }
         }

@@ -72,8 +72,9 @@ pub use engine::{serve_batch, serve_cached, QueryEngine, DEFAULT_CACHE_CAPACITY}
 pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
 pub use query::{Query, QueryKey, QueryResponse};
 pub use snapshot::{
-    load_collection, load_collection_from_path, load_parts, save_parts, SnapshotError,
-    SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
+    load_collection, load_collection_from_path, load_parts, recover_interrupted_save, save_parts,
+    save_parts_to_path, snapshot_tmp_path, DeltaJournal, JournalEntry, SnapshotError,
+    JOURNAL_MAGIC, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

@@ -104,6 +104,14 @@ pub static DELTA_FOOTPRINT_SKIPS: Counter = Counter::new(
 pub static QUERY_RATE: RateMeter =
     RateMeter::new("service_queries", "Queries served (cache hits and misses combined)");
 
+/// Interrupted snapshot saves recovered on a later load: the loader
+/// found (and swept) a leftover `.tmp` from a save that died before its
+/// atomic rename, and served the last complete generation instead.
+pub static SNAPSHOT_RECOVERIES: Counter = Counter::new(
+    "snapshot_recoveries",
+    "Leftover snapshot temp files from interrupted saves swept on load",
+);
+
 /// Register the serving metrics with the process-global registry.
 /// Idempotent; called from engine constructors and the refresh path.
 pub fn register() {
@@ -124,6 +132,7 @@ pub fn register() {
             &DELTA_SETS_RESAMPLED as &'static dyn Metric,
             &DELTA_FOOTPRINT_SKIPS as &'static dyn Metric,
             &QUERY_RATE as &'static dyn Metric,
+            &SNAPSHOT_RECOVERIES as &'static dyn Metric,
         ]);
     });
 }
@@ -142,6 +151,7 @@ mod tests {
             "service_celf_revalidations",
             "service_delta_footprint_skips",
             "service_queries",
+            "snapshot_recoveries",
         ] {
             assert!(names.contains(&expected), "{expected} missing from registry");
         }

@@ -36,6 +36,20 @@
 //! Only the collection, metadata and provenance are stored; the inverted
 //! postings are rebuilt on load (a deterministic single pass, far cheaper
 //! than sampling).
+//!
+//! # Crash safety
+//!
+//! File saves are atomic: [`save_parts_to_path`] writes `<path>.tmp`,
+//! fsyncs it, and renames it over `path`, so a reader of `path` always
+//! sees either the previous complete snapshot or the new complete
+//! snapshot — never a torn prefix. A save interrupted at any write
+//! offset (power loss, `kill -9`, injected fault) leaves at worst a
+//! stale `.tmp` beside the last good file; the path-based loaders sweep
+//! it and count the recovery in the `snapshot_recoveries` metric.
+//! [`DeltaJournal`] complements the snapshot: the daemon journals each
+//! accepted delta (fsynced) *before* making it visible, so deltas
+//! applied after the last snapshot survive a crash and can be replayed
+//! at startup.
 
 use crate::dynamic::{DeltaLogEntry, SampleSpec, SketchProvenance};
 use crate::index::{IndexError, IndexMeta, SketchIndex};
@@ -43,8 +57,8 @@ use imm_diffusion::DiffusionModel;
 use imm_graph::GraphDelta;
 use imm_rrr::codec::{ByteReader, CodecError};
 use imm_rrr::{AdaptivePolicy, EdgeFootprint, RrrCollection, SetProvenance, FOOTPRINT_WORDS};
-use std::io::{Read, Write};
-use std::path::Path;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 /// The magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IMMSKTCH";
@@ -345,6 +359,75 @@ pub fn save_parts(
     Ok(())
 }
 
+/// The sibling temp file a crash-safe save of `path` stages into before
+/// its atomic rename. Public so operational tooling (and the CI crash
+/// e2e) can look for evidence of an interrupted save.
+pub fn snapshot_tmp_path(path: impl AsRef<Path>) -> PathBuf {
+    let mut tmp = path.as_ref().as_os_str().to_os_string();
+    tmp.push(".tmp");
+    PathBuf::from(tmp)
+}
+
+/// Sweep the leftover `.tmp` of an interrupted save of `path`, if one
+/// exists. Returns whether anything was recovered (and counts it in the
+/// `snapshot_recoveries` metric). Called by every path-based loader;
+/// public so shard-file loaders can apply the same discipline.
+pub fn recover_interrupted_save(path: impl AsRef<Path>) -> bool {
+    match std::fs::remove_file(snapshot_tmp_path(path)) {
+        Ok(()) => {
+            crate::metrics::SNAPSHOT_RECOVERIES.increment();
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// Flush the directory entry of a freshly renamed file (best effort —
+/// some filesystems refuse directory handles).
+fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+}
+
+/// Crash-safe [`save_parts`] to a file: stage into `<path>.tmp`, fsync,
+/// then atomically rename over `path`.
+///
+/// At *every* interruption offset — any write, the fsync, either side
+/// of the rename — the file at `path` is either the previous complete
+/// snapshot or the new one, never torn. The staged writes run through a
+/// counted [`imm_fault::FaultyIo`] (site `snapshot.write`), so a fault
+/// plan can kill the save between any two writes and a test can prove
+/// that claim exhaustively. A failed save deliberately leaves its
+/// `.tmp` behind (a crashed process cannot clean up either); the
+/// path-based loaders sweep it via [`recover_interrupted_save`].
+pub fn save_parts_to_path(
+    meta: &IndexMeta,
+    collection: &RrrCollection,
+    provenance: Option<&SketchProvenance>,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let tmp = snapshot_tmp_path(path);
+    let file = std::fs::File::create(&tmp)?;
+    let mut writer = io::BufWriter::new(imm_fault::FaultyIo::counted(file, "snapshot.write"));
+    save_parts(meta, collection, provenance, &mut writer)?;
+    writer.flush()?;
+    let file = writer.into_inner().map_err(io::IntoInnerError::into_error)?.into_inner();
+    imm_fault::fsync_fault("snapshot.fsync")?;
+    file.sync_all()?;
+    drop(file);
+    imm_fault::write_point("snapshot.rename")?;
+    std::fs::rename(&tmp, path)?;
+    imm_fault::write_point("snapshot.renamed")?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
 /// Verify a snapshot container (magic, version, checksum) and decode its
 /// components without rebuilding the inverted postings — the counterpart of
 /// [`save_parts`]. Consumers that want a serving index should use
@@ -361,12 +444,10 @@ impl SketchIndex {
         save_parts(self.meta(), self.sets(), self.provenance(), writer)
     }
 
-    /// Serialize this index to a file at `path`.
+    /// Serialize this index to a file at `path` — crash-safely, via
+    /// [`save_parts_to_path`] (temp file, fsync, atomic rename).
     pub fn save_to_path(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        self.save(&mut file)?;
-        file.flush()?;
-        Ok(())
+        save_parts_to_path(self.meta(), self.sets(), self.provenance(), path)
     }
 
     /// Read an index back from `reader`, verifying magic, version and
@@ -378,8 +459,11 @@ impl SketchIndex {
         Ok(SketchIndex::from_collection_with_provenance(collection, meta, provenance)?)
     }
 
-    /// Read an index back from the file at `path`.
+    /// Read an index back from the file at `path`, first sweeping any
+    /// `.tmp` left by an interrupted save (see
+    /// [`recover_interrupted_save`]).
     pub fn load_from_path(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        recover_interrupted_save(&path);
         let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
         Self::load(&mut file)
     }
@@ -422,12 +506,160 @@ pub fn load_collection(
     Ok((meta, collection))
 }
 
-/// [`load_collection`] over the file at `path`.
+/// [`load_collection`] over the file at `path`, with the same
+/// interrupted-save sweep as [`SketchIndex::load_from_path`].
 pub fn load_collection_from_path(
     path: impl AsRef<Path>,
 ) -> Result<(IndexMeta, RrrCollection), SnapshotError> {
+    recover_interrupted_save(&path);
     let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
     load_collection(&mut file)
+}
+
+/// The magic bytes opening every delta journal.
+pub const JOURNAL_MAGIC: [u8; 8] = *b"IMMJRNL1";
+
+/// One replayable entry read back from a [`DeltaJournal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// How many deltas the index had already durably applied when this
+    /// one was accepted — i.e. this entry is the `applied_index`-th
+    /// delta (0-based) in the index's lifetime. Replay compares it to
+    /// the loaded snapshot's delta-log length: `applied_index >= len`
+    /// means the snapshot predates this delta, so replay it;
+    /// `applied_index < len` means the snapshot already contains it.
+    pub applied_index: u64,
+    /// The delta in the `update-index` text format, verbatim.
+    pub text: String,
+}
+
+/// An append-only, fsynced write-ahead log of accepted graph deltas.
+///
+/// The daemon appends the delta text here *before* the rolled-out index
+/// becomes visible (refusing the rollout if the append fails), so a
+/// delta acknowledged to a client is durable even though the daemon
+/// never rewrites snapshots. On restart, [`DeltaJournal::read_entries`]
+/// returns everything intact — parsing stops at the first torn or
+/// corrupt entry, so a crash mid-append costs at most the entry being
+/// written — and entries newer than the loaded snapshot are replayed.
+///
+/// Layout: [`JOURNAL_MAGIC`], then per entry (little-endian)
+/// `[u64 applied_index][u32 text_len][text][u64 fnv1a64 of the rest]`.
+#[derive(Debug)]
+pub struct DeltaJournal {
+    file: std::fs::File,
+}
+
+impl DeltaJournal {
+    /// Open (or create) the journal at `path` for appending.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<DeltaJournal> {
+        let mut file =
+            std::fs::OpenOptions::new().read(true).append(true).create(true).open(path)?;
+        if file.metadata()?.len() < JOURNAL_MAGIC.len() as u64 {
+            // Fresh, or a create that died before the magic landed:
+            // start over with just the magic.
+            file.set_len(0)?;
+            file.write_all(&JOURNAL_MAGIC)?;
+            file.sync_all()?;
+        } else {
+            use std::io::Seek;
+            file.seek(io::SeekFrom::Start(0))?;
+            let mut magic = [0u8; 8];
+            file.read_exact(&mut magic)?;
+            if magic != JOURNAL_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "not a delta journal (bad magic)",
+                ));
+            }
+        }
+        Ok(DeltaJournal { file })
+    }
+
+    /// Durably append one accepted delta (write + fsync). On failure the
+    /// torn tail is truncated away, so one failed append cannot wedge
+    /// the journal for every later entry.
+    pub fn append(&mut self, applied_index: u64, text: &str) -> io::Result<()> {
+        let len = u32::try_from(text.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "delta text over 4 GiB"))?;
+        let mut entry = Vec::with_capacity(20 + text.len());
+        entry.extend_from_slice(&applied_index.to_le_bytes());
+        entry.extend_from_slice(&len.to_le_bytes());
+        entry.extend_from_slice(text.as_bytes());
+        entry.extend_from_slice(&fnv1a64(&entry).to_le_bytes());
+        let start = self.file.metadata()?.len();
+        let result = self.append_bytes(&entry);
+        if result.is_err() {
+            let _ = self.file.set_len(start);
+        }
+        result
+    }
+
+    fn append_bytes(&mut self, entry: &[u8]) -> io::Result<()> {
+        let mut writer = imm_fault::FaultyIo::new(&mut self.file, "journal.write");
+        writer.write_all(entry)?;
+        imm_fault::fsync_fault("journal.fsync")?;
+        self.file.sync_all()
+    }
+
+    /// Read back every intact entry, oldest first. A missing or
+    /// still-headerless journal is empty, not an error; parsing stops
+    /// (silently) at the first torn or checksum-failing entry, because
+    /// that is exactly the shape a crash mid-append leaves behind.
+    pub fn read_entries(path: impl AsRef<Path>) -> io::Result<Vec<JournalEntry>> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        if bytes.len() < JOURNAL_MAGIC.len() {
+            return Ok(Vec::new());
+        }
+        if bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a delta journal (bad magic)",
+            ));
+        }
+        let mut entries = Vec::new();
+        let mut offset = JOURNAL_MAGIC.len();
+        while bytes.len() - offset >= 20 {
+            let applied_index =
+                u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+            let len =
+                u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().expect("4 bytes"))
+                    as usize;
+            if bytes.len() - offset - 12 < len + 8 {
+                break; // torn tail
+            }
+            let body_end = offset + 12 + len;
+            let stored =
+                u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
+            if fnv1a64(&bytes[offset..body_end]) != stored {
+                break; // torn or corrupt tail
+            }
+            let Ok(text) = String::from_utf8(bytes[offset + 12..body_end].to_vec()) else {
+                break;
+            };
+            entries.push(JournalEntry { applied_index, text });
+            offset = body_end + 8;
+        }
+        Ok(entries)
+    }
+
+    /// Truncate the journal back to empty (just the magic) — called
+    /// after its deltas have been folded into a durably saved snapshot.
+    /// A missing journal is already clear.
+    pub fn clear(path: impl AsRef<Path>) -> io::Result<()> {
+        let mut file = match std::fs::OpenOptions::new().write(true).open(path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        file.set_len(0)?;
+        file.write_all(&JOURNAL_MAGIC)?;
+        file.sync_all()
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +818,113 @@ mod tests {
             SketchIndex::load(&mut bytes.as_slice()),
             Err(SnapshotError::ChecksumMismatch { .. })
         ));
+    }
+
+    /// A unique scratch directory under the system temp dir (no tempdir
+    /// crate in the workspace).
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "imm-snapshot-{tag}-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn path_saves_are_atomic_and_loaders_sweep_leftovers() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("index.snap");
+        let index = sample_index();
+        index.save_to_path(&path).unwrap();
+        assert!(!snapshot_tmp_path(&path).exists(), "a clean save leaves no temp file");
+        assert_eq!(SketchIndex::load_from_path(&path).unwrap(), index);
+
+        // Plant a fake leftover from an interrupted save: the loader
+        // sweeps it and still serves the complete generation.
+        std::fs::write(snapshot_tmp_path(&path), b"torn prefix").unwrap();
+        assert_eq!(SketchIndex::load_from_path(&path).unwrap(), index);
+        assert!(!snapshot_tmp_path(&path).exists(), "the loader sweeps the leftover");
+        let (meta, _) = load_collection_from_path(&path).unwrap();
+        assert_eq!(&meta, index.meta());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_round_trips_entries_in_order() {
+        let dir = scratch_dir("journal");
+        let path = dir.join("deltas.journal");
+        let mut journal = DeltaJournal::open(&path).unwrap();
+        journal.append(0, "insert 1 2 0.5\n").unwrap();
+        journal.append(1, "delete 3 4\n").unwrap();
+        drop(journal);
+        // Reopening appends after the existing entries.
+        let mut journal = DeltaJournal::open(&path).unwrap();
+        journal.append(2, "reweight 5 6 0.25\n").unwrap();
+        assert_eq!(
+            DeltaJournal::read_entries(&path).unwrap(),
+            vec![
+                JournalEntry { applied_index: 0, text: "insert 1 2 0.5\n".into() },
+                JournalEntry { applied_index: 1, text: "delete 3 4\n".into() },
+                JournalEntry { applied_index: 2, text: "reweight 5 6 0.25\n".into() },
+            ]
+        );
+        DeltaJournal::clear(&path).unwrap();
+        assert!(DeltaJournal::read_entries(&path).unwrap().is_empty());
+        // Cleared journals keep accepting appends.
+        DeltaJournal::open(&path).unwrap().append(7, "insert 9 9 0.1\n").unwrap();
+        assert_eq!(DeltaJournal::read_entries(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_reads_stop_at_the_first_torn_entry() {
+        let dir = scratch_dir("torn");
+        let path = dir.join("deltas.journal");
+        let mut journal = DeltaJournal::open(&path).unwrap();
+        journal.append(0, "insert 1 2 0.5\n").unwrap();
+        journal.append(1, "delete 3 4\n").unwrap();
+        drop(journal);
+        let full = std::fs::read(&path).unwrap();
+        // Every truncation point keeps the intact prefix and drops the
+        // torn tail — never errors, never yields garbage.
+        let first_entry_end = 8 + 20 + "insert 1 2 0.5\n".len();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let entries = DeltaJournal::read_entries(&path).unwrap();
+            let expect = if cut >= full.len() {
+                2
+            } else if cut >= first_entry_end {
+                1
+            } else {
+                0
+            };
+            assert_eq!(entries.len(), expect, "cut at {cut}");
+        }
+        // A flipped bit inside an entry fails its checksum and stops
+        // the parse there.
+        let mut corrupt = full.clone();
+        let last = corrupt.len() - 10; // inside the second entry's text
+        corrupt[last] ^= 0x01;
+        std::fs::write(&path, &corrupt).unwrap();
+        assert_eq!(DeltaJournal::read_entries(&path).unwrap().len(), 1);
+        // A different magic is a loud error, not an empty journal.
+        std::fs::write(&path, b"NOTMAGIC").unwrap();
+        assert!(DeltaJournal::read_entries(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_reads_empty_and_clears_clean() {
+        let dir = scratch_dir("missing");
+        let path = dir.join("never-created.journal");
+        assert!(DeltaJournal::read_entries(&path).unwrap().is_empty());
+        DeltaJournal::clear(&path).unwrap();
+        assert!(!path.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Crash-safe snapshot persistence, proven the hard way: a save killed
+//! at **every** write point must leave the snapshot path holding either
+//! the previous complete generation or the new complete generation —
+//! never a torn file — and the next load must sweep the wreckage.
+//!
+//! The grid is exhaustive by construction: one clean save under a quiet
+//! fault plan counts its write points, then the save is replayed once
+//! per point with `kill_at_write_point` aimed at it. The kill aborts
+//! the save exactly where a `kill -9` would and the plan stays dead
+//! afterwards, so no "cleanup the crash could not have run" sneaks in.
+
+use imm_fault::FaultConfig;
+use imm_service::{snapshot_tmp_path, SketchIndex};
+
+/// A unique scratch directory under the system temp dir.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("imm-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small deterministic index whose identity is visible in its label.
+fn index(label: &str, num_nodes: usize) -> SketchIndex {
+    use imm_rrr::{AdaptivePolicy, RrrCollection};
+    let mut collection = RrrCollection::new(num_nodes);
+    for i in 0..48 {
+        let mut vertices =
+            vec![(i * 7 + 1) % num_nodes, (i * 13 + 3) % num_nodes, (i * 29 + 5) % num_nodes];
+        vertices.sort_unstable();
+        vertices.dedup();
+        collection.push_vertices(
+            vertices.into_iter().map(|v| v as u32).collect(),
+            &AdaptivePolicy::default(),
+        );
+    }
+    SketchIndex::from_collection(
+        collection,
+        imm_service::IndexMeta { num_edges: 123, label: label.to_string() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn save_killed_at_every_write_point_leaves_old_or_new_never_torn() {
+    let dir = scratch_dir("grid");
+    let path = dir.join("index.snap");
+    let old = index("old-generation", 64);
+    let new = index("new-generation", 64);
+
+    // Count the write points one clean save visits (the quiet plan
+    // injects nothing but keeps the counter).
+    let total = imm_fault::with_plan(FaultConfig::seeded(1), |plan| {
+        new.save_to_path(&path).unwrap();
+        plan.write_points()
+    });
+    assert!(total >= 3, "a save must visit several write points, found {total}");
+
+    let recoveries_before = imm_service::metrics::SNAPSHOT_RECOVERIES.value();
+    let mut tmp_leftovers = 0u64;
+    for point in 0..total {
+        // Reset: the old generation is durably on disk.
+        imm_fault::with_plan(FaultConfig::seeded(1), |_| old.save_to_path(&path).unwrap());
+
+        let result = imm_fault::with_plan(
+            FaultConfig { kill_at_write_point: Some(point), ..FaultConfig::seeded(1) },
+            |_| new.save_to_path(&path),
+        );
+        assert!(result.is_err(), "kill at write point {point} must abort the save");
+        if snapshot_tmp_path(&path).exists() {
+            tmp_leftovers += 1;
+        }
+
+        // Recovery: the path loads, is byte-complete, and is exactly
+        // one of the two generations.
+        let loaded = SketchIndex::load_from_path(&path)
+            .unwrap_or_else(|e| panic!("kill at write point {point} tore the snapshot: {e}"));
+        assert!(
+            loaded == old || loaded == new,
+            "kill at write point {point} produced a third generation ({})",
+            loaded.meta().label
+        );
+        assert!(
+            !snapshot_tmp_path(&path).exists(),
+            "load after kill at write point {point} must sweep the leftover temp file"
+        );
+    }
+    assert!(tmp_leftovers > 0, "some kill points must strand a temp file");
+    assert!(
+        imm_service::metrics::SNAPSHOT_RECOVERIES.value() >= recoveries_before + tmp_leftovers,
+        "every swept leftover must be counted as a recovery"
+    );
+
+    // One point past the grid: the save completes and the new
+    // generation is what loads.
+    imm_fault::with_plan(
+        FaultConfig { kill_at_write_point: Some(total + 1), ..FaultConfig::seeded(1) },
+        |_| new.save_to_path(&path).unwrap(),
+    );
+    assert_eq!(SketchIndex::load_from_path(&path).unwrap(), new);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn fsync_failures_abort_the_save_and_keep_the_old_generation() {
+    let dir = scratch_dir("fsync");
+    let path = dir.join("index.snap");
+    let old = index("old-generation", 64);
+    let new = index("new-generation", 64);
+    imm_fault::with_plan(FaultConfig::seeded(2), |_| old.save_to_path(&path).unwrap());
+
+    let result =
+        imm_fault::with_plan(FaultConfig { fsync_error: 1.0, ..FaultConfig::seeded(2) }, |_| {
+            new.save_to_path(&path)
+        });
+    assert!(result.is_err(), "a failed fsync must fail the save");
+    assert_eq!(
+        SketchIndex::load_from_path(&path).unwrap(),
+        old,
+        "an un-fsynced save must never replace the old generation"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partial_writes_do_not_corrupt_a_completed_save() {
+    let dir = scratch_dir("partial");
+    let path = dir.join("index.snap");
+    let new = index("new-generation", 64);
+    // Shortened writes are retried by the writer loop; the finished
+    // file must still be byte-complete.
+    imm_fault::with_plan(FaultConfig { io_partial: 1.0, ..FaultConfig::seeded(3) }, |plan| {
+        new.save_to_path(&path).unwrap();
+        assert!(plan.injected() > 0, "a certain partial rate must fire");
+    });
+    assert_eq!(SketchIndex::load_from_path(&path).unwrap(), new);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -30,17 +30,21 @@
 
 use crate::index::ShardedIndex;
 use crate::segment::ShardSegment;
-use imm_exec::{Pinned, PinnedPool, WakeMode};
+use imm_exec::{Pinned, PinnedPool, ScatterError, WakeMode};
 use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
 use imm_rrr::{BitSet, NodeId};
 use imm_service::{
-    serve_batch, serve_cached, CacheStats, DynamicError, Query, QueryCache, QueryResponse,
-    RefreshStats,
+    serve_batch, CacheStats, DynamicError, Query, QueryCache, QueryKey, QueryResponse, RefreshStats,
 };
 use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+
+/// Attempts for idempotent scatters before giving up: every retry first
+/// respawns dead workers, so only a plan injecting worker deaths at a
+/// sustained 100% rate can exhaust this.
+const SCATTER_RETRIES: usize = 8;
 
 /// Global id of an RRR set (its index in the shared collection).
 type GlobalSetId = u32;
@@ -287,6 +291,11 @@ struct DistributedGreedy {
     /// Recycled per-shard retire buffers (one per shard, reused each
     /// round so steady-state rounds allocate nothing).
     bufs: Vec<Vec<GlobalSetId>>,
+    /// Set when a scattered round failed mid-flight (a worker died with
+    /// retire responses in hand): the alive flags and the merged counts
+    /// may disagree, so the next greedy use must rebuild the session
+    /// from scratch before trusting either.
+    needs_reset: bool,
 }
 
 impl DistributedGreedy {
@@ -298,6 +307,7 @@ impl DistributedGreedy {
             covered_after: Vec::new(),
             seeds: Vec::new(),
             bufs: vec![Vec::new(); shards],
+            needs_reset: false,
         }
     }
 
@@ -417,7 +427,8 @@ impl ShardedEngine {
             })
             .collect();
         let pool = PinnedPool::with_wake_mode(cells, threads.max(1), wake);
-        let base_counts = merged_degrees(&pool, index.num_nodes());
+        let base_counts = merged_degrees(&pool, index.num_nodes())
+            .expect("degree scatter retries exhausted while constructing the engine");
         let merged_postings = (pool.num_workers() == 0).then(|| MergedPostings::build(&index));
         let greedy = Mutex::new(DistributedGreedy::from_merged(base_counts.clone(), pool.len()));
         ShardedEngine {
@@ -472,15 +483,25 @@ impl ShardedEngine {
         delta: &GraphDelta,
     ) -> Result<(CsrGraph, EdgeWeights, RefreshStats), DynamicError> {
         let shards = self.pool.len();
-        for response in self.pool.scatter((0..shards).map(|s| (s, ShardRequest::Release))) {
+        // Release/Install are idempotent, so worker deaths mid-rollout are
+        // retried (each retry respawns the dead worker first); only a plan
+        // injecting deaths at a sustained 100% rate can get past this, and
+        // then a loud panic beats silently serving half-installed cells.
+        let released = scatter_idempotent(&self.pool, |_| ShardRequest::Release)
+            .unwrap_or_else(|e| panic!("release scatter retries exhausted mid-refresh: {e}"));
+        for response in released {
             debug_assert!(matches!(response, ShardResponse::Unit));
         }
         let result = Arc::make_mut(&mut self.index).apply_delta(graph, weights, delta);
-        let install = |_: usize| ShardRequest::Install { index: Arc::clone(&self.index) };
-        for response in self.pool.scatter((0..shards).map(|s| (s, install(s)))) {
+        let installed = scatter_idempotent(&self.pool, |_| ShardRequest::Install {
+            index: Arc::clone(&self.index),
+        })
+        .unwrap_or_else(|e| panic!("install scatter retries exhausted mid-refresh: {e}"));
+        for response in installed {
             debug_assert!(matches!(response, ShardResponse::Unit));
         }
-        self.base_counts = merged_degrees(&self.pool, self.index.num_nodes());
+        self.base_counts = merged_degrees(&self.pool, self.index.num_nodes())
+            .expect("degree scatter retries exhausted mid-refresh");
         if self.merged_postings.is_some() {
             self.merged_postings = Some(MergedPostings::build(&self.index));
         }
@@ -490,12 +511,51 @@ impl ShardedEngine {
     }
 
     /// Answer one query, consulting the response cache first.
+    ///
+    /// Panics if the pinned pool lost workers beyond what its checked
+    /// twin [`try_execute`](Self::try_execute) could degrade — only
+    /// reachable under injected faults; fault-aware callers (the serving
+    /// daemon) use the checked API.
     pub fn execute(&self, query: &Query) -> QueryResponse {
-        serve_cached(&self.cache, query, || self.execute_uncached(query))
+        self.try_execute(query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Answer one query, consulting the response cache first; a worker
+    /// death mid-scatter degrades to a structured [`ScatterError`]
+    /// instead of a panic, and the engine heals itself on the next call
+    /// (dead workers respawn, dirty greedy sessions rebuild).
+    pub fn try_execute(&self, query: &Query) -> Result<QueryResponse, ScatterError> {
+        // Mirrors `imm_service::serve_cached`, except a failed compute
+        // must not be cached (and caches nothing in its place).
+        imm_service::metrics::QUERY_RATE.mark();
+        let key = QueryKey::from_query(query);
+        if let Some(hit) = self.cache.get(&key) {
+            imm_service::metrics::CACHE_HITS.increment();
+            return Ok(hit);
+        }
+        imm_service::metrics::CACHE_MISSES.increment();
+        let latency = match query {
+            Query::TopK { .. } => &imm_service::metrics::TOPK_LATENCY,
+            Query::Spread { .. } => &imm_service::metrics::SPREAD_LATENCY,
+            Query::Marginal { .. } => &imm_service::metrics::MARGINAL_LATENCY,
+        };
+        let response = latency.time(|| self.try_execute_uncached(query))?;
+        self.cache.insert(key, response.clone());
+        Ok(response)
     }
 
     /// Answer one query without touching the cache.
+    ///
+    /// Panics under unrecoverable worker loss, like
+    /// [`execute`](Self::execute); see
+    /// [`try_execute_uncached`](Self::try_execute_uncached).
     pub fn execute_uncached(&self, query: &Query) -> QueryResponse {
+        self.try_execute_uncached(query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Answer one query without touching the cache, degrading worker
+    /// deaths to structured errors.
+    pub fn try_execute_uncached(&self, query: &Query) -> Result<QueryResponse, ScatterError> {
         match query {
             Query::TopK { k, audience: None } => self.top_k(*k),
             Query::TopK { k, audience: Some(audience) } => self.masked_top_k(*k, audience),
@@ -506,8 +566,60 @@ impl ShardedEngine {
 
     /// Fan a batch of queries across the shared worker pool, preserving
     /// input order in the returned responses.
+    ///
+    /// Panics under unrecoverable worker loss, like
+    /// [`execute`](Self::execute); see
+    /// [`try_execute_batch`](Self::try_execute_batch).
     pub fn execute_batch(&self, queries: &[Query], threads: usize) -> Vec<QueryResponse> {
-        serve_batch(queries, threads, |query| self.execute(query))
+        self.try_execute_batch(queries, threads).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fan a batch of queries across the shared worker pool, preserving
+    /// input order. If any query hits a worker death the whole batch
+    /// reports the first [`ScatterError`] — per-query salvage is the
+    /// caller's policy (the serving daemon answers a structured degraded
+    /// error and lets clients retry against the healed pool).
+    pub fn try_execute_batch(
+        &self,
+        queries: &[Query],
+        threads: usize,
+    ) -> Result<Vec<QueryResponse>, ScatterError> {
+        let fault: Mutex<Option<ScatterError>> = Mutex::new(None);
+        let placeholder =
+            || QueryResponse::spread_from_tallies(0, self.index.num_sets(), self.index.num_nodes());
+        let responses = serve_batch(queries, threads, |query| match self.try_execute(query) {
+            Ok(response) => response,
+            Err(e) => {
+                fault.lock().get_or_insert(e);
+                placeholder()
+            }
+        });
+        let first_fault = fault.lock().take();
+        match first_fault {
+            None => Ok(responses),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Rebuild the persistent fresh greedy session when a failed retire
+    /// round left it dirty ([`DistributedGreedy::needs_reset`]): reinstall
+    /// the index on every cell (resetting the alive flags), rebuild the
+    /// merged counts and frontier from the base degrees, and drop the
+    /// cache. A no-op on a clean session. On failure the dirty flag
+    /// stays set, so the next call tries again.
+    fn ensure_fresh_session(&self, state: &mut DistributedGreedy) -> Result<(), ScatterError> {
+        if !state.needs_reset {
+            return Ok(());
+        }
+        let installed = scatter_idempotent(&self.pool, |_| ShardRequest::Install {
+            index: Arc::clone(&self.index),
+        })?;
+        for response in installed {
+            debug_assert!(matches!(response, ShardResponse::Unit));
+        }
+        *state = DistributedGreedy::from_merged(self.base_counts.clone(), self.pool.len());
+        self.cache.clear();
+        Ok(())
     }
 
     /// Run greedy rounds until `min(k, n)` seeds are selected; each round
@@ -517,11 +629,20 @@ impl ShardedEngine {
     /// locks are taken once and every round walks one merged postings
     /// list — identical arithmetic, no per-round envelopes, id buffers,
     /// or lock traffic, and a round cost independent of the shard count.
-    fn extend_to(&self, state: &mut DistributedGreedy, k: usize, session: Session) {
+    fn extend_to(
+        &self,
+        state: &mut DistributedGreedy,
+        k: usize,
+        session: Session,
+    ) -> Result<(), ScatterError> {
         match &self.merged_postings {
-            Some(postings) => self
-                .pool
-                .with_all_cells(|cells| self.extend_fused(state, k, session, cells, postings)),
+            // Zero workers: the serving thread does everything inline, so
+            // there is no worker to die — the fused path is infallible.
+            Some(postings) => {
+                self.pool
+                    .with_all_cells(|cells| self.extend_fused(state, k, session, cells, postings));
+                Ok(())
+            }
             None => self.extend_scattered(state, k, session),
         }
     }
@@ -594,8 +715,16 @@ impl ShardedEngine {
 
     /// Worker-pool greedy extension: each round scatters one retire
     /// request per shard over the pinned queues and walks the gathered
-    /// retire stream.
-    fn extend_scattered(&self, state: &mut DistributedGreedy, k: usize, session: Session) {
+    /// retire stream. A retire round is NOT idempotent — a worker death
+    /// mid-round loses responses whose alive flags already flipped — so a
+    /// failure marks the session dirty ([`DistributedGreedy::needs_reset`])
+    /// instead of retrying, and the next use rebuilds it from scratch.
+    fn extend_scattered(
+        &self,
+        state: &mut DistributedGreedy,
+        k: usize,
+        session: Session,
+    ) -> Result<(), ScatterError> {
         let n = self.index.num_nodes();
         let collection = self.index.collection();
         while state.seeds.len() < k.min(n) {
@@ -613,11 +742,23 @@ impl ShardedEngine {
             // back their global ids; gather decrements the merged counts.
             crate::metrics::GATHER_ROUNDS.increment();
             let bufs = std::mem::take(&mut state.bufs);
-            let responses = self.pool.scatter(
+            let responses = match self.pool.try_scatter(
                 bufs.into_iter()
                     .enumerate()
                     .map(|(s, buf)| (s, ShardRequest::Retire { vertex: best, session, buf })),
-            );
+            ) {
+                Ok(responses) => responses,
+                Err(e) => {
+                    // The round's retire stream is gone: shards that served
+                    // before the death already flipped alive flags the
+                    // merged counts never saw. Only a full session rebuild
+                    // reconciles them. The recycled buffers died with their
+                    // envelopes; restock so the rebuilt session can scatter.
+                    state.bufs = vec![Vec::new(); self.pool.len()];
+                    state.needs_reset = true;
+                    return Err(e);
+                }
+            };
             let mut covered = covered_so_far;
             for response in responses {
                 let buf = response.retired();
@@ -633,7 +774,7 @@ impl ShardedEngine {
                 "retiring every live set containing the seed zeroes its count"
             );
             debug_assert_eq!(
-                self.scattered_live_count(best, session),
+                self.scattered_live_count(best, session).unwrap_or(0),
                 0,
                 "shard alive flags agree with the merged counts"
             );
@@ -641,29 +782,33 @@ impl ShardedEngine {
             // Re-admit with the post-retirement merged count (zero).
             state.frontier.push((state.merged[best as usize], Reverse(best)));
         }
+        Ok(())
     }
 
     /// Sum of the shards' live counts for one vertex — the distributed
     /// revalidation probe, used to cross-check the merged counts.
-    fn scattered_live_count(&self, vertex: NodeId, session: Session) -> usize {
-        self.pool
-            .scatter((0..self.pool.len()).map(|s| (s, ShardRequest::LiveCount { vertex, session })))
-            .into_iter()
-            .map(ShardResponse::count)
-            .sum()
+    fn scattered_live_count(
+        &self,
+        vertex: NodeId,
+        session: Session,
+    ) -> Result<usize, ScatterError> {
+        let responses =
+            scatter_idempotent(&self.pool, |_| ShardRequest::LiveCount { vertex, session })?;
+        Ok(responses.into_iter().map(ShardResponse::count).sum())
     }
 
-    fn top_k(&self, k: usize) -> QueryResponse {
+    fn top_k(&self, k: usize) -> Result<QueryResponse, ScatterError> {
         let take = k.min(self.index.num_nodes());
         let mut state = self.greedy.lock();
-        self.extend_to(&mut state, k, Session::Fresh);
+        self.ensure_fresh_session(&mut state)?;
+        self.extend_to(&mut state, k, Session::Fresh)?;
         let seeds = state.seeds[..take].to_vec();
         let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
         drop(state);
-        self.topk_response(seeds, covered)
+        Ok(self.topk_response(seeds, covered))
     }
 
-    fn masked_top_k(&self, k: usize, audience: &BitSet) -> QueryResponse {
+    fn masked_top_k(&self, k: usize, audience: &BitSet) -> Result<QueryResponse, ScatterError> {
         // The masked session lives in the shard cells; holding the greedy
         // lock serializes it against both fresh Top-K and other masks.
         let _session = self.greedy.lock();
@@ -671,22 +816,27 @@ impl ShardedEngine {
         let n = self.index.num_nodes();
         let shards = self.pool.len();
         let mut merged = vec![0u64; n];
-        let init = self.pool.scatter(
-            (0..shards).map(|s| (s, ShardRequest::MaskedInit { audience: Arc::clone(&audience) })),
-        );
+        let init = scatter_idempotent(&self.pool, |_| ShardRequest::MaskedInit {
+            audience: Arc::clone(&audience),
+        })?;
         for response in init {
             for (v, c) in response.counts().into_iter().enumerate() {
                 merged[v] += c;
             }
         }
         let mut state = DistributedGreedy::from_merged(merged, shards);
-        self.extend_to(&mut state, k, Session::Masked);
-        for response in self.pool.scatter((0..shards).map(|s| (s, ShardRequest::MaskedClear))) {
+        let extended = self.extend_to(&mut state, k, Session::Masked);
+        // Close the masked session even when extension failed — MaskedClear
+        // is idempotent and a dirty masked session must not outlive the
+        // query (the throwaway greedy state dies here either way).
+        let cleared = scatter_idempotent(&self.pool, |_| ShardRequest::MaskedClear);
+        extended?;
+        for response in cleared? {
             debug_assert!(matches!(response, ShardResponse::Unit));
         }
         let take = k.min(n);
         let covered = if take == 0 { 0 } else { state.covered_after[take - 1] };
-        self.topk_response(state.seeds[..take].to_vec(), covered)
+        Ok(self.topk_response(state.seeds[..take].to_vec(), covered))
     }
 
     fn topk_response(&self, seeds: Vec<NodeId>, covered: usize) -> QueryResponse {
@@ -698,33 +848,54 @@ impl ShardedEngine {
         )
     }
 
-    fn spread(&self, seeds: &[NodeId]) -> QueryResponse {
+    fn spread(&self, seeds: &[NodeId]) -> Result<QueryResponse, ScatterError> {
         let seeds = Arc::new(seeds.to_vec());
-        let covered: usize = self
-            .pool
-            .scatter(
-                (0..self.pool.len())
-                    .map(|s| (s, ShardRequest::Spread { seeds: Arc::clone(&seeds) })),
-            )
-            .into_iter()
-            .map(ShardResponse::count)
-            .sum();
-        QueryResponse::spread_from_tallies(covered, self.index.num_sets(), self.index.num_nodes())
+        let covered: usize =
+            scatter_idempotent(&self.pool, |_| ShardRequest::Spread { seeds: Arc::clone(&seeds) })?
+                .into_iter()
+                .map(ShardResponse::count)
+                .sum();
+        Ok(QueryResponse::spread_from_tallies(
+            covered,
+            self.index.num_sets(),
+            self.index.num_nodes(),
+        ))
     }
 
-    fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> QueryResponse {
+    fn marginal(&self, seeds: &[NodeId], candidate: NodeId) -> Result<QueryResponse, ScatterError> {
         let seeds = Arc::new(seeds.to_vec());
-        let gained: usize = self
-            .pool
-            .scatter(
-                (0..self.pool.len())
-                    .map(|s| (s, ShardRequest::Marginal { seeds: Arc::clone(&seeds), candidate })),
-            )
-            .into_iter()
-            .map(ShardResponse::count)
-            .sum();
-        QueryResponse::marginal_from_tallies(gained, self.index.num_sets(), self.index.num_nodes())
+        let gained: usize = scatter_idempotent(&self.pool, |_| ShardRequest::Marginal {
+            seeds: Arc::clone(&seeds),
+            candidate,
+        })?
+        .into_iter()
+        .map(ShardResponse::count)
+        .sum();
+        Ok(QueryResponse::marginal_from_tallies(
+            gained,
+            self.index.num_sets(),
+            self.index.num_nodes(),
+        ))
     }
+}
+
+/// Scatter one request per shard, retrying on worker deaths. Only valid
+/// for *idempotent* requests (degrees, postings walks, install/release,
+/// session init/clear): a retry re-serves shards that already answered,
+/// which must not change their state beyond what a first serve does.
+/// Retire streams are NOT idempotent and never come through here.
+fn scatter_idempotent(
+    pool: &PinnedPool<ShardCell>,
+    make: impl Fn(usize) -> ShardRequest,
+) -> Result<Vec<ShardResponse>, ScatterError> {
+    let mut last = ScatterError { lost: 0 };
+    for _ in 0..SCATTER_RETRIES {
+        match pool.try_scatter((0..pool.len()).map(|s| (s, make(s)))) {
+            Ok(responses) => return Ok(responses),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
 }
 
 /// Merged per-vertex degrees across all shards: the fresh-session live
@@ -732,10 +903,13 @@ impl ShardedEngine {
 /// load-imbalance gauge — each shard's degree total *is* its postings
 /// work — so the gauge refreshes wherever the merged counts do (engine
 /// construction and delta refresh).
-fn merged_degrees(pool: &PinnedPool<ShardCell>, num_nodes: usize) -> Vec<u64> {
+fn merged_degrees(
+    pool: &PinnedPool<ShardCell>,
+    num_nodes: usize,
+) -> Result<Vec<u64>, ScatterError> {
     let mut merged = vec![0u64; num_nodes];
     let mut per_shard = Vec::with_capacity(pool.len());
-    for response in pool.scatter((0..pool.len()).map(|s| (s, ShardRequest::Degrees))) {
+    for response in scatter_idempotent(pool, |_| ShardRequest::Degrees)? {
         let counts = response.counts();
         per_shard.push(counts.iter().sum::<u64>());
         for (v, c) in counts.into_iter().enumerate() {
@@ -743,7 +917,7 @@ fn merged_degrees(pool: &PinnedPool<ShardCell>, num_nodes: usize) -> Vec<u64> {
         }
     }
     crate::metrics::record_shard_work(&per_shard);
-    merged
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -914,7 +1088,7 @@ mod tests {
         let state = engine.greedy.lock();
         for v in 0..6u32 {
             assert_eq!(
-                engine.scattered_live_count(v, Session::Fresh) as u64,
+                engine.scattered_live_count(v, Session::Fresh).unwrap() as u64,
                 state.merged[v as usize],
                 "vertex {v}"
             );

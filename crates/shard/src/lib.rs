@@ -66,7 +66,7 @@ pub mod segment;
 pub mod snapshot;
 
 pub use engine::ShardedEngine;
-pub use imm_exec::WakeMode;
+pub use imm_exec::{ScatterError, WakeMode};
 pub use index::ShardedIndex;
 pub use segment::{LocalSetId, ShardSegment};
 pub use snapshot::{
