@@ -43,6 +43,8 @@ pub fn register_workspace_metrics() {
     imm_service::metrics::register();
     imm_shard::metrics::register();
     imm_serve::metrics::register();
+    imm_store::metrics::register();
+    imm_numa::metrics::register();
 }
 
 /// One sample in the documented shape.

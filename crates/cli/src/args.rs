@@ -20,7 +20,7 @@ USAGE:
   efficient-imm compare     (--graph <FILE> | --dataset <NAME>) [--model ic|lt]
                             [--k <K>] [--epsilon <E>] [--threads <T>]
   efficient-imm stats       (--graph <FILE> | --dataset <NAME> | --index <FILE>)
-                            [--rrr-sets <N>] [--metrics]
+                            [--rrr-sets <N>] [--metrics] [--startup-timing]
   efficient-imm stats       --metrics --describe
   efficient-imm build-index (--graph <FILE> | --dataset <NAME>) --output <FILE>
                             [--model ic|lt] [--k <K>] [--epsilon <E>]
@@ -37,7 +37,7 @@ USAGE:
                             [--threads <T>] [--max-cost <C>]
                             [--max-inflight <N>] [--tick-ms <MS>]
                             [--idle-timeout-ms <MS>] [--deadline-ms <MS>]
-                            [--journal <FILE>]
+                            [--journal <FILE>] [--mmap]
   efficient-imm client      (--socket <PATH> | --tcp <ADDR>) [--wait-ms <MS>]
                             [--top-k <K1,K2,..>] [--audience <V1,V2,..>]
                             [--spread <V1,V2,..>] [--marginal <V1,V2,..:C>]
@@ -77,7 +77,12 @@ close); --deadline-ms bounds each query batch's execution, answering the
 queries the deadline cut with structured deadline-exceeded rejections;
 --journal appends every accepted apply-delta rollout to a crash-safe
 delta journal before the new index swaps in, and replays unsnapshotted
-entries from it at startup. `client` dials a running daemon: query flags
+entries from it at startup; --mmap serves the snapshot zero-copy from a
+memory mapping (v4 snapshots on little-endian Linux; anything else falls
+back to the checksummed read-decode load, counted by
+store_mmap_fallbacks), cutting time-to-first-query from whole-file decode
+to head-page parsing. `stats --index <FILE> --startup-timing` prints the
+open/map/decode/first-query phase breakdown of both load paths. `client` dials a running daemon: query flags
 mirror `query` and print the same response JSON (remote answers are
 byte-identical to in-process serving); --ping/--info/--metrics/--shutdown
 drive the control verbs; --apply-delta sends a delta file through a
@@ -157,6 +162,10 @@ pub struct StatsArgs {
     pub metrics: bool,
     /// Print the metric catalog (markdown) instead of graph statistics.
     pub describe: bool,
+    /// Measure and print the snapshot's startup phase breakdown
+    /// (open/map/decode/first-query, mapped vs. read-decode). Requires
+    /// `--index`.
+    pub startup_timing: bool,
 }
 
 /// Parsed `build-index` options.
@@ -254,6 +263,9 @@ pub struct ServeArgs {
     /// Crash-safe delta journal path: accepted rollouts are appended
     /// before the swap and replayed at startup (absent → no journal).
     pub journal: Option<String>,
+    /// Serve the snapshot zero-copy from a memory mapping (fallback to
+    /// read-decode when the file or platform cannot be mapped).
+    pub mmap: bool,
 }
 
 /// The query batch a `client` invocation sends, in `query`-flag form.
@@ -522,7 +534,11 @@ fn parse_listen(flags: &Flags, command: &str) -> Result<Listen, String> {
 }
 
 fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
-    let flags = Flags::parse(args)?;
+    // `--mmap` is a valueless flag; strip it before the `--flag value`
+    // pairing pass.
+    let mmap = args.iter().any(|a| a == "--mmap");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--mmap").cloned().collect();
+    let flags = Flags::parse(&args)?;
     let listen = parse_listen(&flags, "serve")?;
     let source = match (flags.get("--graph"), flags.get("--dataset")) {
         (Some(path), None) => Some(GraphSource::File(path.to_string())),
@@ -555,6 +571,7 @@ fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
         idle_timeout_ms,
         deadline_ms,
         journal: flags.get("--journal").map(|s| s.to_string()),
+        mmap,
     })
 }
 
@@ -637,12 +654,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "run" => Ok(Command::Run(parse_run(rest)?)),
         "compare" => Ok(Command::Compare(parse_run(rest)?)),
         "stats" => {
-            // `--metrics` / `--describe` are valueless flags; strip them
-            // before the `--flag value` pairing pass.
+            // `--metrics` / `--describe` / `--startup-timing` are valueless
+            // flags; strip them before the `--flag value` pairing pass.
             let metrics = rest.iter().any(|a| a == "--metrics");
             let describe = rest.iter().any(|a| a == "--describe");
+            let startup_timing = rest.iter().any(|a| a == "--startup-timing");
+            let valueless = ["--metrics", "--describe", "--startup-timing"];
             let rest: Vec<String> =
-                rest.iter().filter(|a| *a != "--metrics" && *a != "--describe").cloned().collect();
+                rest.iter().filter(|a| !valueless.contains(&a.as_str())).cloned().collect();
             if describe {
                 // The catalog is pure registry metadata: no graph, no
                 // sample. Anything else on the line would be silently
@@ -653,6 +672,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             .into(),
                     );
                 }
+                if startup_timing {
+                    return Err("--describe takes no other flags, got '--startup-timing'".into());
+                }
                 if !rest.is_empty() {
                     return Err(format!("--describe takes no other flags, got '{}'", rest[0]));
                 }
@@ -662,10 +684,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     index: None,
                     metrics,
                     describe,
+                    startup_timing: false,
                 }));
             }
             let flags = Flags::parse(&rest)?;
             let index = flags.get("--index").map(|s| s.to_string());
+            if startup_timing && index.is_none() {
+                // The breakdown times opening a snapshot file; sampling a
+                // fresh index has no open/map/decode phases to measure.
+                return Err("--startup-timing times a snapshot load; pass --index <FILE>".into());
+            }
             if index.is_some() {
                 // A snapshot already fixes the graph and the sample; a second
                 // source (or a sample size) would be silently ignored, so
@@ -681,6 +709,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     index,
                     metrics,
                     describe: false,
+                    startup_timing,
                 }));
             }
             Ok(Command::Stats(StatsArgs {
@@ -689,6 +718,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 index: None,
                 metrics,
                 describe: false,
+                startup_timing: false,
             }))
         }
         "build-index" => {
@@ -814,6 +844,7 @@ mod tests {
                 index: None,
                 metrics: false,
                 describe: false,
+                startup_timing: false,
             })
         );
         let cmd = parse(&sv(&["compare", "--dataset", "com-Amazon"])).unwrap();
@@ -831,6 +862,7 @@ mod tests {
                 index: Some("g.sketch".into()),
                 metrics: false,
                 describe: false,
+                startup_timing: false,
             })
         );
         // With neither index nor source, stats is still an error.
@@ -860,6 +892,21 @@ mod tests {
             Command::Stats(s) => assert!(s.metrics && s.index.is_some()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_startup_timing_requires_an_index() {
+        match parse(&sv(&["stats", "--index", "g.sketch", "--startup-timing"])).unwrap() {
+            Command::Stats(s) => {
+                assert!(s.startup_timing);
+                assert_eq!(s.index.as_deref(), Some("g.sketch"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The breakdown measures a snapshot load: no snapshot, nothing to time.
+        assert!(parse(&sv(&["stats", "--graph", "g.txt", "--startup-timing"])).is_err());
+        assert!(parse(&sv(&["stats", "--startup-timing"])).is_err());
+        assert!(parse(&sv(&["stats", "--metrics", "--describe", "--startup-timing"])).is_err());
     }
 
     #[test]
@@ -1081,6 +1128,7 @@ mod tests {
             "250",
             "--journal",
             "g.journal",
+            "--mmap",
         ]))
         .unwrap();
         assert_eq!(
@@ -1097,6 +1145,7 @@ mod tests {
                 idle_timeout_ms: Some(4000),
                 deadline_ms: Some(250),
                 journal: Some("g.journal".into()),
+                mmap: true,
             })
         );
         assert_eq!(pool_threads(&cmd), Some(3));
@@ -1123,6 +1172,7 @@ mod tests {
                 assert_eq!(args.idle_timeout_ms, None, "idle shedding is opt-in");
                 assert_eq!(args.deadline_ms, None, "batch deadlines are opt-in");
                 assert_eq!(args.journal, None, "journaling is opt-in");
+                assert!(!args.mmap, "mapped serving is opt-in");
             }
             other => panic!("expected serve, got {other:?}"),
         }

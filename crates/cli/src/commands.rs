@@ -554,8 +554,29 @@ fn query(args: &QueryArgs) -> Result<(), CliError> {
 /// `apply-delta` rollouts. Without a source the daemon serves statically
 /// and answers rollout requests with a structured `not-dynamic` error.
 fn serve(args: &ServeArgs) -> Result<(), CliError> {
-    let mut index = SketchIndex::load_from_path(&args.index)
-        .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+    // `--mmap` serves borrowed views into the mapping (falling back to
+    // read-decode with a counted `store_mmap_fallbacks` if the file or
+    // platform cannot map). Before the index moves into its shards, advise
+    // the kernel about each shard's arena range — the set ranges are the
+    // same near-equal contiguous partition `ShardedIndex::from_parts`
+    // computes.
+    let (mut index, load_mode) = if args.mmap {
+        let opened = imm_store::Store::open(&args.index)
+            .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+        let theta = opened.index.sets().len();
+        let ranges: Vec<(usize, usize)> = (0..args.shards)
+            .map(|i| {
+                let start = i * theta / args.shards;
+                (start, (i + 1) * theta / args.shards - start)
+            })
+            .collect();
+        opened.advise_shard_ranges(&ranges);
+        (opened.index, opened.mode)
+    } else {
+        let index = SketchIndex::load_from_path(&args.index)
+            .map_err(|e| format!("cannot load {}: {e}", args.index))?;
+        (index, imm_store::LoadMode::ReadDecode)
+    };
 
     let journal_path = args.journal.as_ref().map(std::path::PathBuf::from);
     if journal_path.is_some() && args.source.is_none() {
@@ -654,12 +675,13 @@ fn serve(args: &ServeArgs) -> Result<(), CliError> {
         println!("replayed {journal_replayed} pending journal entries");
     }
     println!(
-        "serving {} on {} ({} shards, {} threads, dynamic: {})",
+        "serving {} on {} ({} shards, {} threads, dynamic: {}, load: {})",
         args.index,
         handle.address(),
         args.shards,
         args.threads,
-        dynamic_enabled
+        dynamic_enabled,
+        load_mode.as_str()
     );
     handle.join().map_err(|_| "the daemon's accept loop panicked".to_string())
 }
@@ -884,6 +906,43 @@ fn stats_from_index(path: &str, metrics: bool) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Time one load path end to end: the store's per-phase open timings plus
+/// the first (uncached) query served from the freshly opened index —
+/// together the path's time-to-first-query.
+fn startup_phase_json(opened: imm_store::OpenedIndex) -> serde_json::Value {
+    let timings = opened.timings;
+    let mapped_bytes = opened.mapped_len();
+    let engine = QueryEngine::new(Arc::new(opened.index));
+    let t_query = Instant::now();
+    let _ = engine.execute_uncached(&Query::top_k(1));
+    let first_query_ns = t_query.elapsed().as_nanos() as u64;
+    serde_json::json!({
+        "mode": opened.mode.as_str(),
+        "mapped_bytes": mapped_bytes,
+        "open_ns": timings.open_ns,
+        "map_ns": timings.map_ns,
+        "decode_ns": timings.decode_ns,
+        "first_query_ns": first_query_ns,
+        "time_to_first_query_ns": timings.total_ns() + first_query_ns,
+    })
+}
+
+/// `stats --index <FILE> --startup-timing`: open the snapshot through both
+/// store paths and print each one's open/map/decode/first-query phase
+/// breakdown, so the mmap win (and the fallback cost) is measurable on the
+/// exact file a daemon would serve.
+fn startup_timing_from_index(path: &str, metrics: bool) -> Result<(), CliError> {
+    let mapped = imm_store::Store::open(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let read = imm_store::Store::open_read(path).map_err(|e| format!("cannot load {path}: {e}"))?;
+    let json = serde_json::json!({
+        "snapshot": path,
+        "mapped": startup_phase_json(mapped),
+        "read_decode": startup_phase_json(read),
+    });
+    print_stats(json, metrics);
+    Ok(())
+}
+
 fn stats(args: &StatsArgs) -> Result<(), CliError> {
     if args.describe {
         // The catalog is registry metadata only — no graph, no sampling.
@@ -893,6 +952,9 @@ fn stats(args: &StatsArgs) -> Result<(), CliError> {
         return Ok(());
     }
     if let Some(path) = &args.index {
+        if args.startup_timing {
+            return startup_timing_from_index(path, args.metrics);
+        }
         return stats_from_index(path, args.metrics);
     }
     let source = args.source.as_ref().ok_or("stats needs a graph source or an --index snapshot")?;
@@ -1040,6 +1102,7 @@ mod tests {
             index: None,
             metrics: true,
             describe: false,
+            startup_timing: false,
         }))
         .unwrap();
         std::fs::remove_file(&graph_path).ok();
@@ -1082,6 +1145,19 @@ mod tests {
             index: Some(snapshot_path.to_string_lossy().into_owned()),
             metrics: false,
             describe: false,
+            startup_timing: false,
+        }))
+        .unwrap();
+
+        // The startup breakdown opens the same snapshot through both store
+        // paths and times each phase.
+        execute(Command::Stats(StatsArgs {
+            source: None,
+            rrr_sets: 0,
+            index: Some(snapshot_path.to_string_lossy().into_owned()),
+            metrics: false,
+            describe: false,
+            startup_timing: true,
         }))
         .unwrap();
         std::fs::remove_file(&snapshot_path).ok();
@@ -1306,6 +1382,9 @@ mod tests {
             idle_timeout_ms: None,
             deadline_ms: None,
             journal: None,
+            // Serve from the mapping so the round trip covers the zero-copy
+            // path (falls back, still serving, where mmap is unavailable).
+            mmap: true,
         };
         let daemon = std::thread::spawn(move || execute(Command::Serve(serve_args)));
 

@@ -37,4 +37,4 @@ pub mod spsc;
 
 pub use executor::{configure_global, default_threads, global, Executor, GlobalPoolError, Scope};
 pub use metrics::{MetricSample, QueueDepthSampler};
-pub use pinned::{Pinned, PinnedPool, ScatterError, WakeMode};
+pub use pinned::{Pinned, PinnedPool, PoolPlacement, ScatterError, WakeMode};

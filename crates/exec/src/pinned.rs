@@ -78,6 +78,63 @@ pub enum WakeMode {
     Never,
 }
 
+/// NUMA placement directives for a pinned pool, assembled by the caller.
+///
+/// Exec deliberately knows nothing about machine topology (the vendored
+/// `rayon` shim delegates onto this crate, so a dependency on the
+/// topology layer would be circular). The caller — the sharded engine —
+/// detects the topology, decides which node each worker and cell belongs
+/// to, and hands this plain-data record down. The pool then:
+///
+/// * runs `on_worker_start(w)` on each worker thread as it starts
+///   (including supervised respawns) — the hook is where the caller pins
+///   the thread to its placed core;
+/// * after each served request, increments `local` when the serving
+///   worker's node matches the cell's node and `remote` otherwise. The
+///   scattering thread's inline and help-drain serves always count as
+///   `remote`: they run wherever the caller happens to be scheduled.
+pub struct PoolPlacement {
+    /// NUMA node of each worker thread, indexed by worker slot.
+    pub worker_node: Vec<usize>,
+    /// NUMA node each cell's data is placed on, indexed by cell.
+    pub cell_node: Vec<usize>,
+    /// Incremented when a cell is served by a worker on its own node.
+    pub local: &'static Counter,
+    /// Incremented when a cell is served cross-node (or inline).
+    pub remote: &'static Counter,
+    /// Runs on each worker thread before its serve loop (pinning hook).
+    pub on_worker_start: Option<Arc<dyn Fn(usize) + Send + Sync>>,
+}
+
+impl PoolPlacement {
+    /// Whether worker `w` serving cell `ci` is a node-local access.
+    fn is_local(&self, worker: usize, cell: usize) -> bool {
+        match (self.worker_node.get(worker), self.cell_node.get(cell)) {
+            (Some(w), Some(c)) => w == c,
+            _ => false,
+        }
+    }
+
+    /// Count one serve of `cell` by worker `worker`.
+    fn count_worker_serve(&self, worker: usize, cell: usize) {
+        if self.is_local(worker, cell) {
+            self.local.increment();
+        } else {
+            self.remote.increment();
+        }
+    }
+}
+
+impl fmt::Debug for PoolPlacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolPlacement")
+            .field("worker_node", &self.worker_node)
+            .field("cell_node", &self.cell_node)
+            .field("on_worker_start", &self.on_worker_start.is_some())
+            .finish()
+    }
+}
+
 /// A scatter that could not complete because worker threads died while
 /// holding its envelopes. The affected response slots are gone; the
 /// pool itself stays healthy and respawns the workers on the next
@@ -251,6 +308,7 @@ fn pinned_worker_loop<P: Pinned>(
     stride: usize,
     parked: Arc<AtomicBool>,
     shutdown: Arc<AtomicBool>,
+    placement: Option<Arc<PoolPlacement>>,
 ) {
     let owned = || (worker..cells.len()).step_by(stride);
     loop {
@@ -264,6 +322,9 @@ fn pinned_worker_loop<P: Pinned>(
                 // supervision path exists to absorb.
                 imm_fault::worker_panic_point("exec.pinned.worker");
                 serve_one(&mut inner, envelope, &metrics::PINNED_SERVED_WORKER);
+                if let Some(p) = &placement {
+                    p.count_worker_serve(worker, ci);
+                }
                 progressed = true;
             }
         }
@@ -299,6 +360,7 @@ pub struct PinnedPool<P: Pinned> {
     deaths: Arc<Deaths>,
     restarts: AtomicU64,
     mode: WakeMode,
+    placement: Option<Arc<PoolPlacement>>,
 }
 
 fn spawn_pinned_worker<P: Pinned>(
@@ -307,6 +369,7 @@ fn spawn_pinned_worker<P: Pinned>(
     cells: &Arc<[Cell<P>]>,
     shutdown: &Arc<AtomicBool>,
     deaths: &Arc<Deaths>,
+    placement: Option<&Arc<PoolPlacement>>,
 ) -> PinnedWorker {
     let parked = Arc::new(AtomicBool::new(false));
     let handle = thread::Builder::new()
@@ -316,9 +379,13 @@ fn spawn_pinned_worker<P: Pinned>(
             let parked = Arc::clone(&parked);
             let shutdown = Arc::clone(shutdown);
             let deaths = Arc::clone(deaths);
+            let placement = placement.map(Arc::clone);
             move || {
                 let _sentinel = DeathSentinel { worker: w, deaths };
-                pinned_worker_loop(cells, w, stride, parked, shutdown)
+                if let Some(hook) = placement.as_ref().and_then(|p| p.on_worker_start.as_ref()) {
+                    hook(w);
+                }
+                pinned_worker_loop(cells, w, stride, parked, shutdown, placement)
             }
         })
         .expect("spawn imm-pin worker");
@@ -334,7 +401,19 @@ impl<P: Pinned> PinnedPool<P> {
 
     /// Pool with an explicit worker wake policy.
     pub fn with_wake_mode(states: Vec<P>, threads: usize, mode: WakeMode) -> Self {
+        Self::with_placement(states, threads, mode, None)
+    }
+
+    /// Pool with an explicit wake policy and optional NUMA placement.
+    /// See [`PoolPlacement`] for what the placement record drives.
+    pub fn with_placement(
+        states: Vec<P>,
+        threads: usize,
+        mode: WakeMode,
+        placement: Option<PoolPlacement>,
+    ) -> Self {
         crate::metrics::register();
+        let placement = placement.map(Arc::new);
         let cells: Arc<[Cell<P>]> = states
             .into_iter()
             .map(|pinned| Cell { inner: Mutex::new(CellInner { pinned, queue: VecDeque::new() }) })
@@ -348,7 +427,9 @@ impl<P: Pinned> PinnedPool<P> {
         let shutdown = Arc::new(AtomicBool::new(false));
         let deaths = Arc::new(Deaths::new());
         let workers = (0..worker_count)
-            .map(|w| spawn_pinned_worker(w, worker_count, &cells, &shutdown, &deaths))
+            .map(|w| {
+                spawn_pinned_worker(w, worker_count, &cells, &shutdown, &deaths, placement.as_ref())
+            })
             .collect();
         PinnedPool {
             cells,
@@ -358,6 +439,7 @@ impl<P: Pinned> PinnedPool<P> {
             deaths,
             restarts: AtomicU64::new(0),
             mode,
+            placement,
         }
     }
 
@@ -383,6 +465,7 @@ impl<P: Pinned> PinnedPool<P> {
                 &self.cells,
                 &self.shutdown,
                 &self.deaths,
+                self.placement.as_ref(),
             );
             let old = std::mem::replace(&mut workers[w], fresh);
             if let Some(handle) = old.join {
@@ -505,6 +588,10 @@ impl<P: Pinned> PinnedPool<P> {
             }
         }
         metrics::PINNED_SERVED_INLINE.add(served);
+        if let Some(p) = &self.placement {
+            // The calling thread is unplaced: inline serves are remote.
+            p.remote.add(served);
+        }
         if let Some(payload) = first_panic {
             panic::resume_unwind(payload);
         }
@@ -550,6 +637,10 @@ impl<P: Pinned> PinnedPool<P> {
             let mut inner = self.cells[cell].lock();
             while let Some(envelope) = inner.queue.pop_front() {
                 serve_one(&mut inner, envelope, &metrics::PINNED_SERVED_INLINE);
+                if let Some(p) = &self.placement {
+                    // Help-drain runs on the unplaced gathering thread.
+                    p.remote.increment();
+                }
             }
         }
         // Wait out in-flight envelopes held by workers.
@@ -698,5 +789,147 @@ mod tests {
         assert_eq!(pool.queue_depths(), vec![0, 0, 0]);
         assert_eq!(pool.len(), 3);
         assert!(!pool.is_empty());
+    }
+
+    static TEST_LOCAL: Counter = Counter::new("test_placement_local", "test-only local counter");
+    static TEST_REMOTE: Counter = Counter::new("test_placement_remote", "test-only remote counter");
+
+    fn two_node_placement(hook: Option<Arc<dyn Fn(usize) + Send + Sync>>) -> PoolPlacement {
+        // Two workers on nodes 0/1; four cells alternating between them.
+        PoolPlacement {
+            worker_node: vec![0, 1],
+            cell_node: vec![0, 1, 0, 1],
+            local: &TEST_LOCAL,
+            remote: &TEST_REMOTE,
+            on_worker_start: hook,
+        }
+    }
+
+    #[test]
+    fn placement_runs_the_start_hook_on_every_worker() {
+        use std::collections::HashSet;
+        let started: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+        let hook = {
+            let started = Arc::clone(&started);
+            Arc::new(move |w: usize| {
+                started.lock().unwrap().insert(w);
+            }) as Arc<dyn Fn(usize) + Send + Sync>
+        };
+        let pool = PinnedPool::with_placement(
+            adders(4),
+            3,
+            WakeMode::Always,
+            Some(two_node_placement(Some(hook))),
+        );
+        assert_eq!(pool.num_workers(), 2);
+        // Serve a round so both workers have certainly started and the
+        // hook set is stable before we read it.
+        pool.scatter((0..4).map(|c| (c, 1)));
+        // The hook runs on thread start, before any serving; after a full
+        // scatter both workers exist (they may still be mid-hook only if
+        // they never served, which the scatter above rules out for at
+        // least one — poll briefly for the pair).
+        for _ in 0..100 {
+            if started.lock().unwrap().len() == 2 {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(*started.lock().unwrap(), HashSet::from([0, 1]));
+    }
+
+    #[test]
+    fn placement_counts_every_serve_as_local_or_remote() {
+        if !imm_obs::recording_enabled() {
+            return;
+        }
+        let pool = PinnedPool::with_placement(
+            adders(4),
+            3,
+            WakeMode::Always,
+            Some(two_node_placement(None)),
+        );
+        let local_before = TEST_LOCAL.value();
+        let remote_before = TEST_REMOTE.value();
+        let rounds = 50u64;
+        for round in 0..rounds {
+            pool.scatter((0..4).map(|c| (c, round)));
+        }
+        let counted = (TEST_LOCAL.value() - local_before) + (TEST_REMOTE.value() - remote_before);
+        assert_eq!(counted, rounds * 4, "every serve lands in exactly one bucket");
+    }
+
+    #[test]
+    fn inline_pools_count_placed_serves_as_remote() {
+        if !imm_obs::recording_enabled() {
+            return;
+        }
+        let placement = PoolPlacement {
+            worker_node: Vec::new(),
+            cell_node: vec![0, 1],
+            local: &TEST_LOCAL,
+            remote: &TEST_REMOTE,
+            on_worker_start: None,
+        };
+        let pool = PinnedPool::with_placement(adders(2), 1, WakeMode::Never, Some(placement));
+        let local_before = TEST_LOCAL.value();
+        let remote_before = TEST_REMOTE.value();
+        pool.scatter(vec![(0, 1), (1, 2), (0, 3)]);
+        assert_eq!(TEST_LOCAL.value(), local_before, "no placed workers, nothing is local");
+        assert_eq!(TEST_REMOTE.value(), remote_before + 3);
+    }
+
+    #[test]
+    fn placement_survives_supervised_respawn() {
+        use std::sync::atomic::AtomicUsize;
+        let starts = Arc::new(AtomicUsize::new(0));
+        let hook = {
+            let starts = Arc::clone(&starts);
+            Arc::new(move |_w: usize| {
+                starts.fetch_add(1, Ordering::SeqCst);
+            }) as Arc<dyn Fn(usize) + Send + Sync>
+        };
+        let pool = PinnedPool::with_placement(
+            adders(2),
+            2,
+            WakeMode::Always,
+            Some(PoolPlacement {
+                worker_node: vec![0],
+                cell_node: vec![0, 0],
+                local: &TEST_LOCAL,
+                remote: &TEST_REMOTE,
+                on_worker_start: Some(hook),
+            }),
+        );
+        assert_eq!(pool.num_workers(), 1);
+        let before = starts.load(Ordering::SeqCst);
+        // Kill the worker thread with an injected loop fault, then
+        // scatter: supervision respawns it and the hook must run again.
+        imm_fault::with_plan(
+            imm_fault::FaultConfig {
+                worker_panic: 1.0,
+                max_faults: 1,
+                ..imm_fault::FaultConfig::seeded(11)
+            },
+            |_| {
+                let _ = pool.try_scatter(vec![(0, 1), (1, 2)]);
+                // Respawn happens at the top of the next scatter.
+                for _ in 0..100 {
+                    if pool.worker_restarts() > 0 {
+                        break;
+                    }
+                    let _ = pool.try_scatter(vec![(0, 1)]);
+                    thread::sleep(std::time::Duration::from_millis(1));
+                }
+            },
+        );
+        assert!(pool.worker_restarts() > 0, "the injected fault must kill a worker");
+        for _ in 0..100 {
+            if starts.load(Ordering::SeqCst) > before {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(starts.load(Ordering::SeqCst) > before, "respawned worker re-runs the hook");
     }
 }

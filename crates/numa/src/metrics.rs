@@ -1,0 +1,111 @@
+//! NUMA placement observability: `numa_*` counters and gauges.
+//!
+//! The placement layer is advisory — on a single-node machine (or a
+//! non-Linux target) the sharded runtime falls back to unplaced workers —
+//! so these metrics are the only way to *see* which regime a process is
+//! in. `numa_topology_nodes` says what the machine looks like,
+//! `numa_worker_pinnings` / `numa_single_node_fallbacks` say what the
+//! runtime did about it, and the local/remote access counters say whether
+//! the placement actually worked (shard cells served by their own node's
+//! worker vs. stolen cross-node).
+
+use std::sync::Once;
+
+pub use imm_obs::Counter;
+use imm_obs::{Gauge, Metric, Unit};
+
+/// NUMA nodes the detected (or injected) topology exposes. `1` means the
+/// placement layer is in its explicit single-node fallback regime.
+pub static TOPOLOGY_NODES: Gauge = Gauge::new(
+    "numa_topology_nodes",
+    "NUMA nodes in the topology the sharded runtime placed workers on",
+    Unit::Count,
+);
+
+/// Shard workers pinned to a core by the placement layer (counts pin
+/// attempts on worker start, including supervised respawns).
+pub static WORKER_PINNINGS: Counter = Counter::new(
+    "numa_worker_pinnings",
+    "Shard worker threads pinned to a NUMA-placed core on start",
+);
+
+/// Pinned requests served by a worker on the same node as the shard's
+/// placement — the placement hit counter.
+pub static LOCAL_ACCESSES: Counter = Counter::new(
+    "numa_local_accesses",
+    "Shard requests served by a worker on the shard's own NUMA node",
+);
+
+/// Pinned requests served cross-node (a remote worker, the gathering
+/// thread's inline path, or help-draining) — the placement miss counter.
+pub static REMOTE_ACCESSES: Counter = Counter::new(
+    "numa_remote_accesses",
+    "Shard requests served from a different NUMA node than the shard's placement",
+);
+
+/// Times the runtime skipped placement because the topology has a single
+/// node. The acceptance signal on machines without NUMA hardware.
+pub static SINGLE_NODE_FALLBACKS: Counter = Counter::new(
+    "numa_single_node_fallbacks",
+    "Shard runtimes that skipped NUMA placement on a single-node topology",
+);
+
+/// Per-shard scratch regions placed node-locally (marks bitmaps and
+/// other worker-private working sets).
+pub static SCRATCH_REGIONS: Counter = Counter::new(
+    "numa_scratch_regions",
+    "Per-shard scratch regions placed on the owning worker's NUMA node",
+);
+
+/// Every counter this crate exports, in registration order.
+pub fn registry() -> Vec<&'static Counter> {
+    vec![
+        &WORKER_PINNINGS,
+        &LOCAL_ACCESSES,
+        &REMOTE_ACCESSES,
+        &SINGLE_NODE_FALLBACKS,
+        &SCRATCH_REGIONS,
+    ]
+}
+
+/// Register the `numa_*` metrics with the process-global `imm-obs`
+/// registry. Idempotent; called when a topology is detected, never on a
+/// hot path.
+pub fn register() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let mut metrics: Vec<&'static dyn Metric> =
+            registry().into_iter().map(|c| c as &'static dyn Metric).collect();
+        metrics.push(&TOPOLOGY_NODES as &'static dyn Metric);
+        imm_obs::register(&metrics);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_prefixed_and_unique() {
+        let mut names: Vec<&str> = registry().iter().map(|c| c.name()).collect();
+        names.push(TOPOLOGY_NODES.name());
+        for name in &names {
+            assert!(name.starts_with("numa_"), "{name} must carry the numa_ prefix");
+        }
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "metric names must be unique");
+    }
+
+    #[test]
+    fn register_feeds_the_global_obs_registry() {
+        register();
+        register(); // idempotent
+        let names: Vec<&str> = imm_obs::snapshot().iter().map(|s| s.name).collect();
+        for c in registry() {
+            assert!(names.contains(&c.name()), "{} missing from imm-obs registry", c.name());
+        }
+        assert!(names.contains(&TOPOLOGY_NODES.name()));
+    }
+}

@@ -27,9 +27,61 @@
 //! *maximum* fraction of graph vertices covered by a single RRR set; those
 //! numbers come straight out of [`RrrCollection::coverage_stats`].
 
+use std::sync::Arc;
+
 use crate::bitset::{BitSet, BitSetIter};
 use crate::set::{AdaptivePolicy, Representation, RrrSet};
 use crate::NodeId;
+
+/// Read-only provider of a vertex arena that outlives the collection
+/// borrowing from it. `imm-store` implements this over the page-aligned
+/// arena section of a memory-mapped snapshot; the contract is only that the
+/// slice stays valid and immutable for the provider's lifetime.
+pub trait ArenaSource: Send + Sync + std::panic::RefUnwindSafe + std::fmt::Debug {
+    /// The backing vertex arena.
+    fn nodes(&self) -> &[NodeId];
+}
+
+/// Backing storage of a collection's vertex arena.
+#[derive(Debug, Clone)]
+enum ArenaStore {
+    /// Heap-owned arena (the default, build-time form).
+    Owned(Vec<NodeId>),
+    /// Arena borrowed wholesale from a shared read-only buffer.
+    Shared(Arc<dyn ArenaSource>),
+}
+
+impl Default for ArenaStore {
+    fn default() -> Self {
+        ArenaStore::Owned(Vec::new())
+    }
+}
+
+impl ArenaStore {
+    #[inline]
+    fn as_slice(&self) -> &[NodeId] {
+        match self {
+            ArenaStore::Owned(v) => v,
+            ArenaStore::Shared(s) => s.nodes(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Copy-on-write: materialize an owned `Vec` (no-op when already owned).
+    fn make_owned(&mut self) -> &mut Vec<NodeId> {
+        if let ArenaStore::Shared(s) = self {
+            *self = ArenaStore::Owned(s.nodes().to_vec());
+        }
+        match self {
+            ArenaStore::Owned(v) => v,
+            ArenaStore::Shared(_) => unreachable!("just converted to owned"),
+        }
+    }
+}
 
 /// Sentinel in a span's `bitmap` field: the set has no side-table entry.
 const NO_BITMAP: u32 = u32::MAX;
@@ -225,8 +277,10 @@ impl Iterator for SetIter<'_> {
 #[derive(Debug, Clone, Default)]
 pub struct RrrCollection {
     /// Every list set's sorted members, back to back (plus tombstoned
-    /// segments awaiting compaction).
-    arena: Vec<NodeId>,
+    /// segments awaiting compaction). Owned on the build path; borrowed
+    /// wholesale from a shared buffer on the zero-copy snapshot path, with
+    /// copy-on-write on the first mutation.
+    arena: ArenaStore,
     /// Per-set directory into the arena and the bitmap side table.
     spans: Vec<SetSpan>,
     /// Bitmap side table for heavy sets.
@@ -256,8 +310,37 @@ impl RrrCollection {
     /// (bulk builders know the total member count up front).
     pub fn with_arena_capacity(num_nodes: usize, cap: usize, arena_cap: usize) -> Self {
         let mut c = Self::with_capacity(num_nodes, cap);
-        c.arena.reserve(arena_cap);
+        c.arena.make_owned().reserve(arena_cap);
         c
+    }
+
+    /// Total arena entries (live and tombstoned), wherever the arena lives.
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Whether the arena is borrowed from a shared (e.g. memory-mapped)
+    /// buffer rather than owned on this collection's heap.
+    #[inline]
+    pub fn is_arena_shared(&self) -> bool {
+        matches!(self.arena, ArenaStore::Shared(_))
+    }
+
+    /// The arena-entry range `[min_start, max_end)` covered by the list sets
+    /// in `[start_set, start_set + len)`, or `None` when the range holds no
+    /// list set. Shard placement uses this to translate a shard's set range
+    /// into the mapped byte range to advise toward the owning worker's node.
+    pub fn arena_range(&self, start_set: usize, len: usize) -> Option<(usize, usize)> {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for span in self.spans.get(start_set..start_set + len)? {
+            if span.bitmap == NO_BITMAP && span.len > 0 {
+                lo = lo.min(span.start as usize);
+                hi = hi.max(span.start as usize + span.len as usize);
+            }
+        }
+        (lo < hi).then_some((lo, hi))
     }
 
     /// Number of vertices of the underlying graph.
@@ -312,7 +395,7 @@ impl RrrCollection {
     /// Append a list set given its **sorted, duplicate-free** members.
     fn push_list(&mut self, members: &[NodeId]) {
         let start = self.next_start(members.len());
-        self.arena.extend_from_slice(members);
+        self.arena.make_owned().extend_from_slice(members);
         self.spans.push(SetSpan { start, len: members.len() as u32, bitmap: NO_BITMAP });
     }
 
@@ -375,30 +458,58 @@ impl RrrCollection {
     /// Adopt an already validated arena wholesale (zero-copy decode path):
     /// the buffer becomes the collection's arena, and the caller registers
     /// each list set's span with [`RrrCollection::push_adopted_span`].
-    pub(crate) fn adopt_arena(num_nodes: usize, arena: Vec<NodeId>, set_cap: usize) -> Self {
+    pub fn adopt_arena(num_nodes: usize, arena: Vec<NodeId>, set_cap: usize) -> Self {
         let mut c = Self::with_capacity(num_nodes, set_cap);
-        c.arena = arena;
+        c.arena = ArenaStore::Owned(arena);
+        c
+    }
+
+    /// Adopt a **shared** arena (the memory-mapped snapshot path): the
+    /// collection borrows `source`'s vertex slice wholesale and the caller
+    /// registers spans with [`RrrCollection::push_adopted_span`] (eager
+    /// validation) or [`RrrCollection::push_span_trusted`] (lazy — no member
+    /// pages are touched). Any later mutation copies the arena onto the heap
+    /// first.
+    pub fn adopt_shared_arena(
+        num_nodes: usize,
+        source: Arc<dyn ArenaSource>,
+        set_cap: usize,
+    ) -> Self {
+        let mut c = Self::with_capacity(num_nodes, set_cap);
+        c.arena = ArenaStore::Shared(source);
         c
     }
 
     /// Validate and register a list set over an adopted arena segment: the
     /// slice must be in bounds, strictly increasing, and within the vertex
     /// space. On success the span is pushed without copying any members.
-    pub(crate) fn push_adopted_span(
-        &mut self,
-        start: usize,
-        len: usize,
-    ) -> Result<(), &'static str> {
+    pub fn push_adopted_span(&mut self, start: usize, len: usize) -> Result<(), &'static str> {
         let end = start
             .checked_add(len)
             .filter(|&e| e <= self.arena.len())
             .ok_or("arena length disagrees with the set lengths")?;
-        let members = &self.arena[start..end];
+        let members = &self.arena.as_slice()[start..end];
         if !members.windows(2).all(|w| w[0] < w[1]) {
             return Err("arena set is not strictly increasing");
         }
         if members.last().is_some_and(|&v| (v as usize) >= self.num_nodes) {
             return Err("set member outside the vertex space");
+        }
+        self.spans.push(SetSpan { start: start as u32, len: len as u32, bitmap: NO_BITMAP });
+        Ok(())
+    }
+
+    /// Register a list set over an adopted arena segment **without reading
+    /// its members**: only the bounds are checked. The zero-copy snapshot
+    /// path uses this so `Store::open` touches no arena pages — the members
+    /// were validated when the snapshot was written, and the file is guarded
+    /// by the store's checksum/atomic-rename discipline.
+    pub fn push_span_trusted(&mut self, start: usize, len: usize) -> Result<(), &'static str> {
+        if start.checked_add(len).is_none_or(|e| e > self.arena.len()) {
+            return Err("arena length disagrees with the set lengths");
+        }
+        if start + len > u32::MAX as usize {
+            return Err("arena span exceeds the u32 offset space");
         }
         self.spans.push(SetSpan { start: start as u32, len: len as u32, bitmap: NO_BITMAP });
         Ok(())
@@ -412,7 +523,7 @@ impl RrrCollection {
         if other.dead == 0 {
             // Fast path: one bulk copy, spans rebased by a constant offset.
             let offset = self.next_start(other.arena.len());
-            self.arena.extend_from_slice(&other.arena);
+            self.arena.make_owned().extend_from_slice(other.arena.as_slice());
             for span in &other.spans {
                 let bitmap = if span.bitmap == NO_BITMAP {
                     NO_BITMAP
@@ -429,7 +540,7 @@ impl RrrCollection {
                 if span.bitmap == NO_BITMAP {
                     let src = span.start as usize..(span.start + span.len) as usize;
                     let start = self.next_start(span.len as usize);
-                    self.arena.extend_from_slice(&other.arena[src]);
+                    self.arena.make_owned().extend_from_slice(&other.arena.as_slice()[src]);
                     self.spans.push(SetSpan { start, len: span.len, bitmap: NO_BITMAP });
                 } else {
                     let taken =
@@ -445,7 +556,9 @@ impl RrrCollection {
     pub fn get(&self, idx: usize) -> SetView<'_> {
         let span = self.spans[idx];
         if span.bitmap == NO_BITMAP {
-            SetView::Sorted(&self.arena[span.start as usize..(span.start + span.len) as usize])
+            SetView::Sorted(
+                &self.arena.as_slice()[span.start as usize..(span.start + span.len) as usize],
+            )
         } else {
             SetView::Bitmap(&self.bitmaps[span.bitmap as usize])
         }
@@ -467,11 +580,11 @@ impl RrrCollection {
                 let new_len = members.len();
                 if new_len <= old_arena {
                     let dst = old.start as usize..old.start as usize + new_len;
-                    self.arena[dst].copy_from_slice(&members);
+                    self.arena.make_owned()[dst].copy_from_slice(&members);
                     self.dead += old_arena - new_len;
                 } else {
                     let start = self.next_start(new_len);
-                    self.arena.extend_from_slice(&members);
+                    self.arena.make_owned().extend_from_slice(&members);
                     self.dead += old_arena;
                     self.spans[idx].start = start;
                 }
@@ -515,6 +628,8 @@ impl RrrCollection {
             return;
         }
         let live = self.arena.len() - self.dead;
+        let old = std::mem::take(&mut self.arena);
+        let old_arena = old.as_slice();
         let mut packed = Vec::with_capacity(live);
         for span in &mut self.spans {
             if span.bitmap != NO_BITMAP {
@@ -523,9 +638,9 @@ impl RrrCollection {
             }
             let src = span.start as usize..(span.start + span.len) as usize;
             span.start = packed.len() as u32;
-            packed.extend_from_slice(&self.arena[src]);
+            packed.extend_from_slice(&old_arena[src]);
         }
-        self.arena = packed;
+        self.arena = ArenaStore::Owned(packed);
         self.dead = 0;
     }
 
@@ -537,7 +652,7 @@ impl RrrCollection {
     /// Drop all sets, keeping the graph size (used when the martingale loop
     /// has to restart sampling with a larger θ in some IMM variants).
     pub fn clear(&mut self) {
-        self.arena.clear();
+        self.arena = ArenaStore::default();
         self.spans.clear();
         self.bitmaps.clear();
         self.free_bitmaps.clear();
@@ -944,12 +1059,12 @@ mod tests {
             c.replace(i, RrrSet::sorted(vec![i as NodeId]));
         }
         assert!(
-            c.dead_entries() < COMPACTION_MIN_DEAD || c.dead_entries() * 2 <= c.arena.len(),
+            c.dead_entries() < COMPACTION_MIN_DEAD || c.dead_entries() * 2 <= c.arena_len(),
             "compaction bounded the dead space (dead = {}, arena = {})",
             c.dead_entries(),
-            c.arena.len()
+            c.arena_len()
         );
-        assert!(c.arena.len() < 3000, "at least one compaction must have run");
+        assert!(c.arena_len() < 3000, "at least one compaction must have run");
         for i in 0..50usize {
             assert_eq!(c.get(i).to_vec(), vec![i as NodeId]);
         }
@@ -1021,13 +1136,83 @@ mod tests {
         assert!(std::panic::catch_unwind(move || full.get(4)).is_err());
     }
 
+    /// A heap-backed stand-in for a mapped snapshot arena section.
+    #[derive(Debug)]
+    struct VecArena(Vec<NodeId>);
+
+    impl ArenaSource for VecArena {
+        fn nodes(&self) -> &[NodeId] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn shared_arena_serves_borrowed_views() {
+        let source: Arc<dyn ArenaSource> = Arc::new(VecArena(vec![0, 1, 2, 3, 4, 2, 7]));
+        let mut c = RrrCollection::adopt_shared_arena(10, Arc::clone(&source), 3);
+        c.push_span_trusted(0, 2).unwrap();
+        c.push_span_trusted(2, 3).unwrap();
+        c.push_span_trusted(5, 2).unwrap();
+        assert!(c.is_arena_shared());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0).to_vec(), vec![0, 1]);
+        assert_eq!(c.get(1).to_vec(), vec![2, 3, 4]);
+        // The borrowed view points straight into the shared buffer.
+        assert_eq!(c.get(2).members().unwrap().as_ptr(), source.nodes()[5..].as_ptr());
+        // Out-of-bounds spans are rejected without reading members.
+        assert!(c.push_span_trusted(6, 2).is_err());
+        assert!(c.push_span_trusted(usize::MAX, 2).is_err());
+        // Equality against an owned build of the same sets.
+        let owned = collection_with(vec![vec![0, 1], vec![2, 3, 4], vec![2, 7]], 10);
+        assert_eq!(c, owned);
+        // arena_range translates set ranges to arena-entry ranges.
+        assert_eq!(c.arena_range(0, 3), Some((0, 7)));
+        assert_eq!(c.arena_range(1, 1), Some((2, 5)));
+        assert_eq!(c.arena_range(3, 1), None);
+    }
+
+    #[test]
+    fn shared_arena_copy_on_write_detaches() {
+        let source: Arc<dyn ArenaSource> = Arc::new(VecArena(vec![0, 1, 2, 3]));
+        let mut c = RrrCollection::adopt_shared_arena(10, Arc::clone(&source), 2);
+        c.push_span_trusted(0, 2).unwrap();
+        c.push_span_trusted(2, 2).unwrap();
+        // replace() must copy the arena to the heap, leaving the source as-is.
+        c.replace(0, RrrSet::sorted(vec![8, 9]));
+        assert!(!c.is_arena_shared());
+        assert_eq!(c.get(0).to_vec(), vec![8, 9]);
+        assert_eq!(c.get(1).to_vec(), vec![2, 3]);
+        assert_eq!(source.nodes(), &[0, 1, 2, 3]);
+        // push after adoption also detaches.
+        let mut d = RrrCollection::adopt_shared_arena(10, Arc::clone(&source), 1);
+        d.push_span_trusted(0, 4).unwrap();
+        d.push(RrrSet::sorted(vec![5]));
+        assert!(!d.is_arena_shared());
+        assert_eq!(d.get(1).to_vec(), vec![5]);
+        // clear drops the shared reference entirely.
+        let mut e = RrrCollection::adopt_shared_arena(10, source, 1);
+        e.clear();
+        assert!(!e.is_arena_shared());
+        assert_eq!(e.arena_len(), 0);
+    }
+
+    #[test]
+    fn adopted_spans_validate_members_eagerly() {
+        // 2 is repeated => {4, 2} would be non-increasing.
+        let mut c = RrrCollection::adopt_arena(10, vec![0, 1, 4, 2], 2);
+        assert!(c.push_adopted_span(0, 2).is_ok());
+        assert!(c.push_adopted_span(2, 2).is_err(), "non-increasing members rejected");
+        let mut d = RrrCollection::adopt_arena(3, vec![0, 9], 1);
+        assert!(d.push_adopted_span(0, 2).is_err(), "vertex outside the space rejected");
+    }
+
     #[test]
     fn bitmap_sets_never_touch_the_arena() {
         let mut c = RrrCollection::new(64);
         c.push_vertices((0..40).collect(), &AdaptivePolicy::always_bitmap());
-        assert_eq!(c.arena.len(), 0, "heavy sets pay only their side-table bitmap");
+        assert_eq!(c.arena_len(), 0, "heavy sets pay only their side-table bitmap");
         assert_eq!(c.get(0).len(), 40);
         c.push_vertices(vec![1, 2], &AdaptivePolicy::always_sorted());
-        assert_eq!(c.arena.len(), 2);
+        assert_eq!(c.arena_len(), 2);
     }
 }

@@ -32,10 +32,10 @@ pub mod compressed;
 pub mod provenance;
 pub mod set;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, WordsSource};
 pub use codec::{ByteReader, CodecError};
 pub use collection::{
-    CollectionSlice, CoverageStats, RrrCollection, SetView, SetViews, SliceViews,
+    ArenaSource, CollectionSlice, CoverageStats, RrrCollection, SetView, SetViews, SliceViews,
 };
 pub use compressed::CompressedRrrSet;
 pub use provenance::{EdgeFootprint, NoTrace, ProbeTrace, SetProvenance, FOOTPRINT_WORDS};

@@ -415,12 +415,12 @@ impl SketchIndex {
         let mut new_offsets = Vec::with_capacity(n + 1);
         new_offsets.push(0usize);
         for v in 0..n {
-            let old_deg = self.postings_offsets[v + 1] - self.postings_offsets[v];
+            let old_deg = self.degree(v as NodeId) as usize;
             new_offsets.push(new_offsets[v] + old_deg - removed[v] + added[v]);
         }
         let mut new_postings: Vec<SetId> = Vec::with_capacity(new_offsets[n]);
         for (v, additions) in fresh.iter().enumerate() {
-            let old = &self.postings[self.postings_offsets[v]..self.postings_offsets[v + 1]];
+            let old = self.postings(v as NodeId);
             let mut next = 0usize;
             for &sid in old {
                 if is_changed[sid as usize] {
@@ -435,8 +435,10 @@ impl SketchIndex {
             new_postings.extend_from_slice(&additions[next..]);
         }
         debug_assert_eq!(new_postings.len(), new_offsets[n]);
-        self.postings = new_postings;
-        self.postings_offsets = new_offsets;
+        // Wholesale replacement: a mapped (shared) postings backing is
+        // dropped here and the patched index owns its postings from now on.
+        self.postings =
+            crate::index::PostingsStore::Owned { offsets: new_offsets, postings: new_postings };
 
         let provenance =
             self.provenance.as_mut().expect("patch is only reached on dynamic indexes");

@@ -8,12 +8,109 @@
 //! array), mirroring how `imm-graph` stores adjacency: answering "which sets
 //! contain vertex v" is a slice lookup instead of a scan over all θ sets.
 
+use std::sync::Arc;
+
 use crate::dynamic::SketchProvenance;
 use imm_graph::CsrGraph;
 use imm_rrr::{CoverageStats, NodeId, RrrCollection};
 
 /// Identifier of one RRR set inside the indexed collection.
 pub type SetId = u32;
+
+/// Read-only provider of the CSR postings sections of a v4 snapshot:
+/// `offsets()` has one `u64` per vertex plus a trailing total, `set_ids()`
+/// is the flat posting array. `imm-store` implements this over the mapped
+/// file so a loaded index serves postings without rebuilding them.
+pub trait PostingsSource: Send + Sync + std::panic::RefUnwindSafe + std::fmt::Debug {
+    /// The CSR offset array (`num_nodes + 1` entries).
+    fn offsets(&self) -> &[u64];
+    /// The flat set-id array (`offsets().last()` entries).
+    fn set_ids(&self) -> &[SetId];
+}
+
+/// Backing storage of an index's inverted postings: built on the heap by
+/// [`SketchIndex::from_collection`], or borrowed from a shared buffer (the
+/// memory-mapped snapshot path). Mutation happens only through wholesale
+/// replacement (`dynamic::patch` rebuilds both arrays), which lands in the
+/// `Owned` form.
+#[derive(Debug, Clone)]
+pub(crate) enum PostingsStore {
+    /// Heap-owned CSR arrays.
+    Owned {
+        /// One offset per vertex, plus the trailing total.
+        offsets: Vec<usize>,
+        /// Flat posting array.
+        postings: Vec<SetId>,
+    },
+    /// Both arrays borrowed from a shared read-only buffer.
+    Shared(Arc<dyn PostingsSource>),
+}
+
+impl PostingsStore {
+    /// Postings of vertex `v`.
+    #[inline]
+    fn slice(&self, v: usize) -> &[SetId] {
+        match self {
+            PostingsStore::Owned { offsets, postings } => &postings[offsets[v]..offsets[v + 1]],
+            PostingsStore::Shared(s) => {
+                let offsets = s.offsets();
+                &s.set_ids()[offsets[v] as usize..offsets[v + 1] as usize]
+            }
+        }
+    }
+
+    /// Posting-list length of vertex `v`.
+    #[inline]
+    fn degree(&self, v: usize) -> u64 {
+        match self {
+            PostingsStore::Owned { offsets, .. } => (offsets[v + 1] - offsets[v]) as u64,
+            PostingsStore::Shared(s) => {
+                let offsets = s.offsets();
+                offsets[v + 1] - offsets[v]
+            }
+        }
+    }
+
+    fn num_offsets(&self) -> usize {
+        match self {
+            PostingsStore::Owned { offsets, .. } => offsets.len(),
+            PostingsStore::Shared(s) => s.offsets().len(),
+        }
+    }
+
+    fn num_postings(&self) -> usize {
+        match self {
+            PostingsStore::Owned { postings, .. } => postings.len(),
+            PostingsStore::Shared(s) => s.set_ids().len(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            PostingsStore::Owned { offsets, postings } => {
+                offsets.len() * std::mem::size_of::<usize>()
+                    + postings.len() * std::mem::size_of::<SetId>()
+            }
+            // The mapped sections are u64 offsets regardless of the host's
+            // usize; count their resident-once-touched footprint.
+            PostingsStore::Shared(s) => {
+                std::mem::size_of_val(s.offsets()) + std::mem::size_of_val(s.set_ids())
+            }
+        }
+    }
+}
+
+/// Logical equality regardless of backing.
+impl PartialEq for PostingsStore {
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_offsets() != other.num_offsets() || self.num_postings() != other.num_postings()
+        {
+            return false;
+        }
+        let n = self.num_offsets().saturating_sub(1);
+        (0..n).all(|v| self.slice(v) == other.slice(v))
+    }
+}
 
 /// Provenance carried alongside the index (and through snapshots), so a
 /// loaded index can report what it was built from.
@@ -51,6 +148,9 @@ pub enum IndexError {
         /// Records in the provenance log.
         records: usize,
     },
+    /// A mapped postings section does not line up with the collection
+    /// (wrong offset count, non-monotonic offsets, or total mismatch).
+    PostingsCorrupt(&'static str),
 }
 
 impl std::fmt::Display for IndexError {
@@ -70,6 +170,9 @@ impl std::fmt::Display for IndexError {
             IndexError::ProvenanceMismatch { sets, records } => {
                 write!(f, "provenance log has {records} records for a collection of {sets} sets")
             }
+            IndexError::PostingsCorrupt(reason) => {
+                write!(f, "mapped postings section is corrupt: {reason}")
+            }
         }
     }
 }
@@ -86,8 +189,7 @@ impl std::error::Error for IndexError {}
 pub struct SketchIndex {
     pub(crate) sets: RrrCollection,
     pub(crate) meta: IndexMeta,
-    pub(crate) postings_offsets: Vec<usize>,
-    pub(crate) postings: Vec<SetId>,
+    pub(crate) postings: PostingsStore,
     /// Sampling provenance; present only on indexes built through the
     /// dynamic constructors (see [`crate::dynamic`]). A provenance-free index
     /// serves queries normally but cannot `apply_delta`.
@@ -116,47 +218,61 @@ impl SketchIndex {
     /// Build an index over a bare collection (no source graph at hand, e.g.
     /// when reloading a snapshot).
     pub fn from_collection(collection: RrrCollection, meta: IndexMeta) -> Result<Self, IndexError> {
+        let (offsets, postings) = build_postings(&collection)?;
+        Ok(SketchIndex {
+            sets: collection,
+            meta,
+            postings: PostingsStore::Owned { offsets, postings },
+            provenance: None,
+        })
+    }
+
+    /// Assemble an index whose postings are **borrowed** from a shared
+    /// buffer — the zero-copy path `imm-store` takes when a v4 snapshot is
+    /// memory-mapped: the stored offsets/postings sections serve directly
+    /// instead of being rebuilt from the sets.
+    ///
+    /// The offset array is validated (length, monotonicity, total); the
+    /// posting ids themselves are trusted, like the arena members on the
+    /// same path — the file was validated when written and is guarded by
+    /// the snapshot checksum/rename discipline.
+    pub fn from_mapped_parts(
+        collection: RrrCollection,
+        meta: IndexMeta,
+        provenance: Option<SketchProvenance>,
+        postings: Arc<dyn PostingsSource>,
+    ) -> Result<Self, IndexError> {
         let n = collection.num_nodes();
         if u32::try_from(collection.len()).is_err() {
             return Err(IndexError::TooManySets(collection.len()));
         }
-
-        // Two streaming passes over the flat arena slices (one branch per
-        // set, tight loops per slice): occurrence counts, then the CSR-style
-        // postings fill.
-        let mut offsets = vec![0usize; n + 1];
-        let mut bad: Option<NodeId> = None;
-        for set in &collection {
-            set.for_each(|v| {
-                if (v as usize) < n {
-                    offsets[v as usize + 1] += 1;
-                } else if bad.is_none() {
-                    bad = Some(v);
-                }
-            });
+        let offsets = postings.offsets();
+        if offsets.len() != n + 1 {
+            return Err(IndexError::PostingsCorrupt("offset count is not num_nodes + 1"));
         }
-        if let Some(vertex) = bad {
-            return Err(IndexError::VertexOutOfRange { vertex, num_nodes: n });
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(IndexError::PostingsCorrupt("offsets are not monotonic"));
         }
-        for i in 0..n {
-            offsets[i + 1] += offsets[i];
+        if offsets.last().copied().unwrap_or(0) != postings.set_ids().len() as u64 {
+            return Err(IndexError::PostingsCorrupt("offset total disagrees with the postings"));
         }
-        let mut cursor = offsets.clone();
-        let mut postings = vec![0 as SetId; offsets[n]];
-        for (sid, set) in collection.iter().enumerate() {
-            set.for_each(|v| {
-                postings[cursor[v as usize]] = sid as SetId;
-                cursor[v as usize] += 1;
-            });
-        }
-
-        Ok(SketchIndex {
+        let mut index = SketchIndex {
             sets: collection,
             meta,
-            postings_offsets: offsets,
-            postings,
+            postings: PostingsStore::Shared(postings),
             provenance: None,
-        })
+        };
+        if let Some(provenance) = provenance {
+            index.attach_provenance(provenance)?;
+        }
+        Ok(index)
+    }
+
+    /// Whether the inverted postings are borrowed from a shared (e.g.
+    /// memory-mapped) buffer rather than heap-built.
+    #[inline]
+    pub fn is_postings_shared(&self) -> bool {
+        matches!(self.postings, PostingsStore::Shared(_))
     }
 
     /// Build an index over a bare collection and attach sampling provenance
@@ -196,14 +312,14 @@ impl SketchIndex {
     /// The ids of every set containing `v`, in increasing order.
     #[inline]
     pub fn postings(&self, v: NodeId) -> &[SetId] {
-        &self.postings[self.postings_offsets[v as usize]..self.postings_offsets[v as usize + 1]]
+        self.postings.slice(v as usize)
     }
 
     /// Occurrence count of `v` — how many sets contain it. This is the
     /// initial greedy counter value, precomputed at build time.
     #[inline]
     pub fn degree(&self, v: NodeId) -> u64 {
-        (self.postings_offsets[v as usize + 1] - self.postings_offsets[v as usize]) as u64
+        self.postings.degree(v as usize)
     }
 
     /// All occurrence counts as a fresh mutable vector (the greedy engine's
@@ -242,12 +358,51 @@ impl SketchIndex {
         self.sets.coverage_stats()
     }
 
-    /// Heap bytes of the collection plus the index structures.
+    /// Heap bytes of the collection plus the index structures (for shared
+    /// backings: the mapped bytes resident once touched).
     pub fn memory_bytes(&self) -> usize {
-        self.sets.memory_bytes()
-            + self.postings_offsets.len() * std::mem::size_of::<usize>()
-            + self.postings.len() * std::mem::size_of::<SetId>()
+        self.sets.memory_bytes() + self.postings.memory_bytes()
     }
+}
+
+/// The two streaming passes that invert a collection into CSR postings
+/// (one branch per set, tight loops per slice): occurrence counts, then the
+/// postings fill. Shared by the index constructor and the v4 snapshot
+/// encoder, so the stored postings sections are byte-for-byte what a heap
+/// build would compute.
+pub(crate) fn build_postings(
+    collection: &RrrCollection,
+) -> Result<(Vec<usize>, Vec<SetId>), IndexError> {
+    let n = collection.num_nodes();
+    if u32::try_from(collection.len()).is_err() {
+        return Err(IndexError::TooManySets(collection.len()));
+    }
+    let mut offsets = vec![0usize; n + 1];
+    let mut bad: Option<NodeId> = None;
+    for set in collection {
+        set.for_each(|v| {
+            if (v as usize) < n {
+                offsets[v as usize + 1] += 1;
+            } else if bad.is_none() {
+                bad = Some(v);
+            }
+        });
+    }
+    if let Some(vertex) = bad {
+        return Err(IndexError::VertexOutOfRange { vertex, num_nodes: n });
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor = offsets.clone();
+    let mut postings = vec![0 as SetId; offsets[n]];
+    for (sid, set) in collection.iter().enumerate() {
+        set.for_each(|v| {
+            postings[cursor[v as usize]] = sid as SetId;
+            cursor[v as usize] += 1;
+        });
+    }
+    Ok((offsets, postings))
 }
 
 #[cfg(test)]

@@ -69,12 +69,14 @@ pub use dynamic::{
     SketchProvenance,
 };
 pub use engine::{serve_batch, serve_cached, QueryEngine, DEFAULT_CACHE_CAPACITY};
-pub use index::{IndexError, IndexMeta, SetId, SketchIndex};
+pub use index::{IndexError, IndexMeta, PostingsSource, SetId, SketchIndex};
 pub use query::{Query, QueryKey, QueryResponse};
 pub use snapshot::{
-    load_collection, load_collection_from_path, load_parts, recover_interrupted_save, save_parts,
-    save_parts_to_path, snapshot_tmp_path, DeltaJournal, JournalEntry, SnapshotError,
-    JOURNAL_MAGIC, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1, SNAPSHOT_VERSION_V2,
+    load_collection, load_collection_from_path, load_parts, parse_v4_head,
+    recover_interrupted_save, save_parts, save_parts_to_path, snapshot_tmp_path, DeltaJournal,
+    JournalEntry, SnapshotError, SnapshotSections, V4Head, JOURNAL_MAGIC, SNAPSHOT_HEADER_BYTES,
+    SNAPSHOT_MAGIC, SNAPSHOT_PAGE_BYTES, SNAPSHOT_VERSION, SNAPSHOT_VERSION_V1,
+    SNAPSHOT_VERSION_V2, SNAPSHOT_VERSION_V3, V4_FLAG_BITMAP, V4_FLAG_SORTED,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! [0..8)   magic  "IMMSKTCH"
-//! [8..12)  format version (1, 2 or 3; writers emit 3)
+//! [8..12)  format version (1, 2, 3 or 4; writers emit 4)
 //! [12..20) FNV-1a 64 checksum of the payload
 //! [20..)   payload: num_edges u64, label (u32 length + UTF-8 bytes),
 //!          then the RRR collection (per-version encoding, below)
@@ -30,12 +30,28 @@
 //! written with [`imm_rrr::RrrCollection::encode_arena`] — the whole vertex
 //! arena as one contiguous section, then the per-set lengths and
 //! representation flags, then each heavy set's bitmap as raw words (no
-//! per-set capacity framing). The provenance section is unchanged. Version 1
-//! and 2 files still load (v1 comes back static).
+//! per-set capacity framing). The provenance section is unchanged.
 //!
-//! Only the collection, metadata and provenance are stored; the inverted
-//! postings are rebuilt on load (a deterministic single pass, far cheaper
-//! than sampling).
+//! Version 4 is the **mappable** layout (`imm-store`): after the prelude
+//! (num_edges + label) comes an 88-byte section directory — ten `u64`
+//! fields (`num_nodes, num_sets, arena_len, bitmap_sets, postings_len,
+//! arena_off, bitmaps_off, offsets_off, postings_off, file_len`) plus an
+//! FNV-1a checksum of those 80 bytes — then the per-set lengths (`u32`
+//! each), representation flags (`u8` each) and the v2 provenance section.
+//! The four data sections follow at their directory offsets, each padded to
+//! a 4096-byte **snapshot-relative page boundary**: the vertex arena
+//! (`u32`), the heavy-set bitmap words (`u64`, `⌈num_nodes/64⌉` words per
+//! bitmap set in set order), the CSR postings offsets (`num_nodes + 1` ×
+//! `u64`) and the flat postings (`u32`). Because every section is
+//! page-aligned and plain little-endian integers, `imm-store` can `mmap`
+//! the file and serve the arena, bitmaps and postings *in place*; the
+//! read-decode path ignores the stored postings and rebuilds them, byte-
+//! identically, from the sets. Versions 1–3 still load through the legacy
+//! decoders (v1 comes back static).
+//!
+//! Only the collection, metadata, provenance and (from v4) the inverted
+//! postings are stored; on the read-decode path the postings are rebuilt on
+//! load (a deterministic single pass, far cheaper than sampling).
 //!
 //! # Crash safety
 //!
@@ -63,11 +79,26 @@ use std::path::{Path, PathBuf};
 /// The magic bytes opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"IMMSKTCH";
 /// The snapshot format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 /// The legacy (pre-provenance) format version this build still reads.
 pub const SNAPSHOT_VERSION_V1: u32 = 1;
 /// The legacy per-set-encoded dynamic format this build still reads.
 pub const SNAPSHOT_VERSION_V2: u32 = 2;
+/// The legacy arena-encoded (non-mappable) format this build still reads.
+pub const SNAPSHOT_VERSION_V3: u32 = 3;
+/// Alignment of every v4 data section, as a **snapshot-relative** byte
+/// offset (offset 0 = first magic byte). Matches the small-page size, so a
+/// page-aligned mapping of the file keeps each section alignment-safe for
+/// in-place `u32`/`u64` views.
+pub const SNAPSHOT_PAGE_BYTES: usize = 4096;
+/// Bytes of the container header preceding the payload.
+pub const SNAPSHOT_HEADER_BYTES: usize = 20;
+
+/// Round a snapshot-relative offset up to the next section boundary.
+#[inline]
+fn align_up(offset: usize) -> usize {
+    offset.div_ceil(SNAPSHOT_PAGE_BYTES) * SNAPSHOT_PAGE_BYTES
+}
 
 /// Errors produced while saving or loading a snapshot.
 #[derive(Debug)]
@@ -102,7 +133,8 @@ impl std::fmt::Display for SnapshotError {
                 write!(
                     f,
                     "unsupported snapshot version {v} (this build reads \
-                     {SNAPSHOT_VERSION_V1}, {SNAPSHOT_VERSION_V2} and {SNAPSHOT_VERSION})"
+                     {SNAPSHOT_VERSION_V1}, {SNAPSHOT_VERSION_V2}, {SNAPSHOT_VERSION_V3} \
+                     and {SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
@@ -283,37 +315,416 @@ fn decode_provenance(
     Ok(SketchProvenance { spec, sets, delta_log })
 }
 
-fn encode_payload(
-    meta: &IndexMeta,
-    collection: &RrrCollection,
-    provenance: Option<&SketchProvenance>,
-) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(32 + meta.label.len() + collection.memory_bytes());
-    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
-    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
-    payload.extend_from_slice(meta.label.as_bytes());
-    collection.encode_arena(&mut payload);
-    match provenance {
-        None => payload.push(0),
-        Some(provenance) => {
-            payload.push(1);
-            encode_provenance(provenance, &mut payload);
-        }
-    }
-    payload
+/// Representation-flag value for a sorted-list set in a v4 head (matching
+/// the v3 arena codec's tags). `imm-store` walks the same flags to attach
+/// zero-copy spans.
+pub const V4_FLAG_SORTED: u8 = 0;
+/// Representation-flag value for a bitmap set in a v4 head.
+pub const V4_FLAG_BITMAP: u8 = 1;
+
+/// The section directory of a v4 snapshot: sizes and **snapshot-relative**
+/// byte offsets of the four page-aligned data sections. `imm-store` maps the
+/// file and turns these straight into in-place slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotSections {
+    /// Vertices of the indexed vertex space.
+    pub num_nodes: usize,
+    /// Stored RRR sets.
+    pub num_sets: usize,
+    /// Entries (`u32`) in the vertex arena section.
+    pub arena_len: usize,
+    /// Sets stored as bitmaps; the bitmap section holds this many
+    /// `⌈num_nodes/64⌉`-word runs, in set order.
+    pub bitmap_sets: usize,
+    /// Entries (`u32`) in the flat postings section.
+    pub postings_len: usize,
+    /// Snapshot-relative byte offset of the vertex arena.
+    pub arena_off: usize,
+    /// Snapshot-relative byte offset of the bitmap words.
+    pub bitmaps_off: usize,
+    /// Snapshot-relative byte offset of the postings offsets
+    /// (`num_nodes + 1` × `u64`).
+    pub offsets_off: usize,
+    /// Snapshot-relative byte offset of the flat postings.
+    pub postings_off: usize,
+    /// Total snapshot length in bytes (header included).
+    pub file_len: usize,
 }
 
-fn decode_payload(
-    version: u32,
-    payload: &[u8],
-) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
+impl SnapshotSections {
+    /// `u64` words per stored bitmap set.
+    #[inline]
+    pub fn words_per_bitmap(&self) -> usize {
+        self.num_nodes.div_ceil(64)
+    }
+
+    fn to_directory_bytes(self) -> [u8; 88] {
+        let mut dir = [0u8; 88];
+        for (slot, value) in [
+            self.num_nodes,
+            self.num_sets,
+            self.arena_len,
+            self.bitmap_sets,
+            self.postings_len,
+            self.arena_off,
+            self.bitmaps_off,
+            self.offsets_off,
+            self.postings_off,
+            self.file_len,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            dir[slot * 8..slot * 8 + 8].copy_from_slice(&(value as u64).to_le_bytes());
+        }
+        let check = fnv1a64(&dir[..80]);
+        dir[80..88].copy_from_slice(&check.to_le_bytes());
+        dir
+    }
+
+    fn read(reader: &mut ByteReader<'_>) -> Result<Self, SnapshotError> {
+        let raw = reader.read_bytes(88)?;
+        let stored = u64::from_le_bytes(raw[80..88].try_into().expect("8 bytes"));
+        if fnv1a64(&raw[..80]) != stored {
+            return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+                "section directory checksum mismatch",
+            )));
+        }
+        let mut fields = [0usize; 10];
+        for (slot, field) in fields.iter_mut().enumerate() {
+            let value = u64::from_le_bytes(raw[slot * 8..slot * 8 + 8].try_into().expect("8"));
+            *field = usize::try_from(value).map_err(|_| {
+                SnapshotError::Corrupt(CodecError::InvalidValue("directory field overflow"))
+            })?;
+        }
+        let sections = SnapshotSections {
+            num_nodes: fields[0],
+            num_sets: fields[1],
+            arena_len: fields[2],
+            bitmap_sets: fields[3],
+            postings_len: fields[4],
+            arena_off: fields[5],
+            bitmaps_off: fields[6],
+            offsets_off: fields[7],
+            postings_off: fields[8],
+            file_len: fields[9],
+        };
+        sections.validate()?;
+        Ok(sections)
+    }
+
+    /// Structural validation: each section page-aligned, in order, and
+    /// inside `file_len`. Independent of the data bytes, so the mmap path
+    /// can run it without touching a single data page.
+    fn validate(&self) -> Result<(), SnapshotError> {
+        let corrupt = |msg: &'static str| SnapshotError::Corrupt(CodecError::InvalidValue(msg));
+        for off in [self.arena_off, self.bitmaps_off, self.offsets_off, self.postings_off] {
+            if off % SNAPSHOT_PAGE_BYTES != 0 {
+                return Err(corrupt("section offset is not page-aligned"));
+            }
+        }
+        let arena_end = self
+            .arena_off
+            .checked_add(self.arena_len.checked_mul(4).ok_or(corrupt("arena overflow"))?)
+            .ok_or(corrupt("arena overflow"))?;
+        let bitmap_bytes = self
+            .bitmap_sets
+            .checked_mul(self.words_per_bitmap())
+            .and_then(|w| w.checked_mul(8))
+            .ok_or(corrupt("bitmap overflow"))?;
+        let bitmaps_end =
+            self.bitmaps_off.checked_add(bitmap_bytes).ok_or(corrupt("bitmap overflow"))?;
+        let offsets_end = self
+            .offsets_off
+            .checked_add((self.num_nodes + 1).checked_mul(8).ok_or(corrupt("offset overflow"))?)
+            .ok_or(corrupt("offset overflow"))?;
+        let postings_end = self
+            .postings_off
+            .checked_add(self.postings_len.checked_mul(4).ok_or(corrupt("postings overflow"))?)
+            .ok_or(corrupt("postings overflow"))?;
+        if arena_end > self.bitmaps_off
+            || bitmaps_end > self.offsets_off
+            || offsets_end > self.postings_off
+            || postings_end != self.file_len
+        {
+            return Err(corrupt("sections overlap or overrun the file"));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a v4 reader learns **before touching any data page**: the
+/// metadata prelude, the section directory, the per-set lengths and
+/// representation flags, and the provenance section. The store's mmap path
+/// builds its zero-copy index from this head plus in-place section views.
+#[derive(Debug)]
+pub struct V4Head {
+    /// Index metadata (edge count + label).
+    pub meta: IndexMeta,
+    /// Section directory.
+    pub sections: SnapshotSections,
+    /// Per-set member counts.
+    pub lens: Vec<u32>,
+    /// Per-set representation flags (0 = sorted list, 1 = bitmap).
+    pub flags: Vec<u8>,
+    /// Sampling provenance, when the snapshot was dynamic.
+    pub provenance: Option<SketchProvenance>,
+}
+
+fn decode_v4_head(payload: &[u8]) -> Result<V4Head, SnapshotError> {
     let mut reader = ByteReader::new(payload);
     let num_edges = usize::try_from(reader.read_u64()?)
         .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("num_edges overflow")))?;
     let label_len = reader.read_u32()? as usize;
     let label = String::from_utf8(reader.read_bytes(label_len)?.to_vec())
         .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("label is not UTF-8")))?;
-    let collection = if version >= SNAPSHOT_VERSION {
+    let sections = SnapshotSections::read(&mut reader)?;
+    let lens: Vec<u32> = {
+        let raw = reader.read_bytes(sections.num_sets * 4)?;
+        raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes"))).collect()
+    };
+    let flags = reader.read_bytes(sections.num_sets)?.to_vec();
+    let provenance = match reader.read_u8()? {
+        0 => None,
+        1 => Some(decode_provenance(&mut reader, sections.num_sets, sections.num_nodes)?),
+        _ => {
+            return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+                "provenance flag is not 0 or 1",
+            )))
+        }
+    };
+    // The head must fit before the first data section, and the padding up
+    // to it must be zero (deterministic bytes keep the encoder stable).
+    let head_end = payload.len() - reader.remaining() + SNAPSHOT_HEADER_BYTES;
+    if head_end > sections.arena_off {
+        return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+            "head overruns the arena section",
+        )));
+    }
+    Ok(V4Head { meta: IndexMeta { num_edges, label }, sections, lens, flags, provenance })
+}
+
+/// Parse the head of a v4 snapshot from its raw bytes (magic + version +
+/// directory + lens/flags/provenance) **without** verifying the payload
+/// checksum or touching the data sections — the entry point of the
+/// zero-copy mmap path, whose whole purpose is to leave the data pages
+/// untouched until queries fault them in. Integrity of the head's own
+/// directory is covered by the directory checksum; the data sections are
+/// covered by the container checksum, which the read-decode path (and any
+/// `verify` tooling) still checks in full.
+pub fn parse_v4_head(snapshot: &[u8]) -> Result<V4Head, SnapshotError> {
+    let mut header = ByteReader::new(snapshot);
+    let magic = header.read_bytes(SNAPSHOT_MAGIC.len())?;
+    if magic != SNAPSHOT_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(magic);
+        return Err(SnapshotError::BadMagic(found));
+    }
+    let version = header.read_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let _checksum = header.read_u64()?;
+    let head = decode_v4_head(&snapshot[SNAPSHOT_HEADER_BYTES..])?;
+    if head.sections.file_len != snapshot.len() {
+        return Err(SnapshotError::Corrupt(CodecError::InvalidValue(
+            "directory file length disagrees with the snapshot",
+        )));
+    }
+    Ok(head)
+}
+
+fn encode_payload_v4(
+    meta: &IndexMeta,
+    collection: &RrrCollection,
+    provenance: Option<&SketchProvenance>,
+) -> Result<Vec<u8>, SnapshotError> {
+    use imm_rrr::SetView;
+
+    let (postings_offsets, postings) = crate::index::build_postings(collection)?;
+    let num_nodes = collection.num_nodes();
+    let num_sets = collection.len();
+
+    // Pass 1: lens, flags and section sizes. Like the v3 arena codec, the
+    // stored arena is the *live* data in set order — tombstones never reach
+    // the file — so spans decode as a simple running cursor.
+    let mut lens = Vec::with_capacity(num_sets);
+    let mut flags = Vec::with_capacity(num_sets);
+    let mut arena_len = 0usize;
+    let mut bitmap_sets = 0usize;
+    for set in collection {
+        lens.push(set.len() as u32);
+        match set {
+            SetView::Sorted(_) => {
+                flags.push(V4_FLAG_SORTED);
+                arena_len += set.len();
+            }
+            SetView::Bitmap(_) => {
+                flags.push(V4_FLAG_BITMAP);
+                bitmap_sets += 1;
+            }
+        }
+    }
+
+    let mut prov_section = Vec::new();
+    match provenance {
+        None => prov_section.push(0),
+        Some(provenance) => {
+            prov_section.push(1);
+            encode_provenance(provenance, &mut prov_section);
+        }
+    }
+
+    let prelude_len = 8 + 4 + meta.label.len();
+    let head_end =
+        SNAPSHOT_HEADER_BYTES + prelude_len + 88 + num_sets * 4 + num_sets + prov_section.len();
+    let words_per_bitmap = num_nodes.div_ceil(64);
+    let arena_off = align_up(head_end);
+    let bitmaps_off = align_up(arena_off + arena_len * 4);
+    let offsets_off = align_up(bitmaps_off + bitmap_sets * words_per_bitmap * 8);
+    let postings_off = align_up(offsets_off + (num_nodes + 1) * 8);
+    let file_len = postings_off + postings.len() * 4;
+    let sections = SnapshotSections {
+        num_nodes,
+        num_sets,
+        arena_len,
+        bitmap_sets,
+        postings_len: postings.len(),
+        arena_off,
+        bitmaps_off,
+        offsets_off,
+        postings_off,
+        file_len,
+    };
+
+    let mut payload = Vec::with_capacity(file_len - SNAPSHOT_HEADER_BYTES);
+    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
+    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(meta.label.as_bytes());
+    payload.extend_from_slice(&sections.to_directory_bytes());
+    for len in &lens {
+        payload.extend_from_slice(&len.to_le_bytes());
+    }
+    payload.extend_from_slice(&flags);
+    payload.extend_from_slice(&prov_section);
+
+    // Data sections, each zero-padded to its page-aligned offset. The pad
+    // bytes are deterministic, so the encoder is byte-stable and the
+    // container checksum covers them.
+    payload.resize(arena_off - SNAPSHOT_HEADER_BYTES, 0);
+    for set in collection {
+        if let SetView::Sorted(members) = set {
+            for &v in members {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    payload.resize(bitmaps_off - SNAPSHOT_HEADER_BYTES, 0);
+    for set in collection {
+        if let SetView::Bitmap(bits) = set {
+            for word in bits.words() {
+                payload.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+    }
+    payload.resize(offsets_off - SNAPSHOT_HEADER_BYTES, 0);
+    for offset in &postings_offsets {
+        payload.extend_from_slice(&(*offset as u64).to_le_bytes());
+    }
+    payload.resize(postings_off - SNAPSHOT_HEADER_BYTES, 0);
+    for sid in &postings {
+        payload.extend_from_slice(&sid.to_le_bytes());
+    }
+    debug_assert_eq!(payload.len() + SNAPSHOT_HEADER_BYTES, file_len);
+    Ok(payload)
+}
+
+fn decode_payload_v4(
+    payload: &[u8],
+) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
+    let corrupt = |msg: &'static str| SnapshotError::Corrupt(CodecError::InvalidValue(msg));
+    let head = decode_v4_head(payload)?;
+    let sections = &head.sections;
+    if sections.file_len != payload.len() + SNAPSHOT_HEADER_BYTES {
+        return Err(corrupt("directory file length disagrees with the payload"));
+    }
+    let section = |off: usize, len: usize| -> &[u8] {
+        &payload[off - SNAPSHOT_HEADER_BYTES..off - SNAPSHOT_HEADER_BYTES + len]
+    };
+
+    let arena: Vec<imm_rrr::NodeId> = section(sections.arena_off, sections.arena_len * 4)
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let mut collection = RrrCollection::adopt_arena(sections.num_nodes, arena, sections.num_sets);
+
+    let words_per_bitmap = sections.words_per_bitmap();
+    let bitmap_bytes = section(sections.bitmaps_off, sections.bitmap_sets * words_per_bitmap * 8);
+    let mut cursor = 0usize;
+    let mut next_bitmap = 0usize;
+    for (&len, &flag) in head.lens.iter().zip(head.flags.iter()) {
+        match flag {
+            V4_FLAG_SORTED => {
+                collection
+                    .push_adopted_span(cursor, len as usize)
+                    .map_err(|msg| SnapshotError::Corrupt(CodecError::InvalidValue(msg)))?;
+                cursor += len as usize;
+            }
+            V4_FLAG_BITMAP => {
+                if next_bitmap >= sections.bitmap_sets {
+                    return Err(corrupt("more bitmap flags than bitmap sections"));
+                }
+                let start = next_bitmap * words_per_bitmap * 8;
+                let words: Vec<u64> = bitmap_bytes[start..start + words_per_bitmap * 8]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect();
+                if let Some(last) = words.last() {
+                    let tail_bits = sections.num_nodes % 64;
+                    if tail_bits != 0 && *last >> tail_bits != 0 {
+                        return Err(corrupt("bitmap bit beyond the vertex space"));
+                    }
+                }
+                let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+                if ones != len as usize {
+                    return Err(corrupt("bitmap population disagrees with the set length"));
+                }
+                collection.push(imm_rrr::RrrSet::Bitmap(imm_rrr::BitSet::from_words(
+                    sections.num_nodes,
+                    words,
+                )));
+                next_bitmap += 1;
+            }
+            _ => return Err(corrupt("unknown representation flag")),
+        }
+    }
+    if cursor != sections.arena_len {
+        return Err(corrupt("arena length disagrees with the set lengths"));
+    }
+    if next_bitmap != sections.bitmap_sets {
+        return Err(corrupt("fewer bitmap flags than bitmap sections"));
+    }
+    // The stored postings are *not* adopted on this path: the read-decode
+    // loader rebuilds them from the sets (SketchIndex::from_collection),
+    // exactly as pre-v4 loads did. Only the mmap path (imm-store) serves
+    // the stored sections in place.
+    Ok((head.meta, collection, head.provenance))
+}
+
+fn decode_payload(
+    version: u32,
+    payload: &[u8],
+) -> Result<(IndexMeta, RrrCollection, Option<SketchProvenance>), SnapshotError> {
+    if version >= SNAPSHOT_VERSION {
+        return decode_payload_v4(payload);
+    }
+    let mut reader = ByteReader::new(payload);
+    let num_edges = usize::try_from(reader.read_u64()?)
+        .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("num_edges overflow")))?;
+    let label_len = reader.read_u32()? as usize;
+    let label = String::from_utf8(reader.read_bytes(label_len)?.to_vec())
+        .map_err(|_| SnapshotError::Corrupt(CodecError::InvalidValue("label is not UTF-8")))?;
+    let collection = if version >= SNAPSHOT_VERSION_V3 {
         RrrCollection::decode_arena(&mut reader)?
     } else {
         RrrCollection::decode(&mut reader)?
@@ -351,7 +762,7 @@ pub fn save_parts(
     provenance: Option<&SketchProvenance>,
     writer: &mut impl Write,
 ) -> Result<(), SnapshotError> {
-    let payload = encode_payload(meta, collection, provenance);
+    let payload = encode_payload_v4(meta, collection, provenance)?;
     writer.write_all(&SNAPSHOT_MAGIC)?;
     writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
     writer.write_all(&fnv1a64(&payload).to_le_bytes())?;
@@ -483,7 +894,9 @@ fn load_verified(
         return Err(SnapshotError::BadMagic(found));
     }
     let version = header.read_u32()?;
-    if ![SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2, SNAPSHOT_VERSION_V1].contains(&version) {
+    if ![SNAPSHOT_VERSION, SNAPSHOT_VERSION_V3, SNAPSHOT_VERSION_V2, SNAPSHOT_VERSION_V1]
+        .contains(&version)
+    {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let expected = header.read_u64()?;
@@ -745,6 +1158,79 @@ mod tests {
         assert_eq!(loaded, index);
         assert!(loaded.is_dynamic());
         assert_eq!(loaded.provenance(), index.provenance());
+    }
+
+    /// A **v3** file — whole-arena collection encoding, no section
+    /// directory — keeps loading through the legacy arena decoder.
+    #[test]
+    fn v3_snapshots_still_load() {
+        let index = dynamic_index();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&(index.meta().num_edges as u64).to_le_bytes());
+        payload.extend_from_slice(&(index.meta().label.len() as u32).to_le_bytes());
+        payload.extend_from_slice(index.meta().label.as_bytes());
+        index.sets().encode_arena(&mut payload); // v3 wrote the arena stream
+        payload.push(1);
+        encode_provenance(index.provenance().unwrap(), &mut payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION_V3.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded, index);
+        assert!(loaded.is_dynamic());
+        assert_eq!(loaded.provenance(), index.provenance());
+    }
+
+    #[test]
+    fn v4_sections_are_page_aligned_and_head_parses_without_data() {
+        let index = dynamic_index();
+        let bytes = snapshot_bytes(&index);
+        let head = parse_v4_head(&bytes).unwrap();
+        let sections = head.sections;
+        for off in
+            [sections.arena_off, sections.bitmaps_off, sections.offsets_off, sections.postings_off]
+        {
+            assert_eq!(off % SNAPSHOT_PAGE_BYTES, 0, "section offset {off} not page-aligned");
+        }
+        assert_eq!(sections.file_len, bytes.len());
+        assert_eq!(sections.num_nodes, index.num_nodes());
+        assert_eq!(sections.num_sets, index.num_sets());
+        assert_eq!(head.meta, *index.meta());
+        assert_eq!(head.provenance.as_ref(), index.provenance());
+        assert_eq!(head.lens.len(), index.num_sets());
+        // The stored postings sections hold exactly what a heap build
+        // computes.
+        let total: usize = (0..index.num_nodes()).map(|v| index.postings(v as u32).len()).sum();
+        assert_eq!(sections.postings_len, total);
+        // Corrupting a directory byte fails the directory checksum even
+        // before the payload checksum would be consulted.
+        let mut tampered = bytes.clone();
+        let dir_at = SNAPSHOT_HEADER_BYTES + 8 + 4 + index.meta().label.len();
+        tampered[dir_at] ^= 0x01;
+        assert!(parse_v4_head(&tampered).is_err());
+    }
+
+    #[test]
+    fn v4_stored_postings_match_the_rebuilt_postings() {
+        let index = dynamic_index();
+        let bytes = snapshot_bytes(&index);
+        let head = parse_v4_head(&bytes).unwrap();
+        let s = head.sections;
+        let offsets: Vec<u64> = bytes[s.offsets_off..s.offsets_off + (s.num_nodes + 1) * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let postings: Vec<u32> = bytes[s.postings_off..s.postings_off + s.postings_len * 4]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        for v in 0..s.num_nodes {
+            let stored = &postings[offsets[v] as usize..offsets[v + 1] as usize];
+            assert_eq!(stored, index.postings(v as u32), "postings of vertex {v}");
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Golden snapshot fixtures: tiny checked-in files in formats v1, v2 and v3
+//! Golden snapshot fixtures: tiny checked-in files in formats v1 through v4
 //! pin cross-version load compatibility by **real bytes**, not by freshly
 //! encoded round-trips — if a decoder drifts, these tests fail against the
 //! bytes an old writer actually produced.
@@ -7,10 +7,15 @@
 //!
 //! * **Decode**: each fixture file must load into exactly the hand-stated
 //!   index (sets, representations, metadata, provenance, delta log).
-//! * **Encode stability**: the fixture bytes are rebuilt in-process (the v3
-//!   file through the current writer, v1/v2 through the documented legacy
+//! * **Encode stability**: the fixture bytes are rebuilt in-process (the v4
+//!   file through the current writer, v1/v2/v3 through the documented legacy
 //!   layouts) and must equal the checked-in files byte for byte, so an
 //!   accidental format change cannot land silently.
+//!
+//! The v4 fixture additionally gates the mmap contract: every section offset
+//! reported by the directory must be page-aligned, and
+//! [`imm_service::parse_v4_head`] must describe the file without touching a
+//! data page.
 //!
 //! Regenerating after an *intentional* format change:
 //! `REGEN_SNAPSHOT_FIXTURES=1 cargo test -p imm-service --test
@@ -21,7 +26,8 @@ use imm_diffusion::DiffusionModel;
 use imm_graph::GraphDelta;
 use imm_rrr::{BitSet, EdgeFootprint, Representation, RrrCollection, RrrSet, SetProvenance};
 use imm_service::{
-    save_parts, DeltaLogEntry, IndexMeta, SampleSpec, SketchIndex, SketchProvenance,
+    parse_v4_head, save_parts, DeltaLogEntry, IndexMeta, SampleSpec, SketchIndex, SketchProvenance,
+    SNAPSHOT_PAGE_BYTES,
 };
 use std::path::PathBuf;
 
@@ -133,9 +139,10 @@ fn encode_provenance_v2(provenance: &SketchProvenance) -> Vec<u8> {
     out
 }
 
-/// Rebuild each fixture's exact bytes: v1/v2 through the documented legacy
-/// layouts (per-set collection stream; v2 appends the provenance section),
-/// v3 through the current writer.
+/// Rebuild each fixture's exact bytes: v1–v3 through the documented legacy
+/// layouts (v1/v2 use the per-set collection stream, v3 the whole-arena
+/// stream; v2+ append the provenance section), v4 through the current
+/// writer.
 fn build_fixture_bytes(version: u32) -> Vec<u8> {
     let collection = fixture_collection();
     match version {
@@ -152,8 +159,15 @@ fn build_fixture_bytes(version: u32) -> Vec<u8> {
             container(2, payload)
         }
         3 => {
+            let mut payload = payload_header(3);
+            collection.encode_arena(&mut payload);
+            payload.push(1); // provenance present
+            payload.extend_from_slice(&encode_provenance_v2(&fixture_provenance()));
+            container(3, payload)
+        }
+        4 => {
             let mut bytes = Vec::new();
-            save_parts(&meta(3), &collection, Some(&fixture_provenance()), &mut bytes)
+            save_parts(&meta(4), &collection, Some(&fixture_provenance()), &mut bytes)
                 .expect("current writer");
             bytes
         }
@@ -166,13 +180,13 @@ fn build_fixture_bytes(version: u32) -> Vec<u8> {
 #[test]
 fn regenerate_fixtures_on_request() {
     if std::env::var_os("REGEN_SNAPSHOT_FIXTURES").is_none() {
-        for version in [1u32, 2, 3] {
+        for version in [1u32, 2, 3, 4] {
             assert!(!build_fixture_bytes(version).is_empty());
         }
         return;
     }
     std::fs::create_dir_all(fixture_path("")).unwrap();
-    for version in [1u32, 2, 3] {
+    for version in [1u32, 2, 3, 4] {
         let path = fixture_path(&format!("golden_v{version}.sketch"));
         std::fs::write(&path, build_fixture_bytes(version)).unwrap();
         eprintln!("wrote {}", path.display());
@@ -229,20 +243,55 @@ fn v2_fixture_loads_with_provenance_and_delta_log() {
 }
 
 #[test]
-fn v3_fixture_loads_and_the_current_writer_reproduces_it() {
-    let (bytes, index) = load_fixture(3);
+fn v3_fixture_loads_and_upgrades_through_the_current_writer() {
+    let (_, index) = load_fixture(3);
     assert_common_contents(&index, 3);
     assert_eq!(index.provenance().expect("v3 fixture is dynamic"), &fixture_provenance());
+    // Re-saving a v3 index goes through the current (v4) writer and must
+    // round-trip to an equal index.
+    let mut resaved = Vec::new();
+    index.save(&mut resaved).unwrap();
+    let reloaded = SketchIndex::load(&mut resaved.as_slice()).unwrap();
+    assert_eq!(reloaded, index, "the v3→v4 upgrade path is lossy");
+}
+
+#[test]
+fn v4_fixture_loads_and_the_current_writer_reproduces_it() {
+    let (bytes, index) = load_fixture(4);
+    assert_common_contents(&index, 4);
+    assert_eq!(index.provenance().expect("v4 fixture is dynamic"), &fixture_provenance());
     // Writer stability: re-saving the loaded index must reproduce the
     // checked-in file byte for byte.
     let mut resaved = Vec::new();
     index.save(&mut resaved).unwrap();
-    assert_eq!(resaved, bytes, "the v3 writer drifted from the checked-in fixture");
+    assert_eq!(resaved, bytes, "the v4 writer drifted from the checked-in fixture");
+}
+
+/// The mmap alignment gate: the v4 directory parses without touching data
+/// pages and every section it reports starts on a page boundary.
+#[test]
+fn v4_fixture_sections_are_page_aligned() {
+    let (bytes, index) = load_fixture(4);
+    let head = parse_v4_head(&bytes).expect("v4 head parses");
+    let sections = head.sections;
+    for (name, off) in [
+        ("arena", sections.arena_off),
+        ("bitmaps", sections.bitmaps_off),
+        ("offsets", sections.offsets_off),
+        ("postings", sections.postings_off),
+    ] {
+        assert_eq!(off % SNAPSHOT_PAGE_BYTES, 0, "{name} section offset {off} not page-aligned");
+    }
+    assert_eq!(sections.file_len, bytes.len());
+    assert_eq!(sections.num_nodes, NUM_NODES);
+    assert_eq!(sections.num_sets, 4);
+    assert_eq!(head.meta, *index.meta());
+    assert_eq!(head.provenance.as_ref(), index.provenance());
 }
 
 #[test]
 fn fixture_bytes_match_the_documented_layouts() {
-    for version in [1u32, 2, 3] {
+    for version in [1u32, 2, 3, 4] {
         let path = fixture_path(&format!("golden_v{version}.sketch"));
         let on_disk = std::fs::read(&path)
             .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));

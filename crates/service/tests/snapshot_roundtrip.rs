@@ -3,8 +3,9 @@
 //! corrupted or truncated files must fail with a descriptive error instead
 //! of loading garbage. Format v2 added the provenance section (sampling
 //! spec, per-set records, delta log); format v3 switched the collection to
-//! the bulk arena encoding. The corruption suite covers the current format
-//! byte by byte, and v1/v2 files must keep loading.
+//! the bulk arena encoding; format v4 moved to page-aligned sections with a
+//! directory so the file can be memory-mapped. The corruption suite covers
+//! the current format byte by byte, and v1/v2 files must keep loading.
 
 use imm_diffusion::DiffusionModel;
 use imm_graph::{generators, CsrGraph, EdgeWeights, GraphDelta};
@@ -66,14 +67,13 @@ fn dynamic_index(seed: u64) -> (SketchIndex, CsrGraph, EdgeWeights) {
     (index, graph, weights)
 }
 
-/// Byte offset where the provenance section starts in a v3 file (header +
-/// metadata + bulk arena collection + the presence flag).
+/// Byte offset where the provenance section starts in a v4 file (header +
+/// metadata prelude + section directory + per-set lens and flags + the
+/// presence flag).
 fn provenance_offset(index: &SketchIndex) -> usize {
     let header = SNAPSHOT_MAGIC.len() + 4 + 8;
     let meta = index.meta();
-    let mut collection_bytes = Vec::new();
-    index.sets().encode_arena(&mut collection_bytes);
-    header + 8 + 4 + meta.label.len() + collection_bytes.len() + 1
+    header + 8 + 4 + meta.label.len() + 88 + index.num_sets() * 4 + index.num_sets() + 1
 }
 
 proptest! {
@@ -218,7 +218,7 @@ fn wrong_version_fields_are_rejected_and_both_real_versions_load() {
     let good = snapshot_bytes(&index);
 
     // Versions this build does not know: rejected before any payload work.
-    for bogus in [0u32, 4, 7, u32::MAX] {
+    for bogus in [0u32, 5, 7, u32::MAX] {
         let mut bytes = good.clone();
         bytes[8..12].copy_from_slice(&bogus.to_le_bytes());
         assert!(
@@ -230,7 +230,7 @@ fn wrong_version_fields_are_rejected_and_both_real_versions_load() {
         );
     }
 
-    // The writer emits v3, and v3 loads.
+    // The writer emits v4, and v4 loads.
     assert_eq!(u32::from_le_bytes(good[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
     assert!(SketchIndex::load(&mut good.as_slice()).is_ok());
 }
@@ -284,7 +284,7 @@ fn v1_snapshot_files_keep_loading() {
     let loaded = SketchIndex::load(&mut bytes.as_slice()).unwrap();
     assert_eq!(loaded, index);
     assert!(!loaded.is_dynamic(), "v1 files carry no provenance");
-    // Re-saving upgrades the container to v3 losslessly.
+    // Re-saving upgrades the container to the current version losslessly.
     let resaved = snapshot_bytes(&loaded);
     assert_eq!(u32::from_le_bytes(resaved[8..12].try_into().unwrap()), SNAPSHOT_VERSION);
     assert_eq!(SketchIndex::load(&mut resaved.as_slice()).unwrap(), loaded);

@@ -32,6 +32,7 @@ use crate::index::ShardedIndex;
 use crate::segment::ShardSegment;
 use imm_exec::{Pinned, PinnedPool, ScatterError, WakeMode};
 use imm_graph::{CsrGraph, EdgeWeights, GraphDelta};
+use imm_numa::Topology;
 use imm_rrr::{BitSet, NodeId};
 use imm_service::{
     serve_batch, CacheStats, DynamicError, Query, QueryCache, QueryKey, QueryResponse, RefreshStats,
@@ -408,16 +409,39 @@ impl ShardedEngine {
 
     /// Engine with an explicit pinned-pool wake policy; the parity suites
     /// use [`WakeMode::Always`] to force real cross-thread serving.
+    /// Workers are NUMA-placed against the detected machine topology (see
+    /// [`Self::with_runtime_on`]).
     pub fn with_runtime(
         index: Arc<ShardedIndex>,
         threads: usize,
         cache_capacity: usize,
         wake: WakeMode,
     ) -> Self {
+        Self::with_runtime_on(index, threads, cache_capacity, wake, Topology::detect())
+    }
+
+    /// Engine with an explicit wake policy *and* an explicit machine
+    /// topology. On a multi-node topology the pinned workers are placed
+    /// across nodes (pinned on start, serving counted local/remote, shard
+    /// scratch accounted node-locally); a single-node topology skips
+    /// placement and counts `numa_single_node_fallbacks`. Production goes
+    /// through [`Topology::detect`]; tests inject synthetic machines.
+    pub fn with_runtime_on(
+        index: Arc<ShardedIndex>,
+        threads: usize,
+        cache_capacity: usize,
+        wake: WakeMode,
+        topology: Topology,
+    ) -> Self {
         // The sharded engine serves through `serve_cached` and records
         // shard_* metrics of its own, so both families must be registered.
         imm_service::metrics::register();
         crate::metrics::register();
+        let threads = threads.max(1);
+        let placement =
+            crate::placement::plan_pool_placement(topology, index.num_shards(), threads);
+        let shard_lens: Vec<usize> = index.segments().iter().map(|s| s.len()).collect();
+        crate::placement::account_scratch_regions(topology, placement.as_ref(), &shard_lens);
         let cells = (0..index.num_shards())
             .map(|shard| ShardCell {
                 index: Some(Arc::clone(&index)),
@@ -426,7 +450,7 @@ impl ShardedEngine {
                 masked_alive: None,
             })
             .collect();
-        let pool = PinnedPool::with_wake_mode(cells, threads.max(1), wake);
+        let pool = PinnedPool::with_placement(cells, threads, wake, placement);
         let base_counts = merged_degrees(&pool, index.num_nodes())
             .expect("degree scatter retries exhausted while constructing the engine");
         let merged_postings = (pool.num_workers() == 0).then(|| MergedPostings::build(&index));

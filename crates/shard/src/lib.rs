@@ -62,6 +62,7 @@
 pub mod engine;
 pub mod index;
 pub mod metrics;
+mod placement;
 pub mod segment;
 pub mod snapshot;
 
@@ -71,7 +72,7 @@ pub use index::ShardedIndex;
 pub use segment::{LocalSetId, ShardSegment};
 pub use snapshot::{
     assemble, load_shard_files, read_shard, read_shard_file, split_to_bytes, write_shard_files,
-    write_sharded_files, ShardFileError, ShardPart, SHARD_MAGIC, SHARD_VERSION,
+    write_sharded_files, ShardFileError, ShardPart, SHARD_MAGIC, SHARD_VERSION, SHARD_VERSION_V1,
 };
 
 /// Vertex identifier (re-exported from `imm-rrr` for convenience).

@@ -2,22 +2,31 @@
 //! reassemble them.
 //!
 //! Each shard file is a small header followed by a **complete, standard
-//! `imm-service` snapshot** (magic `IMMSKTCH`, version 3, checksum) of the
-//! shard's sub-collection — so every shard file is independently
+//! `imm-service` snapshot** (magic `IMMSKTCH`, current version, checksum)
+//! of the shard's sub-collection — so every shard file is independently
 //! verifiable, and a shard can even be loaded on its own as a small
 //! `SketchIndex` by skipping the header. The wrapper header records where
 //! the shard sits in the split:
 //!
 //! ```text
-//! [0..8)   magic  "IMMSHARD"
-//! [8..12)  shard-container version (1)
-//! [12..16) shard_index  u32   position of this shard in the split
-//! [16..20) num_shards   u32   how many files the split produced
-//! [20..28) set_offset   u64   global id of the shard's first set
-//! [28..36) total_sets   u64   θ of the whole index (every file agrees)
-//! [36..44) FNV-1a 64 checksum of bytes [12..36)
-//! [44..)   embedded imm-service snapshot of the shard's sets
+//! [0..8)    magic  "IMMSHARD"
+//! [8..12)   shard-container version (2)
+//! [12..16)  shard_index  u32   position of this shard in the split
+//! [16..20)  num_shards   u32   how many files the split produced
+//! [20..28)  set_offset   u64   global id of the shard's first set
+//! [28..36)  total_sets   u64   θ of the whole index (every file agrees)
+//! [36..44)  FNV-1a 64 checksum of bytes [12..36)
+//! [44..4096) zero padding (v2 only)
+//! [4096..)  embedded imm-service snapshot of the shard's sets
 //! ```
+//!
+//! Container v2 (this PR) pads the wrapper header to one snapshot page
+//! (`SNAPSHOT_PAGE_BYTES`) so the embedded snapshot starts on a page
+//! boundary: the v4 snapshot format lays its data sections on page-aligned
+//! *snapshot-relative* offsets, and the padding keeps those offsets
+//! page-aligned as **file-absolute** positions too — a memory-mapping of a
+//! whole shard file sees the same aligned sections `imm-store` maps from a
+//! standalone snapshot. v1 files (unpadded) still load.
 //!
 //! Provenance splits with the sets: each shard file carries the sampling
 //! spec, its own range's per-set records, and the **full delta log** (the
@@ -39,8 +48,18 @@ use std::path::{Path, PathBuf};
 
 /// The magic bytes opening every shard file.
 pub const SHARD_MAGIC: [u8; 8] = *b"IMMSHARD";
-/// The shard-container version this build reads and writes.
-pub const SHARD_VERSION: u32 = 1;
+/// The shard-container version this build writes: header padded to one
+/// snapshot page so the embedded snapshot's page-aligned sections stay
+/// page-aligned file-absolute.
+pub const SHARD_VERSION: u32 = 2;
+/// The legacy unpadded container version; still readable.
+pub const SHARD_VERSION_V1: u32 = 1;
+
+/// Bytes of wrapper header the embedded snapshot starts after in a v2
+/// file (one snapshot page; the header proper occupies the first 44).
+const SHARD_HEADER_BYTES_V2: usize = imm_service::SNAPSHOT_PAGE_BYTES;
+/// Bytes of wrapper header in a v1 file (magic + version + fields + hash).
+const SHARD_HEADER_BYTES_V1: usize = 44;
 
 /// Errors produced while splitting or reassembling shard files.
 #[derive(Debug)]
@@ -177,6 +196,9 @@ fn write_shard(
     writer.write_all(&SHARD_VERSION.to_le_bytes())?;
     writer.write_all(&header_fields)?;
     writer.write_all(&fnv1a64(&header_fields).to_le_bytes())?;
+    // Pad the wrapper to a full page so the embedded snapshot — and with
+    // it every page-aligned v4 section — starts on a file page boundary.
+    writer.write_all(&vec![0u8; SHARD_HEADER_BYTES_V2 - SHARD_HEADER_BYTES_V1])?;
     save_parts(sharded.meta(), &sub, sub_provenance.as_ref(), writer)?;
     Ok(())
 }
@@ -229,7 +251,7 @@ pub fn read_shard(reader: &mut impl Read) -> Result<ShardPart, ShardFileError> {
     let mut word = [0u8; 4];
     reader.read_exact(&mut word)?;
     let version = u32::from_le_bytes(word);
-    if version != SHARD_VERSION {
+    if version != SHARD_VERSION && version != SHARD_VERSION_V1 {
         return Err(ShardFileError::UnsupportedVersion(version));
     }
     let mut header_fields = [0u8; 24];
@@ -238,6 +260,17 @@ pub fn read_shard(reader: &mut impl Read) -> Result<ShardPart, ShardFileError> {
     reader.read_exact(&mut checksum)?;
     if u64::from_le_bytes(checksum) != fnv1a64(&header_fields) {
         return Err(ShardFileError::HeaderChecksumMismatch);
+    }
+    if version == SHARD_VERSION {
+        // Skip the alignment padding (not checksummed, like the v4
+        // snapshot's own intra-file padding).
+        let mut pad = [0u8; 256];
+        let mut remaining = SHARD_HEADER_BYTES_V2 - SHARD_HEADER_BYTES_V1;
+        while remaining > 0 {
+            let take = remaining.min(pad.len());
+            reader.read_exact(&mut pad[..take])?;
+            remaining -= take;
+        }
     }
     let shard_index = u32::from_le_bytes(header_fields[0..4].try_into().expect("4 bytes"));
     let num_shards = u32::from_le_bytes(header_fields[4..8].try_into().expect("4 bytes"));

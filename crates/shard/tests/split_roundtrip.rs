@@ -76,6 +76,54 @@ fn in_memory_split_matches_the_file_path() {
     assert_eq!(rebuilt, sharded);
 }
 
+/// Container v2 pads the wrapper header to one snapshot page, so the
+/// embedded v4 snapshot — and every page-aligned section inside it — sits
+/// page-aligned *file-absolute*: a mapping of the whole shard file sees
+/// the same alignment `imm-store` gets from a standalone snapshot.
+#[test]
+fn v2_shard_files_embed_the_snapshot_page_aligned() {
+    use imm_service::{parse_v4_head, SNAPSHOT_MAGIC, SNAPSHOT_PAGE_BYTES};
+    let (_, _, index) = dynamic_index();
+    let sharded = ShardedIndex::from_index(index, 3).unwrap();
+    for blob in split_to_bytes(&sharded).unwrap() {
+        assert_eq!(&blob[8..12], &imm_shard::SHARD_VERSION.to_le_bytes());
+        assert!(blob[44..SNAPSHOT_PAGE_BYTES].iter().all(|&b| b == 0), "padding is zeroed");
+        let snapshot = &blob[SNAPSHOT_PAGE_BYTES..];
+        assert_eq!(&snapshot[..8], &SNAPSHOT_MAGIC);
+        let head = parse_v4_head(snapshot).expect("embedded snapshot parses as v4");
+        for off in [
+            head.sections.arena_off,
+            head.sections.bitmaps_off,
+            head.sections.offsets_off,
+            head.sections.postings_off,
+        ] {
+            assert_eq!(off % SNAPSHOT_PAGE_BYTES, 0, "snapshot-relative alignment");
+            assert_eq!((SNAPSHOT_PAGE_BYTES + off) % SNAPSHOT_PAGE_BYTES, 0, "file-absolute");
+        }
+    }
+}
+
+/// Legacy v1 (unpadded) shard files still load.
+#[test]
+fn v1_shard_files_are_still_readable() {
+    let (_, _, index) = dynamic_index();
+    let sharded = ShardedIndex::from_index(index, 2).unwrap();
+    let blobs = split_to_bytes(&sharded).unwrap();
+    let v1_blobs: Vec<Vec<u8>> = blobs
+        .iter()
+        .map(|blob| {
+            // Rewrite as v1: same 44-byte header with the version field
+            // swapped, padding dropped.
+            let mut v1 = blob[..44].to_vec();
+            v1[8..12].copy_from_slice(&imm_shard::SHARD_VERSION_V1.to_le_bytes());
+            v1.extend_from_slice(&blob[imm_service::SNAPSHOT_PAGE_BYTES..]);
+            v1
+        })
+        .collect();
+    let parts = v1_blobs.iter().map(|b| read_shard(&mut b.as_slice()).unwrap()).collect();
+    assert_eq!(assemble(parts).unwrap(), sharded);
+}
+
 #[test]
 fn corrupted_shard_files_are_rejected() {
     let (_, _, index) = dynamic_index();

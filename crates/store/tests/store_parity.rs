@@ -1,0 +1,194 @@
+//! Mmap/heap parity: an index served zero-copy from a mapping must be
+//! **logically identical** to the same file decoded onto the heap — equal
+//! index, equal postings, and byte-identical query responses — across
+//! static and dynamic snapshots and mixed list/bitmap representations.
+//!
+//! Gated to little-endian Linux like the mapping itself; on other targets
+//! the store only has the fallback path and there is nothing to compare.
+#![cfg(all(target_os = "linux", target_endian = "little"))]
+
+use imm_diffusion::DiffusionModel;
+use imm_graph::{generators, CsrGraph, EdgeWeights};
+use imm_rrr::{AdaptivePolicy, RrrCollection};
+use imm_service::{
+    IndexMeta, Query, QueryEngine, SampleSpec, SketchIndex, SNAPSHOT_MAGIC, SNAPSHOT_VERSION_V3,
+};
+use imm_store::{LoadMode, Store};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("imm_store_parity_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}_{}.sketch", std::process::id()))
+}
+
+/// A dynamic index with provenance, mixed representations, and an applied
+/// delta — the richest snapshot shape the format supports.
+fn dynamic_index(seed: u64) -> SketchIndex {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let graph = CsrGraph::from_edge_list(&generators::social_network(120, 4, 0.3, &mut rng));
+    let weights = EdgeWeights::constant(&graph, 0.2);
+    let spec = SampleSpec::new(DiffusionModel::IndependentCascade, seed ^ 0xA11CE);
+    SketchIndex::sample(&graph, &weights, spec, 96, 2, "parity-dyn").unwrap()
+}
+
+/// A static index with hand-forced list *and* bitmap sets.
+fn static_index() -> SketchIndex {
+    let mut c = RrrCollection::new(200);
+    let bitmap = AdaptivePolicy::always_bitmap();
+    let sorted = AdaptivePolicy::always_sorted();
+    for i in 0..40u32 {
+        let members: Vec<u32> = (0..(i % 17)).map(|j| (i * 7 + j * 11) % 200).collect();
+        let mut members = members;
+        members.sort_unstable();
+        members.dedup();
+        let policy = if i % 3 == 0 { &bitmap } else { &sorted };
+        c.push_vertices(members, policy);
+    }
+    SketchIndex::from_collection(c, IndexMeta { num_edges: 777, label: "parity-static".into() })
+        .unwrap()
+}
+
+fn assert_full_parity(mapped: &SketchIndex, heap: &SketchIndex) {
+    assert_eq!(mapped, heap);
+    assert_eq!(mapped.meta(), heap.meta());
+    assert_eq!(mapped.provenance(), heap.provenance());
+    assert_eq!(mapped.coverage_stats(), heap.coverage_stats());
+    for v in 0..mapped.num_nodes() as u32 {
+        assert_eq!(mapped.postings(v), heap.postings(v), "postings diverge at vertex {v}");
+        assert_eq!(mapped.degree(v), heap.degree(v));
+    }
+    // Query responses must be byte-identical, not just "equivalent".
+    let queries = vec![
+        Query::top_k(1),
+        Query::top_k(4),
+        Query::top_k(9),
+        Query::Spread { seeds: vec![0, 3, 5] },
+        Query::Marginal { seeds: vec![1, 2], candidate: 7 },
+    ];
+    let mapped_engine = QueryEngine::new(Arc::new(mapped.clone()));
+    let heap_engine = QueryEngine::new(Arc::new(heap.clone()));
+    for q in &queries {
+        assert_eq!(mapped_engine.execute(q), heap_engine.execute(q), "response diverges on {q:?}");
+    }
+    let batch_mapped = mapped_engine.execute_batch(&queries, 3);
+    let batch_heap = heap_engine.execute_batch(&queries, 3);
+    assert_eq!(batch_mapped, batch_heap);
+}
+
+#[test]
+fn mapped_and_heap_loads_of_a_dynamic_snapshot_are_identical() {
+    let index = dynamic_index(42);
+    let path = temp_path("dynamic");
+    index.save_to_path(&path).unwrap();
+
+    let mapped = Store::open_mapped(&path).expect("mapped open");
+    let heap = Store::open_read(&path).expect("read open");
+    assert_eq!(mapped.mode, LoadMode::Mapped);
+    assert_eq!(heap.mode, LoadMode::ReadDecode);
+    assert!(mapped.is_mapped());
+    assert!(mapped.index.sets().is_arena_shared(), "arena must be a borrowed view");
+    assert!(mapped.index.is_postings_shared(), "postings must be a borrowed view");
+    assert!(!heap.index.sets().is_arena_shared());
+    assert!(!heap.index.is_postings_shared());
+    assert_eq!(mapped.mapped_len(), std::fs::metadata(&path).unwrap().len() as usize);
+    assert_full_parity(&mapped.index, &heap.index);
+    assert_full_parity(&mapped.index, &index);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn mapped_and_heap_loads_of_a_static_mixed_snapshot_are_identical() {
+    let index = static_index();
+    let path = temp_path("static");
+    index.save_to_path(&path).unwrap();
+
+    let mapped = Store::open_mapped(&path).expect("mapped open");
+    let heap = Store::open_read(&path).expect("read open");
+    assert!(!mapped.index.is_dynamic());
+    assert_full_parity(&mapped.index, &heap.index);
+    assert_full_parity(&mapped.index, &index);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_prefers_the_mapping_and_counts_it() {
+    let index = dynamic_index(7);
+    let path = temp_path("prefer_mmap");
+    index.save_to_path(&path).unwrap();
+
+    let opens_before = imm_store::metrics::MMAP_OPENS.value();
+    let opened = Store::open(&path).expect("open");
+    assert_eq!(opened.mode, LoadMode::Mapped);
+    assert!(opened.timings.total_ns() > 0);
+    if imm_obs::recording_enabled() {
+        assert_eq!(imm_store::metrics::MMAP_OPENS.value(), opens_before + 1);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn advising_shard_ranges_touches_the_arena_section() {
+    let index = dynamic_index(9);
+    let path = temp_path("advise");
+    index.save_to_path(&path).unwrap();
+
+    let opened = Store::open_mapped(&path).expect("mapped open");
+    let n = opened.index.num_sets();
+    let advised_before = imm_store::metrics::SHARD_RANGES_ADVISED.value();
+    // Two half-ranges, as a 2-shard split would issue.
+    let advised = opened.advise_shard_ranges(&[(0, n / 2), (n / 2, n - n / 2)]);
+    assert!(advised > 0, "a populated index must yield advisable arena ranges");
+    if imm_obs::recording_enabled() {
+        assert_eq!(
+            imm_store::metrics::SHARD_RANGES_ADVISED.value(),
+            advised_before + advised as u64
+        );
+    }
+    // The read-decode path has no mapping to advise.
+    let heap = Store::open_read(&path).unwrap();
+    assert_eq!(heap.advise_shard_ranges(&[(0, n)]), 0);
+    std::fs::remove_file(&path).ok();
+}
+
+/// A pre-v4 file has no section directory: `Store::open` must fall back to
+/// the read-decode path (counted) and still produce the right index.
+#[test]
+fn pre_v4_files_fall_back_to_read_decode() {
+    fn fnv1a64(bytes: &[u8]) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+    let index = static_index();
+    // Assemble a v3 file: prelude + whole-arena encoding + "no provenance".
+    let meta = index.meta();
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(meta.num_edges as u64).to_le_bytes());
+    payload.extend_from_slice(&(meta.label.len() as u32).to_le_bytes());
+    payload.extend_from_slice(meta.label.as_bytes());
+    index.sets().encode_arena(&mut payload);
+    payload.push(0);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION_V3.to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    let path = temp_path("v3_fallback");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let fallbacks_before = imm_store::metrics::MMAP_FALLBACKS.value();
+    let opened = Store::open(&path).expect("fallback open");
+    assert_eq!(opened.mode, LoadMode::ReadDecode);
+    assert_eq!(opened.index, index);
+    if imm_obs::recording_enabled() {
+        assert_eq!(imm_store::metrics::MMAP_FALLBACKS.value(), fallbacks_before + 1);
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -13,3 +13,4 @@ pub use imm_rrr as rrr;
 pub use imm_serve as serve;
 pub use imm_service as service;
 pub use imm_shard as shard;
+pub use imm_store as store;
